@@ -1,0 +1,55 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper at the
+configured scale (``REPRO_SCALE``, default 0.05) and query count
+(``REPRO_QUERIES``, default 5; the benches below pass 3 to keep the
+default run short).  Rendered paper-style tables are written to
+``results/`` next to this directory so the numbers survive the pytest
+output capture; EXPERIMENTS.md summarizes a full run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.eval import ExperimentResult, format_table, pivot_by_scheme, save_csv
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+#: Queries per setting used by the default benchmark run.
+BENCH_QUERIES = int(os.environ.get("REPRO_QUERIES", "3"))
+
+
+def mean_by(result: ExperimentResult, **filters) -> float:
+    """Mean node accesses of the rows matching ``filters``."""
+    rows = [
+        row["node_accesses"]
+        for row in result.rows
+        if all(row.get(k) == v for k, v in filters.items())
+    ]
+    assert rows, f"no rows match {filters}"
+    return sum(rows) / len(rows)
+
+
+def record(result: ExperimentResult, x_column: str | None = None) -> None:
+    """Persist a rendered table + raw CSV under ``results/``."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    if x_column is not None and any("scheme" in row for row in result.rows):
+        text = pivot_by_scheme(result, x_column)
+    else:
+        text = format_table(result)
+    with open(os.path.join(RESULTS_DIR, f"{result.name}.txt"), "w") as handle:
+        handle.write(text + "\n")
+    save_csv(result, os.path.join(RESULTS_DIR, f"{result.name}.csv"))
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+
+    def runner(fn, **kwargs):
+        return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

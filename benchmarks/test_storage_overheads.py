@@ -1,0 +1,24 @@
+"""Section 5.2: storage overheads of the DEP grid and the IWP pointers.
+
+Paper claims reproduced here:
+* The density grid at cell size 25 has 160,000 cells = ~312 KB of
+  short integers (this is scale independent — the grid covers the
+  space, not the objects).
+* Pointer counts are proportional to the number of leaves and remain a
+  small fraction of the R*-tree itself.
+"""
+
+from benchmarks.conftest import record
+from repro.eval import storage_overheads
+
+
+def test_storage_overheads(run_once):
+    result = run_once(storage_overheads)
+    record(result)
+    for row in result.rows:
+        assert row["grid_cells"] == 160_000
+        assert row["grid_bytes"] == 320_000  # 2 B per cell
+        assert row["backward_ptrs"] > 0
+        assert row["iwp_bytes"] == 4 * (row["backward_ptrs"] + row["overlapping_ptrs"])
+        # Overhead stays tiny relative to the 4 KB-per-node tree itself.
+        assert row["iwp_bytes"] < 4096 * row["backward_ptrs"]

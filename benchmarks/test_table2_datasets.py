@@ -1,0 +1,14 @@
+"""Table 2: dataset construction cost and cardinalities."""
+
+from benchmarks.conftest import record
+from repro.eval import table2_datasets
+
+
+def test_table2_datasets(run_once):
+    result = run_once(table2_datasets)
+    record(result)
+    names = [row["dataset"] for row in result.rows]
+    assert names == ["CA-like", "NY-like", "Gaussian(std=2000)"]
+    # Cardinality ordering of Table 2: NY > Gaussian > CA.
+    by_name = {row["dataset"]: row["cardinality"] for row in result.rows}
+    assert by_name["NY-like"] > by_name["Gaussian(std=2000)"] > by_name["CA-like"]

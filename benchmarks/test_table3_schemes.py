@@ -1,0 +1,11 @@
+"""Table 3: scheme matrix (sanity-level benchmark of engine setup)."""
+
+from benchmarks.conftest import record
+from repro.core import ALL_SCHEMES
+from repro.eval import table3_schemes
+
+
+def test_table3_schemes(run_once):
+    result = run_once(lambda: table3_schemes())
+    record(result)
+    assert [row["scheme"] for row in result.rows] == [s.value for s in ALL_SCHEMES]

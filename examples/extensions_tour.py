@@ -1,0 +1,72 @@
+"""Tour of the beyond-paper extensions.
+
+1. Constrained NWC — restrict the answer to a district (constrained-NN
+   semantics [8] lifted to window clusters).
+2. Group NWC — a group of friends minimizes total (or worst-member)
+   travel to a clustered area (GNN-flavoured [16]).
+3. MaxRS — the related-work baseline of Section 2.2: the densest window
+   has no notion of the query location.
+4. Alternative DEP structure — exact subtree counts instead of the
+   density grid.
+
+Run with:  python examples/extensions_tour.py
+"""
+
+from repro import NWCEngine, NWCQuery, RStarTree, Rect, Scheme
+from repro.core import Aggregate, GroupNWCQuery, OptimizationFlags, group_nwc, maxrs
+from repro.datasets import ca_like
+from repro.grid import SubtreeCountIndex
+from repro.workloads import data_biased_query_points
+
+
+def main() -> None:
+    dataset = ca_like(15_000)
+    tree = RStarTree.bulk_load(dataset.points)
+    engine = NWCEngine(tree, Scheme.NWC_STAR)
+    (qx, qy) = data_biased_query_points(dataset, 1, seed=5, jitter=300.0)[0]
+    print(f"query location: ({qx:.0f}, {qy:.0f})\n")
+
+    # --- 1. constrained NWC ----------------------------------------
+    query = NWCQuery(qx, qy, 150, 150, 8)
+    free = engine.nwc(query)
+    district = Rect(qx, qy, qx + 2_000, qy + 2_000)  # only north-east
+    boxed = engine.nwc(query, region=district)
+    print("constrained NWC (north-east district only):")
+    print(f"  unconstrained: dist {free.distance:.0f} (IO {free.node_accesses})")
+    if boxed.found:
+        print(f"  constrained:   dist {boxed.distance:.0f} "
+              f"(IO {boxed.node_accesses})")
+    else:
+        print("  constrained:   no qualified window inside the district")
+
+    # --- 2. group NWC ----------------------------------------------
+    friends = tuple(data_biased_query_points(dataset, 3, seed=6, jitter=1_500.0))
+    for aggregate in (Aggregate.SUM, Aggregate.MAX):
+        gq = GroupNWCQuery(friends, 150.0, 150.0, 8, aggregate=aggregate)
+        result = group_nwc(tree, gq)
+        label = "total travel" if aggregate is Aggregate.SUM else "worst member"
+        if result.found:
+            center = result.group.window.center
+            print(f"\ngroup NWC ({label}): area around "
+                  f"({center[0]:.0f}, {center[1]:.0f}), "
+                  f"cost {result.distance:.0f} (IO {result.node_accesses})")
+
+    # --- 3. MaxRS baseline ------------------------------------------
+    rs = maxrs(dataset.points, 150, 150)
+    print(f"\nMaxRS (no query location): densest 150x150 window holds "
+          f"{rs.count} objects,")
+    print(f"  {rs.window.mindist(qx, qy):.0f} away from the query point — "
+          f"vs NWC's {free.distance:.0f}")
+
+    # --- 4. DEP via subtree counts ----------------------------------
+    counts_engine = NWCEngine(tree, OptimizationFlags(dep=True),
+                              grid=SubtreeCountIndex(tree))
+    alt = counts_engine.nwc(NWCQuery(qx, qy, 40, 40, 10))
+    grid_engine = NWCEngine(tree, Scheme.DEP)
+    ref = grid_engine.nwc(NWCQuery(qx, qy, 40, 40, 10))
+    print(f"\nDEP structures on a hard query: density grid IO "
+          f"{ref.node_accesses}, subtree counts IO {alt.node_accesses}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""kNWC deep dive: how k and m shape the returned alternatives.
+
+Shows Definition 3 in action: larger k asks for more areas, larger m
+tolerates more shared shops between areas — and both choices change
+the I/O cost, reproducing the trends of Figures 13 and 14 in miniature.
+Also contrasts the paper's online group maintenance (Steps 1-5) with
+the exact greedy buffer (DESIGN.md §4.1).
+
+Run with:  python examples/knwc_alternatives.py
+"""
+
+from repro import KNWCQuery, NWCEngine, RStarTree, Scheme
+from repro.datasets import ca_like
+from repro.workloads import data_biased_query_points
+
+
+def main() -> None:
+    dataset = ca_like(20_000)
+    tree = RStarTree.bulk_load(dataset.points)
+    engine = NWCEngine(tree, Scheme.NWC_STAR)
+    (qx, qy) = data_biased_query_points(dataset, 1, seed=99, jitter=300.0)[0]
+    print(f"query location: ({qx:.0f}, {qy:.0f}); window 200 x 200, n = 6\n")
+
+    print("effect of k (m = 2):")
+    for k in (1, 2, 4, 8):
+        query = KNWCQuery.make(qx, qy, 200, 200, n=6, k=k, m=2)
+        result = engine.knwc(query)
+        dists = ", ".join(f"{d:.0f}" for d in result.distances)
+        print(f"  k={k}: {len(result.groups)} groups at distances [{dists}]  "
+              f"(I/O {result.node_accesses})")
+
+    print("\neffect of m (k = 4):")
+    for m in (0, 1, 3, 5):
+        query = KNWCQuery.make(qx, qy, 200, 200, n=6, k=4, m=m)
+        result = engine.knwc(query)
+        if result.groups:
+            tail = f"k-th distance {result.distances[-1]:.0f}"
+        else:
+            tail = "no groups"
+        print(f"  m={m}: {len(result.groups)} groups, "
+              f"max overlap {result.max_pairwise_overlap()}, {tail} "
+              f"(I/O {result.node_accesses})")
+
+    print("\nmaintenance policies (k = 4, m = 1):")
+    query = KNWCQuery.make(qx, qy, 200, 200, n=6, k=4, m=1)
+    for policy in ("exact", "paper"):
+        result = engine.knwc(query, maintenance=policy)
+        dists = ", ".join(f"{d:.0f}" for d in result.distances)
+        print(f"  {policy:>5}: [{dists}]")
+
+
+if __name__ == "__main__":
+    main()

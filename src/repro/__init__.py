@@ -1,0 +1,65 @@
+"""repro — Nearest Window Cluster queries (EDBT 2016), reproduced in Python.
+
+Given a query location ``q``, a window of length ``l`` and width ``w``,
+and a count ``n``, an NWC query returns the ``n`` objects clustered in
+some ``l x w`` window whose distance to ``q`` is smallest; kNWC returns
+``k`` such groups with bounded pairwise overlap.
+
+Quickstart::
+
+    from repro import NWCEngine, NWCQuery, RStarTree, Scheme
+    from repro.datasets import ca_like
+
+    dataset = ca_like(10_000)
+    tree = RStarTree.bulk_load(dataset.points)
+    engine = NWCEngine(tree, Scheme.NWC_STAR)
+    result = engine.nwc(NWCQuery(qx=5000, qy=5000, length=100, width=100, n=8))
+    print(result.objects, result.distance, result.node_accesses)
+
+Package map: :mod:`repro.core` (NWC/kNWC algorithms, Table-3 schemes),
+:mod:`repro.index` (R*-tree + IWP pointers), :mod:`repro.grid` (DEP
+density grid), :mod:`repro.storage` (pages, serialization, I/O stats),
+:mod:`repro.analysis` (Section 4 cost models), :mod:`repro.datasets` /
+:mod:`repro.workloads` / :mod:`repro.eval` (the Section 5 evaluation).
+"""
+
+from .core import (
+    ALL_SCHEMES,
+    DistanceMeasure,
+    KNWCQuery,
+    KNWCResult,
+    NWCEngine,
+    NWCQuery,
+    NWCResult,
+    ObjectGroup,
+    OptimizationFlags,
+    Scheme,
+)
+from .datasets import Dataset
+from .geometry import PointObject, Rect
+from .grid import DensityGrid
+from .index import IWPIndex, RStarTree
+from .storage import IOStats
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_SCHEMES",
+    "Dataset",
+    "DensityGrid",
+    "DistanceMeasure",
+    "IOStats",
+    "IWPIndex",
+    "KNWCQuery",
+    "KNWCResult",
+    "NWCEngine",
+    "NWCQuery",
+    "NWCResult",
+    "ObjectGroup",
+    "OptimizationFlags",
+    "PointObject",
+    "RStarTree",
+    "Rect",
+    "Scheme",
+    "__version__",
+]

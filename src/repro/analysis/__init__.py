@@ -1,0 +1,25 @@
+"""Section 4 analytic cost models and substrate estimators."""
+
+from .cost_model import (
+    NWCCostModel,
+    answer_level_probability,
+    expected_retrieved_objects,
+    level_rectangle_count,
+    no_qualified_window_probability,
+    window_not_qualified_probability,
+)
+from .estimators import TreeProfile
+from .knwc_cost import KNWCCostModel, overlap_acceptance_estimate, real_binomial_pmf
+
+__all__ = [
+    "KNWCCostModel",
+    "NWCCostModel",
+    "TreeProfile",
+    "answer_level_probability",
+    "expected_retrieved_objects",
+    "level_rectangle_count",
+    "no_qualified_window_probability",
+    "overlap_acceptance_estimate",
+    "real_binomial_pmf",
+    "window_not_qualified_probability",
+]

@@ -1,0 +1,161 @@
+"""The Section 4.1 analytic I/O cost model for the NWC algorithm.
+
+The space is tiled into ``l x w`` rectangles arranged in concentric
+square rings ("levels") around the query point; objects are Poisson with
+intensity ``lam`` per unit area.  The model combines
+
+* ``P``   — probability a window is not qualified (Eq. 8),
+* ``N(i)``— number of level-``i`` rectangles (Eq. 9),
+* ``Q(i)``— probability no level-``i`` qualified window exists,
+* ``O(i)``— expected objects retrieved when the answer sits at level
+  ``i`` (Eq. 10),
+
+with two substrate estimators: ``WIN(l, w)`` — expected node accesses of
+one window query ([18], Proietti & Faloutsos style) — and ``KNN(K)`` —
+expected node accesses to retrieve ``K`` neighbours ([10]); both are
+derived from measured per-level statistics of an actual tree in
+:mod:`repro.analysis.estimators`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+WindowCostFn = Callable[[float, float], float]
+KnnCostFn = Callable[[float], float]
+
+
+def window_not_qualified_probability(lam: float, length: float, width: float, n: int) -> float:
+    """Equation (8): ``P{X <= n-1}`` for ``X ~ Poisson(lam * l * w)``."""
+    if lam < 0:
+        raise ValueError("lam must be non-negative")
+    if n <= 0:
+        return 0.0
+    mean = lam * length * width
+    if mean == 0.0:
+        return 1.0
+    # Stable evaluation of the Poisson CDF via the running term.
+    term = math.exp(-mean)
+    total = term
+    for i in range(1, n):
+        term *= mean / i
+        total += term
+    return min(1.0, total)
+
+
+def level_rectangle_count(i: int) -> int:
+    """Equation (9): ``N(i) = 8i - 4`` level-``i`` rectangles."""
+    if i <= 0:
+        raise ValueError("levels are numbered from 1")
+    return 8 * i - 4
+
+
+def no_qualified_window_probability(
+    i: int, lam: float, length: float, width: float, n: int
+) -> float:
+    """``Q(i) = P ** (N(i) * (lam*l*w)^2)``; ``Q(0) = 1`` by definition."""
+    if i == 0:
+        return 1.0
+    p = window_not_qualified_probability(lam, length, width, n)
+    if p == 0.0:
+        return 0.0
+    mean = lam * length * width
+    exponent = level_rectangle_count(i) * mean * mean
+    return p**exponent
+
+
+def expected_retrieved_objects(i: int, lam: float, length: float, width: float) -> float:
+    """Equation (10): ``O(i) = 2 * i^2 * lam * l * w``."""
+    if i < 0:
+        raise ValueError("i must be non-negative")
+    return 2.0 * i * i * lam * length * width
+
+
+def answer_level_probability(
+    i: int, lam: float, length: float, width: float, n: int
+) -> float:
+    """Probability the best objects come from a level-``i`` window:
+    ``(1 - Q(i)) * prod_{j<i} Q(j)``."""
+    prob_here = 1.0 - no_qualified_window_probability(i, lam, length, width, n)
+    prob_before = 1.0
+    for j in range(1, i):
+        prob_before *= no_qualified_window_probability(j, lam, length, width, n)
+    return prob_here * prob_before
+
+
+@dataclass(frozen=True, slots=True)
+class NWCCostModel:
+    """Bound parameters for repeated evaluations.
+
+    Attributes:
+        lam: Poisson intensity (objects per unit area).
+        length: Window length ``l``.
+        width: Window width ``w``.
+        n: Objects requested per window.
+        max_level: ``MaxLV`` — outermost ring considered.
+    """
+
+    lam: float
+    length: float
+    width: float
+    n: int
+    max_level: int = 64
+
+    def not_qualified_probability(self) -> float:
+        """Eq. (8) for these parameters."""
+        return window_not_qualified_probability(self.lam, self.length, self.width, self.n)
+
+    def expected_io(
+        self,
+        win_cost: WindowCostFn,
+        knn_cost: KnnCostFn,
+        include_exhaustive_tail: bool = True,
+    ) -> float:
+        """The Section 4.1 expected node-access count.
+
+        Args:
+            win_cost: ``WIN(l, w)`` estimator.
+            knn_cost: ``KNN(K)`` estimator.
+            include_exhaustive_tail: The paper's formula silently assigns
+                zero cost to the event that *no* qualified window exists
+                anywhere, yet in that case the algorithm drains the whole
+                space.  When True (default) that residual probability is
+                charged the level-``max_level`` cost, which makes the
+                model meaningful for sparse settings (large ``n``, small
+                windows).
+        """
+        total = 0.0
+        prod_q = 1.0  # prod_{j=0}^{i-1} Q(j); Q(0) = 1
+        win = win_cost(self.length, self.width)
+        for i in range(1, self.max_level + 1):
+            q_i = no_qualified_window_probability(
+                i, self.lam, self.length, self.width, self.n
+            )
+            weight = (1.0 - q_i) * prod_q
+            if weight > 0.0:
+                objs = expected_retrieved_objects(i, self.lam, self.length, self.width)
+                total += weight * (objs * win + knn_cost(objs))
+            prod_q *= q_i
+            if prod_q < 1e-15:
+                prod_q = 0.0
+                break
+        if include_exhaustive_tail and prod_q > 0.0:
+            objs = expected_retrieved_objects(
+                self.max_level, self.lam, self.length, self.width
+            )
+            total += prod_q * (objs * win + knn_cost(objs))
+        return total
+
+    def answer_level_distribution(self) -> list[float]:
+        """Probability mass over answer levels ``1..max_level``."""
+        out = []
+        prod_q = 1.0
+        for i in range(1, self.max_level + 1):
+            q_i = no_qualified_window_probability(
+                i, self.lam, self.length, self.width, self.n
+            )
+            out.append((1.0 - q_i) * prod_q)
+            prod_q *= q_i
+        return out

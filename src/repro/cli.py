@@ -1,0 +1,120 @@
+"""Command-line interface: ``python -m repro`` / ``nwc-repro``.
+
+Subcommands:
+
+* ``experiment <id>`` — run one of the Section 5 experiments (``fig9``
+  .. ``fig14``, ``table2``, ``table3``, ``storage``, ``costmodel``) and
+  print the paper-style table; ``--csv`` also writes the raw rows.
+* ``query`` — answer a single NWC/kNWC query against a generated
+  dataset (handy for exploration).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core import KNWCQuery, NWCEngine, NWCQuery, Scheme
+from .datasets import ca_like, gaussian, ny_like
+from .eval import EXPERIMENTS, format_table, pivot_by_scheme, save_csv
+from .index import RStarTree
+
+_DATASETS = {
+    "ca": lambda size: ca_like(size),
+    "ny": lambda size: ny_like(size),
+    "gaussian": lambda size: gaussian(size),
+}
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    runner = EXPERIMENTS.get(args.id)
+    if runner is None:
+        print(f"unknown experiment {args.id!r}; choose from "
+              f"{', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
+        return 2
+    kwargs = {}
+    if args.scale is not None:
+        kwargs["scale"] = args.scale
+    if args.queries is not None:
+        kwargs["queries"] = args.queries
+    result = runner(**kwargs)
+    x_column = {
+        "fig9": "grid_size", "fig10": "std", "fig11": "n",
+        "fig12": "window", "fig13": "k", "fig14": "m",
+    }.get(args.id)
+    if x_column and any("scheme" in row for row in result.rows):
+        print(pivot_by_scheme(result, x_column))
+    else:
+        print(format_table(result))
+    if args.csv:
+        save_csv(result, args.csv)
+        print(f"\nrows written to {args.csv}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    dataset = _DATASETS[args.dataset](args.size)
+    tree = RStarTree.bulk_load(dataset.points)
+    engine = NWCEngine(tree, Scheme[args.scheme])
+    if args.k > 1:
+        query = KNWCQuery.make(args.x, args.y, args.length, args.width,
+                               args.n, args.k, args.m)
+        result = engine.knwc(query)
+        print(f"{len(result.groups)} group(s); node accesses: {result.node_accesses}")
+        for rank, group in enumerate(result.groups, 1):
+            oids = ", ".join(str(o) for o in sorted(group.oids))
+            print(f"  #{rank}: dist={group.distance:.2f} objects=[{oids}]")
+    else:
+        result = engine.nwc(NWCQuery(args.x, args.y, args.length, args.width, args.n))
+        if result.found:
+            oids = ", ".join(str(p.oid) for p in result.objects)
+            print(f"dist={result.distance:.2f} objects=[{oids}] "
+                  f"window={result.group.window}")
+        else:
+            print("no qualified window exists")
+        print(f"node accesses: {result.node_accesses}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="nwc-repro",
+        description="Nearest Window Cluster queries (EDBT 2016) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    exp = sub.add_parser("experiment", help="run a Section 5 experiment")
+    exp.add_argument("id", help=f"one of: {', '.join(sorted(EXPERIMENTS))}")
+    exp.add_argument("--scale", type=float, default=None,
+                     help="dataset scale (default from REPRO_SCALE or 0.05)")
+    exp.add_argument("--queries", type=int, default=None,
+                     help="queries per setting (paper: 25)")
+    exp.add_argument("--csv", help="also write rows to this CSV file")
+    exp.set_defaults(func=_cmd_experiment)
+
+    qry = sub.add_parser("query", help="run a single NWC/kNWC query")
+    qry.add_argument("--dataset", choices=sorted(_DATASETS), default="ca")
+    qry.add_argument("--size", type=int, default=10_000,
+                     help="dataset cardinality")
+    qry.add_argument("--scheme", choices=[s.name for s in Scheme],
+                     default="NWC_STAR")
+    qry.add_argument("-x", type=float, default=5_000.0)
+    qry.add_argument("-y", type=float, default=5_000.0)
+    qry.add_argument("--length", type=float, default=100.0)
+    qry.add_argument("--width", type=float, default=100.0)
+    qry.add_argument("-n", type=int, default=8)
+    qry.add_argument("-k", type=int, default=1)
+    qry.add_argument("-m", type=int, default=0)
+    qry.set_defaults(func=_cmd_query)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

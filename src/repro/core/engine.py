@@ -1,0 +1,330 @@
+"""The NWC / kNWC query engine (Algorithm 1 with Sections 3.3-3.4).
+
+One engine instance binds a tree, a scheme (Table 3) and — when the
+scheme needs them — the density grid (DEP) and the pointer index (IWP).
+Queries then run the incremental nearest-qualified-window search:
+
+1. Visit objects in ascending distance to ``q`` via the tree's
+   incremental NN iterator; DIP and DEP prune index nodes *before* they
+   are read by vetoing them at the priority-queue front.
+2. Per object ``p``: normalize into the first quadrant, build the search
+   region ``SR_p``; SRR may skip ``p`` entirely or shrink the region;
+   DEP may cancel the window query; otherwise fetch the region's objects
+   (through IWP's backward/overlapping pointers when enabled).
+3. Enumerate candidate windows by pairing ``p`` (vertical edge) with each
+   partner on the horizontal edge, count members with a two-pointer sweep
+   over the y-sorted region contents, and offer the ``n`` closest members
+   of every qualified window to the result policy.
+4. Under SRR the object stream stops once even the nearest window an
+   object could generate (``dist(q, p) - diagonal``) cannot beat the
+   current bound; the baseline scheme drains the whole dataset, matching
+   the flat NWC curves of Figure 11.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from bisect import bisect_left, bisect_right
+from typing import Sequence
+
+from ..geometry import PointObject, Rect
+from ..grid import DensityGrid
+from ..index import IWPIndex, RStarTree
+from .knwc import _rank_key, make_policy
+from .measures import DistanceMeasure
+from .query import KNWCQuery, NWCQuery
+from .regions import (
+    QuadrantFrame,
+    generation_region,
+    search_region,
+    shrink_search_region,
+)
+from .results import KNWCResult, NWCResult, ObjectGroup
+from .schemes import OptimizationFlags, Scheme
+
+#: Paper default: "The grid cell size is set to 25" (Section 5).
+DEFAULT_GRID_CELL_SIZE = 25.0
+
+
+class _BestGroup:
+    """Result policy for plain NWC: keep the single best group."""
+
+    def __init__(self) -> None:
+        self.group: ObjectGroup | None = None
+
+    def offer(self, group: ObjectGroup) -> None:
+        if self.group is None or _rank_key(group) < _rank_key(self.group):
+            self.group = group
+
+    def bound(self) -> float:
+        return self.group.distance if self.group is not None else float("inf")
+
+    def finalize(self) -> tuple[ObjectGroup, ...]:
+        return (self.group,) if self.group is not None else ()
+
+
+class NWCEngine:
+    """Processes NWC and kNWC queries against one dataset/tree."""
+
+    def __init__(
+        self,
+        tree: RStarTree,
+        scheme: Scheme | OptimizationFlags = Scheme.NWC_STAR,
+        grid: DensityGrid | None = None,
+        grid_cell_size: float = DEFAULT_GRID_CELL_SIZE,
+        iwp: IWPIndex | None = None,
+        extent: Rect | None = None,
+    ) -> None:
+        """Args:
+            tree: The R*-tree indexing the object set ``P``.
+            scheme: A Table-3 scheme or explicit optimization flags.
+            grid: Pre-built density grid (DEP); built on demand otherwise.
+            grid_cell_size: Cell side used when the grid is auto-built.
+            iwp: Pre-built pointer index (IWP); built on demand otherwise.
+            extent: Data-space rectangle for the auto-built grid; defaults
+                to the root MBR.
+        """
+        self.tree = tree
+        self.scheme = scheme if isinstance(scheme, Scheme) else None
+        self.flags = scheme.flags if isinstance(scheme, Scheme) else scheme
+        self.grid = grid
+        self.iwp = iwp
+        self._grid_cell_size = grid_cell_size
+        self._iwp_dirty = False
+        self._grid_dirty = False
+        if self.flags.dep and self.grid is None:
+            grid_extent = extent if extent is not None else tree.root.mbr
+            if grid_extent is None:
+                raise ValueError("cannot build a density grid over an empty tree")
+            self.grid = DensityGrid.build(tree.iter_objects(), grid_extent, grid_cell_size)
+        if self.flags.iwp and self.iwp is None:
+            self.iwp = IWPIndex(tree)
+
+    # ------------------------------------------------------------------
+    # Dynamic updates
+    # ------------------------------------------------------------------
+    def insert(self, obj: PointObject) -> None:
+        """Insert one object, keeping DEP/IWP structures consistent.
+
+        The density grid is updated in place when the object falls
+        inside its extent and rebuilt lazily otherwise (counting it into
+        a clamped edge cell would let DEP prune a region that actually
+        holds the object).  The IWP pointer index is structural and is
+        rebuilt lazily before the next query.
+        """
+        self.tree.insert(obj)
+        if self.grid is not None:
+            if self.grid.extent.contains_point(obj.x, obj.y):
+                try:
+                    self.grid.add(obj.x, obj.y)
+                except RuntimeError:  # frozen prefix-sum grid
+                    self._grid_dirty = True
+            else:
+                self._grid_dirty = True
+        if self.flags.iwp:
+            self._iwp_dirty = True
+
+    def delete(self, obj: PointObject) -> bool:
+        """Delete one object; returns False when it is not indexed."""
+        if not self.tree.delete(obj):
+            return False
+        if self.grid is not None:
+            if self.grid.extent.contains_point(obj.x, obj.y):
+                try:
+                    self.grid.remove(obj.x, obj.y)
+                except RuntimeError:
+                    self._grid_dirty = True
+            else:
+                self._grid_dirty = True
+        if self.flags.iwp:
+            self._iwp_dirty = True
+        return True
+
+    def _refresh_structures(self) -> None:
+        """Rebuild DEP/IWP structures invalidated by updates."""
+        if self._grid_dirty and self.grid is not None:
+            extent = self.tree.root.mbr
+            if extent is not None:
+                extent = extent.union(self.grid.extent)
+                self.grid = DensityGrid.build(
+                    self.tree.iter_objects(), extent, self._grid_cell_size
+                )
+            self._grid_dirty = False
+        if self._iwp_dirty and self.flags.iwp:
+            self.iwp = IWPIndex(self.tree)
+            self._iwp_dirty = False
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def nwc(
+        self,
+        query: NWCQuery,
+        region: Rect | None = None,
+        reset_stats: bool = True,
+    ) -> NWCResult:
+        """Answer one NWC query (Definition 1).
+
+        Args:
+            region: Optional *constrained NWC*: every returned object
+                must lie inside this rectangle (the constrained-NN
+                semantics of Ferhatosmanoglu et al. [8], applied to
+                window clusters).  Index nodes disjoint from the region
+                are pruned for free.
+        """
+        if reset_stats:
+            self.tree.stats.reset()
+        policy = _BestGroup()
+        self._search(query, policy, prune_windows=True, region=region)
+        return NWCResult(group=policy.group, stats=self.tree.stats.snapshot())
+
+    def knwc(
+        self,
+        query: KNWCQuery,
+        maintenance: str = "exact",
+        region: Rect | None = None,
+        reset_stats: bool = True,
+    ) -> KNWCResult:
+        """Answer one kNWC query (Definition 3).
+
+        Args:
+            maintenance: ``"exact"`` (greedy candidate buffer, the
+                default) or ``"paper"`` (Steps 1-5 of Section 3.4); see
+                DESIGN.md §4.1.
+            region: Optional constrained-kNWC region (see :meth:`nwc`).
+        """
+        if reset_stats:
+            self.tree.stats.reset()
+        policy = make_policy(maintenance, query.k, query.m)
+        # The baseline scheme drains every object anyway; evaluating every
+        # qualified window makes the unoptimized kNWC answer exactly the
+        # greedy filter over the full candidate universe (testable against
+        # the brute-force reference).  Optimized schemes apply the paper's
+        # MINDIST-based skip.
+        prune = self.flags.srr or self.flags.dip or self.flags.dep or self.flags.iwp
+        self._search(query.base, policy, prune_windows=prune, region=region)
+        return KNWCResult(groups=policy.finalize(), stats=self.tree.stats.snapshot())
+
+    # ------------------------------------------------------------------
+    # Core search (Algorithm 1)
+    # ------------------------------------------------------------------
+    def _search(self, q: NWCQuery, policy, prune_windows: bool,
+                region: Rect | None = None) -> None:
+        self._refresh_structures()
+        tree = self.tree
+        stats = tree.stats
+        flags = self.flags
+        qx, qy, length, width, n = q.qx, q.qy, q.length, q.width, q.n
+        diagonal = q.diagonal
+        grid = self.grid
+
+        def node_filter(node) -> bool:
+            mbr = node.mbr
+            if mbr is None:
+                return False
+            if region is not None and not mbr.intersects(region):
+                return False
+            if not (flags.dip or flags.dep):
+                return True
+            gen = generation_region(mbr, qx, qy, length, width)
+            if flags.dep and grid.is_pruned(gen, n):
+                return False
+            if flags.dip and gen.mindist(qx, qy) >= policy.bound():
+                return False
+            return True
+
+        for p, dist_p, leaf in tree.incremental_nearest(qx, qy, node_filter=node_filter):
+            if region is not None and not region.contains_object(p):
+                continue
+            bound = policy.bound()
+            if flags.srr and dist_p >= bound + diagonal:
+                # No window generated by p (or by any farther object) can
+                # reach closer than dist(q, p) - diagonal.
+                break
+            frame = QuadrantFrame.for_object(qx, qy, p)
+            sr = search_region(frame, p, length, width)
+            if flags.srr:
+                shrunk = shrink_search_region(sr, bound)
+                if shrunk is None:
+                    continue
+                sr = shrunk
+            real_sr = sr.to_real(frame)
+            if flags.dep and grid.is_pruned(real_sr, n):
+                stats.window_queries_cancelled += 1
+                continue
+            stats.window_queries += 1
+            if flags.iwp:
+                members = self.iwp.window_query(leaf, real_sr)
+            else:
+                members = tree.window_query(real_sr)
+            if region is not None:
+                members = [m for m in members if region.contains_object(m)]
+            self._enumerate_windows(q, frame, sr, members, policy, prune_windows)
+
+    def _enumerate_windows(
+        self,
+        q: NWCQuery,
+        frame: QuadrantFrame,
+        sr,
+        members: Sequence[PointObject],
+        policy,
+        prune_windows: bool,
+    ) -> None:
+        """Pair the search region's object with every partner (Algorithm 1
+        lines 17-26) and offer each qualified window's best group."""
+        stats = self.tree.stats
+        n = q.n
+        width = q.width
+        qx, qy = q.qx, q.qy
+        # Frame-space view of the search-region contents, sorted by frame y.
+        entries = []
+        for obj in members:
+            tx, ty = frame.to_frame(obj.x, obj.y)
+            dsq = (obj.x - qx) ** 2 + (obj.y - qy) ** 2
+            entries.append((ty, dsq, obj))
+        entries.sort(key=lambda e: e[0])
+        tys = [e[0] for e in entries]
+        # Horizontal MINDIST component shared by every window of p.
+        dx = max(0.0, sr.x1)
+        dx_sq = dx * dx
+        start = bisect_left(tys, sr.ty_p)
+        lo = 0
+        for j in range(start, len(entries)):
+            ty_top = entries[j][0]
+            stats.objects_examined += 1
+            bottom = ty_top - width
+            while tys[lo] < bottom:
+                lo += 1
+            hi = bisect_right(tys, ty_top, lo=lo)
+            stats.windows_evaluated += 1
+            if hi - lo < n:
+                continue
+            stats.qualified_windows += 1
+            dy = bottom if bottom > 0.0 else 0.0
+            mindist = math.sqrt(dx_sq + dy * dy)
+            if prune_windows and mindist >= policy.bound():
+                continue
+            # Tie-break equal distances on the object id so the selected
+            # group is deterministic (duplicate coordinates are legal).
+            chosen = heapq.nsmallest(n, entries[lo:hi],
+                                     key=lambda e: (e[1], e[2].oid))
+            chosen.sort(key=lambda e: (e[1], e[2].oid))
+            objects = tuple(e[2] for e in chosen)
+            distance = self._measure(q, objects, chosen)
+            if prune_windows and distance >= policy.bound():
+                continue
+            window = sr.window_rect(frame, entries[j][2].y)
+            policy.offer(ObjectGroup(objects, distance, window))
+
+    @staticmethod
+    def _measure(q: NWCQuery, objects: tuple[PointObject, ...], chosen) -> float:
+        """Cluster distance of the chosen group (distances precomputed)."""
+        measure = q.measure
+        if measure is DistanceMeasure.MAX:
+            return math.sqrt(chosen[-1][1])
+        if measure is DistanceMeasure.MIN:
+            return math.sqrt(chosen[0][1])
+        if measure is DistanceMeasure.AVG:
+            return sum(math.sqrt(e[1]) for e in chosen) / len(chosen)
+        return Rect.nearest_window_distance(objects, q.qx, q.qy, q.length, q.width)

@@ -1,0 +1,162 @@
+"""Group maintenance for kNWC queries (Section 3.4).
+
+Two interchangeable policies:
+
+* :class:`PaperGroupList` — the paper's Steps 1-5 verbatim: a bounded
+  list of at most ``k`` groups; a new group is inserted by distance rank,
+  rejected when it overlaps a *closer* kept group in more than ``m``
+  objects, and kept groups farther than an inserted one are evicted when
+  they overlap it too much.  Candidates rejected against a group that is
+  evicted later are **not** reconsidered, so this policy can deviate from
+  Definition 3 (see DESIGN.md §4.1).
+
+* :class:`ExactGroupBuffer` (default) — buffers every distinct candidate
+  seen so far and re-derives the answer as the greedy-by-distance filter:
+  walk candidates in ascending distance, keep a group iff it overlaps
+  every kept group in at most ``m`` objects, stop at ``k``.  This is
+  exactly Definition 3's semantics and is what the brute-force reference
+  computes, so the two are comparable in tests.
+
+Both expose ``offer`` / ``bound`` / ``finalize`` so the engine is policy
+agnostic.  ``bound()`` — the distance of the current ``k``-th group (or
+``inf``) — drives SRR skipping and DIP pruning during the search.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Protocol
+
+from .results import ObjectGroup
+
+
+def _rank_key(group: ObjectGroup) -> tuple[float, tuple[int, ...]]:
+    """Deterministic ordering: distance, then object ids (tie-break)."""
+    return (group.distance, tuple(sorted(g for g in group.oids)))
+
+
+class GroupPolicy(Protocol):
+    """Interface shared by the two maintenance policies."""
+
+    def offer(self, group: ObjectGroup) -> None:
+        """Present one candidate group to the policy."""
+
+    def bound(self) -> float:
+        """Current pruning bound: distance of the k-th kept group."""
+
+    def finalize(self) -> tuple[ObjectGroup, ...]:
+        """The final answer, ascending by distance."""
+
+
+class ExactGroupBuffer:
+    """Definition-3-exact maintenance via a sorted candidate buffer."""
+
+    def __init__(self, k: int, m: int) -> None:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if m < 0:
+            raise ValueError("m must be non-negative")
+        self.k = k
+        self.m = m
+        self._keys: list[tuple[float, tuple[int, ...]]] = []
+        self._candidates: list[ObjectGroup] = []
+        self._seen: set[frozenset[int]] = set()
+        self._selected: list[ObjectGroup] = []
+        self._dirty = False
+
+    def offer(self, group: ObjectGroup) -> None:
+        if group.oids in self._seen:
+            return
+        self._seen.add(group.oids)
+        key = _rank_key(group)
+        at = bisect.bisect_left(self._keys, key)
+        self._keys.insert(at, key)
+        self._candidates.insert(at, group)
+        # Greedy selection over a grown candidate set only changes when
+        # the newcomer ranks ahead of the current k-th selected group;
+        # otherwise the cached selection stays valid.
+        if len(self._selected) == self.k and key > _rank_key(self._selected[-1]):
+            return
+        self._dirty = True
+
+    def _select(self) -> list[ObjectGroup]:
+        if not self._dirty:
+            return self._selected
+        selected: list[ObjectGroup] = []
+        for cand in self._candidates:
+            if len(selected) == self.k:
+                break
+            if all(cand.overlap(kept) <= self.m for kept in selected):
+                selected.append(cand)
+        self._selected = selected
+        self._dirty = False
+        return selected
+
+    def bound(self) -> float:
+        selected = self._select()
+        if len(selected) < self.k:
+            return float("inf")
+        return selected[-1].distance
+
+    def finalize(self) -> tuple[ObjectGroup, ...]:
+        return tuple(self._select())
+
+
+class PaperGroupList:
+    """The paper's Steps 1-5, applied on every discovered group."""
+
+    def __init__(self, k: int, m: int) -> None:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if m < 0:
+            raise ValueError("m must be non-negative")
+        self.k = k
+        self.m = m
+        self._groups: list[ObjectGroup] = []
+        self._seen: set[frozenset[int]] = set()
+
+    def offer(self, group: ObjectGroup) -> None:
+        if group.oids in self._seen:
+            return
+        self._seen.add(group.oids)
+        groups = self._groups
+        key = _rank_key(group)
+        # Step 2: scan in reverse for the first kept group closer than
+        # the candidate; i is the count of strictly-closer groups.
+        i = len(groups)
+        while i > 0 and _rank_key(groups[i - 1]) > key:
+            i -= 1
+        if i == self.k:
+            return  # farther than a full answer: drop
+        # Step 3: the candidate must respect every closer group.
+        for kept in groups[:i]:
+            if group.overlap(kept) > self.m:
+                return
+        # Step 4: insert at position i, dropping a k-th group if needed.
+        if len(groups) == self.k:
+            groups.pop()
+        groups.insert(i, group)
+        # Step 5: evict farther groups that now violate the constraint.
+        j = i + 1
+        while j < len(groups):
+            if group.overlap(groups[j]) > self.m:
+                groups.pop(j)
+            else:
+                j += 1
+
+    def bound(self) -> float:
+        if len(self._groups) < self.k:
+            return float("inf")
+        return self._groups[-1].distance
+
+    def finalize(self) -> tuple[ObjectGroup, ...]:
+        return tuple(self._groups)
+
+
+def make_policy(kind: str, k: int, m: int) -> GroupPolicy:
+    """Factory: ``"exact"`` (default elsewhere) or ``"paper"``."""
+    if kind == "exact":
+        return ExactGroupBuffer(k, m)
+    if kind == "paper":
+        return PaperGroupList(k, m)
+    raise ValueError(f"unknown kNWC maintenance policy: {kind!r}")

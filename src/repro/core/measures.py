@@ -1,0 +1,88 @@
+"""The four cluster distance measures of Section 2.1 (Equations 1-4).
+
+``dist(q, {p_1, ..., p_n})`` maps a query point and a candidate object
+group to a scalar.  The NWC machinery only requires that
+``MINDIST(q, qwin) <= dist(q, group)`` for every group drawn from a
+qualified window ``qwin`` — true for all four measures — so the engine is
+parameterized over the measure.  The paper never singles one out for its
+experiments; this library defaults to :attr:`DistanceMeasure.MAX`
+(every returned object is within ``distance`` of ``q``).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Sequence
+
+from ..geometry import PointObject, Rect
+
+
+class DistanceMeasure(enum.Enum):
+    """Selector for Equations (1)-(4)."""
+
+    MIN = "min"
+    MAX = "max"
+    AVG = "avg"
+    NEAREST_WINDOW = "nearest_window"
+
+
+def minimum_distance(qx: float, qy: float, objects: Sequence[PointObject]) -> float:
+    """Equation (1): distance to the closest group member."""
+    _require_group(objects)
+    return min(math.hypot(p.x - qx, p.y - qy) for p in objects)
+
+
+def maximum_distance(qx: float, qy: float, objects: Sequence[PointObject]) -> float:
+    """Equation (2): distance to the farthest group member."""
+    _require_group(objects)
+    return max(math.hypot(p.x - qx, p.y - qy) for p in objects)
+
+
+def average_distance(qx: float, qy: float, objects: Sequence[PointObject]) -> float:
+    """Equation (3): mean distance over the group."""
+    _require_group(objects)
+    return sum(math.hypot(p.x - qx, p.y - qy) for p in objects) / len(objects)
+
+
+def nearest_window_distance(
+    qx: float, qy: float, objects: Sequence[PointObject], length: float, width: float
+) -> float:
+    """Equation (4): the least ``MINDIST(q, qwin)`` over every ``l x w``
+    window that contains the whole group."""
+    _require_group(objects)
+    return Rect.nearest_window_distance(objects, qx, qy, length, width)
+
+
+def cluster_distance(
+    qx: float,
+    qy: float,
+    objects: Sequence[PointObject],
+    measure: DistanceMeasure,
+    length: float,
+    width: float,
+) -> float:
+    """Dispatch to the selected measure.
+
+    Args:
+        qx: Query x coordinate.
+        qy: Query y coordinate.
+        objects: The candidate group (non-empty).
+        measure: Which of Equations (1)-(4) to apply.
+        length: Window length (only used by NEAREST_WINDOW).
+        width: Window width (only used by NEAREST_WINDOW).
+    """
+    if measure is DistanceMeasure.MIN:
+        return minimum_distance(qx, qy, objects)
+    if measure is DistanceMeasure.MAX:
+        return maximum_distance(qx, qy, objects)
+    if measure is DistanceMeasure.AVG:
+        return average_distance(qx, qy, objects)
+    if measure is DistanceMeasure.NEAREST_WINDOW:
+        return nearest_window_distance(qx, qy, objects, length, width)
+    raise ValueError(f"unknown measure: {measure!r}")
+
+
+def _require_group(objects: Sequence[PointObject]) -> None:
+    if not objects:
+        raise ValueError("cluster distance of an empty group is undefined")

@@ -1,0 +1,202 @@
+"""Search regions, SRR shrinking and DIP/DEP generation regions.
+
+The geometric heart of Sections 3.1-3.3.  To avoid four near-identical
+code paths, object-local work happens in a *quadrant-normalized frame*:
+coordinates are reflected about the query point so the processed object
+``p`` always lands in the first quadrant.  Reflections are isometries, so
+every distance computed in the frame equals the true distance, and
+rectangles map back to real rectangles by the inverse reflection.
+
+In the normalized frame (q at the origin, ``p`` with ``tx, ty >= 0``):
+
+* ``p`` lies on the *right* edge of every window it generates
+  (observation 1 of Section 3.1),
+* partners lie on the *top* edge, at ``ty' >= ty_p``,
+* the search region is ``[tx_p - l, tx_p] x [ty_p - w, ty_p + w]``,
+* SRR shrinks only the upper extension (Section 3.3.1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..geometry import PointObject, Rect
+
+
+@dataclass(frozen=True, slots=True)
+class QuadrantFrame:
+    """Reflection about ``(qx, qy)`` normalizing an object into Q1.
+
+    ``sx``/``sy`` are +1 or -1.  Frame coordinates of a real point are
+    ``tx = sx * (x - qx)``, ``ty = sy * (y - qy)``.
+    """
+
+    qx: float
+    qy: float
+    sx: float
+    sy: float
+
+    @staticmethod
+    def for_object(qx: float, qy: float, p: PointObject) -> "QuadrantFrame":
+        """Frame that maps ``p`` into the closed first quadrant.
+
+        Boundary convention: an object exactly on ``x = qx`` (or
+        ``y = qy``) is treated as being in the first/fourth (first/second)
+        quadrant, i.e. ``s = +1``.
+        """
+        return QuadrantFrame(
+            qx, qy, 1.0 if p.x >= qx else -1.0, 1.0 if p.y >= qy else -1.0
+        )
+
+    @property
+    def quadrant(self) -> int:
+        """Paper-style quadrant number (1-4) this frame normalizes."""
+        if self.sx > 0:
+            return 1 if self.sy > 0 else 4
+        return 2 if self.sy > 0 else 3
+
+    def to_frame(self, x: float, y: float) -> tuple[float, float]:
+        """Real coordinates -> frame coordinates."""
+        return (self.sx * (x - self.qx), self.sy * (y - self.qy))
+
+    def to_real_rect(self, tx1: float, ty1: float, tx2: float, ty2: float) -> Rect:
+        """Frame rectangle -> real rectangle (handles axis flips)."""
+        xa = self.qx + self.sx * tx1
+        xb = self.qx + self.sx * tx2
+        ya = self.qy + self.sy * ty1
+        yb = self.qy + self.sy * ty2
+        return Rect(min(xa, xb), min(ya, yb), max(xa, xb), max(ya, yb))
+
+
+@dataclass(frozen=True, slots=True)
+class FrameRegion:
+    """A search region expressed in the normalized frame.
+
+    ``upper`` is the (possibly SRR-shrunk) upward extension above the
+    object; the full region spans ``[tx_p - l, tx_p] x
+    [ty_p - w, ty_p + upper]``.
+
+    ``px``/``py`` keep the generating object's *real* coordinates so the
+    region can be mapped back to real space exactly: a frame -> real
+    round-trip of ``tx_p`` can drift by one ulp, which would exclude an
+    object sitting exactly on the region edge (every generator does).
+    """
+
+    tx_p: float
+    ty_p: float
+    length: float
+    width: float
+    upper: float
+    px: float
+    py: float
+
+    @property
+    def x1(self) -> float:
+        return self.tx_p - self.length
+
+    @property
+    def y1(self) -> float:
+        return self.ty_p - self.width
+
+    @property
+    def y2(self) -> float:
+        return self.ty_p + self.upper
+
+    def mindist_origin(self) -> float:
+        """Distance from the (frame) query point to the region."""
+        dx = max(0.0, self.x1, -self.tx_p)
+        dy = max(0.0, self.y1, -self.y2)
+        return math.hypot(dx, dy)
+
+    def to_real(self, frame: QuadrantFrame) -> Rect:
+        """The region as a real-space rectangle (for window queries and
+        the DEP grid check), anchored exactly on the object's real
+        coordinates."""
+        if frame.sx > 0:
+            rx1, rx2 = self.px - self.length, self.px
+        else:
+            rx1, rx2 = self.px, self.px + self.length
+        if frame.sy > 0:
+            ry1, ry2 = self.py - self.width, self.py + self.upper
+        else:
+            ry1, ry2 = self.py - self.upper, self.py + self.width
+        return Rect(rx1, ry1, rx2, ry2)
+
+    def window_rect(self, frame: QuadrantFrame, partner_y: float) -> Rect:
+        """Real-space candidate window with the generator on the vertical
+        edge and the partner (real y coordinate) on the horizontal edge."""
+        if frame.sx > 0:
+            rx1, rx2 = self.px - self.length, self.px
+        else:
+            rx1, rx2 = self.px, self.px + self.length
+        if frame.sy > 0:
+            ry1, ry2 = partner_y - self.width, partner_y
+        else:
+            ry1, ry2 = partner_y, partner_y + self.width
+        return Rect(rx1, ry1, rx2, ry2)
+
+
+def search_region(frame: QuadrantFrame, p: PointObject, length: float, width: float) -> FrameRegion:
+    """The full ``SR_p`` of Section 3.2 in the normalized frame."""
+    tx, ty = frame.to_frame(p.x, p.y)
+    return FrameRegion(tx, ty, length, width, width, p.x, p.y)
+
+
+def shrink_search_region(
+    region: FrameRegion, dist_best: float
+) -> FrameRegion | None:
+    """SRR (Section 3.3.1): drop or shrink a search region using
+    ``dist_best``.
+
+    Returns ``None`` when no window generated inside the region can have
+    ``MINDIST(q, qwin) < dist_best`` (the "do not even issue the window
+    query" case); otherwise the region with its upper extension reduced
+    to the paper's ``w'``.
+    """
+    if not math.isfinite(dist_best):
+        return region
+    # Horizontal distance from q to every generated window (they all
+    # share the x-interval [tx_p - l, tx_p]).
+    dx = max(0.0, region.x1, -region.tx_p)
+    if dx >= dist_best:
+        return None
+    dy_budget = math.sqrt(dist_best * dist_best - dx * dx)
+    # The lowest window already has bottom edge at ty_p - w; if even it
+    # is too far below/above in y, nothing in the region qualifies.
+    dy_low = max(0.0, region.y1, -region.ty_p)
+    if dy_low >= dy_budget:
+        return None
+    # A partner at ty' gives a window with bottom edge ty' - w; requiring
+    # ty' - w < dy_budget caps the upward extension (the paper's w').
+    upper = min(region.width, dy_budget + region.width - region.ty_p)
+    if upper < 0.0:
+        return None
+    return FrameRegion(
+        region.tx_p, region.ty_p, region.length, region.width, upper,
+        region.px, region.py,
+    )
+
+
+def generation_region(rect: Rect, qx: float, qy: float, length: float, width: float) -> Rect:
+    """Every window generated by any object inside ``rect`` lies inside
+    the returned rectangle.
+
+    Objects right of ``q`` anchor windows extending *left* by ``l``;
+    objects left of ``q`` extend *right*; a rectangle straddling
+    ``x = qx`` extends both ways.  Partners extend windows by ``w`` both
+    up and down regardless of quadrant.  This is the corrected PR test of
+    DIP (see DESIGN.md §4.3): a node is prunable iff the distance from
+    ``q`` to this region is at least ``dist_best``; it is also the
+    extended MBR DEP feeds to the density grid.
+    """
+    left = length if rect.x2 >= qx else 0.0
+    right = length if rect.x1 < qx else 0.0
+    return Rect(rect.x1 - left, rect.y1 - width, rect.x2 + right, rect.y2 + width)
+
+
+def point_generation_region(
+    x: float, y: float, qx: float, qy: float, length: float, width: float
+) -> Rect:
+    """Generation region of a single object (degenerate rectangle)."""
+    return generation_region(Rect.from_point(x, y), qx, qy, length, width)

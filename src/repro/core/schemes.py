@@ -1,0 +1,89 @@
+"""Scheme registry reproducing Table 3.
+
+A *scheme* is the NWC algorithm with a fixed subset of the four
+optimization techniques enabled:
+
+========  ====  ====  ====  ====
+Scheme    SRR   DIP   DEP   IWP
+========  ====  ====  ====  ====
+NWC       --    --    --    --
+SRR       yes   --    --    --
+DIP       --    yes   --    --
+DEP       --    --    yes   --
+IWP       --    --    --    yes
+NWC+      yes   yes   --    --
+NWC*      yes   yes   yes   yes
+========  ====  ====  ====  ====
+
+NWC+ uses only the techniques with no extra storage; NWC* enables
+everything (Section 5).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class OptimizationFlags:
+    """Which of the Section 3.3 techniques are active."""
+
+    srr: bool = False
+    dip: bool = False
+    dep: bool = False
+    iwp: bool = False
+
+    @property
+    def needs_grid(self) -> bool:
+        """DEP requires the density grid."""
+        return self.dep
+
+    @property
+    def needs_pointers(self) -> bool:
+        """IWP requires the backward/overlapping pointer index."""
+        return self.iwp
+
+    @property
+    def storage_free(self) -> bool:
+        """True when no technique needs storage beyond the R-tree."""
+        return not (self.dep or self.iwp)
+
+
+class Scheme(enum.Enum):
+    """Named schemes of Table 3."""
+
+    NWC = "NWC"
+    SRR = "SRR"
+    DIP = "DIP"
+    DEP = "DEP"
+    IWP = "IWP"
+    NWC_PLUS = "NWC+"
+    NWC_STAR = "NWC*"
+
+    @property
+    def flags(self) -> OptimizationFlags:
+        """The technique subset this scheme enables."""
+        return _SCHEME_FLAGS[self]
+
+
+_SCHEME_FLAGS = {
+    Scheme.NWC: OptimizationFlags(),
+    Scheme.SRR: OptimizationFlags(srr=True),
+    Scheme.DIP: OptimizationFlags(dip=True),
+    Scheme.DEP: OptimizationFlags(dep=True),
+    Scheme.IWP: OptimizationFlags(iwp=True),
+    Scheme.NWC_PLUS: OptimizationFlags(srr=True, dip=True),
+    Scheme.NWC_STAR: OptimizationFlags(srr=True, dip=True, dep=True, iwp=True),
+}
+
+#: The schemes compared throughout Section 5, in the paper's order.
+ALL_SCHEMES = (
+    Scheme.NWC,
+    Scheme.SRR,
+    Scheme.DIP,
+    Scheme.DEP,
+    Scheme.IWP,
+    Scheme.NWC_PLUS,
+    Scheme.NWC_STAR,
+)

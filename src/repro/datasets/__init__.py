@@ -1,0 +1,33 @@
+"""Datasets: the paper's Gaussian synthetic plus CA/NY-like substitutes."""
+
+from .dataset import PAPER_EXTENT, Dataset, from_coordinates
+from .io import load_csv, save_csv
+from .real_like import CA_CARDINALITY, NY_CARDINALITY, ca_like, ny_like
+from .synthetic import (
+    GAUSSIAN_CARDINALITY,
+    GAUSSIAN_MEAN,
+    GAUSSIAN_STD,
+    clustered,
+    gaussian,
+    gaussian_family,
+    uniform,
+)
+
+__all__ = [
+    "CA_CARDINALITY",
+    "Dataset",
+    "GAUSSIAN_CARDINALITY",
+    "GAUSSIAN_MEAN",
+    "GAUSSIAN_STD",
+    "NY_CARDINALITY",
+    "PAPER_EXTENT",
+    "ca_like",
+    "clustered",
+    "from_coordinates",
+    "gaussian",
+    "gaussian_family",
+    "load_csv",
+    "ny_like",
+    "save_csv",
+    "uniform",
+]

@@ -1,0 +1,81 @@
+"""Dataset container.
+
+All paper datasets live in a square of width 10,000 (Section 5: "the
+data space ... normalized to a square of width 10,000").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..geometry import PointObject, Rect
+
+#: The paper's data space.
+PAPER_EXTENT = Rect(0.0, 0.0, 10_000.0, 10_000.0)
+
+
+@dataclass(frozen=True, slots=True)
+class Dataset:
+    """A named, immutable collection of data objects.
+
+    Attributes:
+        name: Identifier used in reports (e.g. ``"CA-like"``).
+        points: The objects, with ids ``0..len-1``.
+        extent: The normalized data space.
+    """
+
+    name: str
+    points: tuple[PointObject, ...]
+    extent: Rect = PAPER_EXTENT
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    @property
+    def cardinality(self) -> int:
+        """Number of objects (Table 2's "Cardinality")."""
+        return len(self.points)
+
+    @property
+    def density(self) -> float:
+        """Objects per unit area over the full extent."""
+        return len(self.points) / self.extent.area
+
+    def coordinates(self) -> np.ndarray:
+        """``(N, 2)`` float array of the locations."""
+        return np.array([(p.x, p.y) for p in self.points], dtype=float)
+
+    def subsample(self, fraction: float, seed: int = 0) -> "Dataset":
+        """Deterministic random subsample (used to scale experiments).
+
+        Args:
+            fraction: Kept fraction in ``(0, 1]``.
+            seed: RNG seed for reproducibility.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        if fraction == 1.0:
+            return self
+        rng = np.random.default_rng(seed)
+        keep = rng.random(len(self.points)) < fraction
+        picked = [p for p, flag in zip(self.points, keep) if flag]
+        renumbered = tuple(
+            PointObject(i, p.x, p.y) for i, p in enumerate(picked)
+        )
+        return Dataset(f"{self.name}@{fraction:g}", renumbered, self.extent)
+
+
+def from_coordinates(
+    name: str, coords: Sequence[tuple[float, float]] | np.ndarray,
+    extent: Rect = PAPER_EXTENT,
+) -> Dataset:
+    """Wrap raw coordinates, clamping them into the extent."""
+    points = []
+    for i, (x, y) in enumerate(coords):
+        cx = min(max(float(x), extent.x1), extent.x2)
+        cy = min(max(float(y), extent.y1), extent.y2)
+        points.append(PointObject(i, cx, cy))
+    return Dataset(name, tuple(points), extent)

@@ -1,0 +1,54 @@
+"""CSV persistence for datasets.
+
+Format: a header line ``oid,x,y`` followed by one row per object — easy
+to diff, easy to load into any external tool.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+
+from ..geometry import PointObject, Rect
+from .dataset import PAPER_EXTENT, Dataset
+
+
+def save_csv(dataset: Dataset, path: str | os.PathLike[str]) -> None:
+    """Write a dataset to ``path``."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["oid", "x", "y"])
+        for p in dataset.points:
+            writer.writerow([p.oid, repr(p.x), repr(p.y)])
+
+
+def load_csv(
+    path: str | os.PathLike[str],
+    name: str | None = None,
+    extent: Rect = PAPER_EXTENT,
+) -> Dataset:
+    """Read a dataset written by :func:`save_csv`.
+
+    Args:
+        path: Source file.
+        name: Dataset name; defaults to the file's base name.
+        extent: Data space to attach.
+
+    Raises:
+        ValueError: On missing/invalid header or malformed rows.
+    """
+    points: list[PointObject] = []
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or [h.strip() for h in header] != ["oid", "x", "y"]:
+            raise ValueError(f"{path}: expected header 'oid,x,y', got {header!r}")
+        for row_number, row in enumerate(reader, start=2):
+            if len(row) != 3:
+                raise ValueError(f"{path}:{row_number}: expected 3 fields, got {len(row)}")
+            try:
+                points.append(PointObject(int(row[0]), float(row[1]), float(row[2])))
+            except ValueError as exc:
+                raise ValueError(f"{path}:{row_number}: {exc}") from exc
+    label = name if name is not None else os.path.splitext(os.path.basename(path))[0]
+    return Dataset(label, tuple(points), extent)

@@ -1,0 +1,52 @@
+"""Experiment harness reproducing the Section 5 evaluation."""
+
+from .experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    cost_model_validation,
+    fig9_grid_size,
+    fig10_distribution,
+    fig11_num_objects,
+    fig12_window_size,
+    fig13_k,
+    fig14_m,
+    paper_datasets,
+    storage_overheads,
+    table2_datasets,
+    table3_schemes,
+)
+from .reporting import format_table, pivot_by_scheme, reduction_rate, save_csv
+from .runner import (
+    BenchContext,
+    experiment_query_count,
+    experiment_scale,
+    run_knwc_setting,
+    run_nwc_setting,
+    window_scale_factor,
+)
+
+__all__ = [
+    "BenchContext",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "cost_model_validation",
+    "experiment_query_count",
+    "experiment_scale",
+    "fig10_distribution",
+    "fig11_num_objects",
+    "fig12_window_size",
+    "fig13_k",
+    "fig14_m",
+    "fig9_grid_size",
+    "format_table",
+    "paper_datasets",
+    "pivot_by_scheme",
+    "reduction_rate",
+    "run_knwc_setting",
+    "run_nwc_setting",
+    "save_csv",
+    "storage_overheads",
+    "table2_datasets",
+    "table3_schemes",
+    "window_scale_factor",
+]

@@ -1,0 +1,382 @@
+"""One driver per table/figure of the paper's evaluation (Section 5).
+
+Every function returns an :class:`ExperimentResult` whose rows carry the
+same quantities the paper plots — average R*-tree node accesses per
+query, per dataset, per scheme, across the paper's sweep values.  The
+``scale`` / ``queries`` arguments default to the environment-configured
+values (see :mod:`repro.eval.runner`); ``scale=1.0, queries=25``
+reproduces the paper's exact setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..analysis import NWCCostModel, TreeProfile
+from ..core import ALL_SCHEMES, Scheme
+from ..datasets import (
+    CA_CARDINALITY,
+    GAUSSIAN_CARDINALITY,
+    NY_CARDINALITY,
+    Dataset,
+    ca_like,
+    gaussian,
+    ny_like,
+    uniform,
+)
+from ..workloads import (
+    GAUSSIAN_STDS,
+    GRID_SIZES,
+    K_VALUES,
+    M_VALUES,
+    N_VALUES,
+    WINDOW_SIZES,
+    SweepPoint,
+    data_biased_query_points,
+)
+from .runner import (
+    BenchContext,
+    experiment_query_count,
+    experiment_scale,
+    run_knwc_setting,
+    run_nwc_setting,
+    window_scale_factor,
+)
+
+#: kNWC experiments compare only the two composite schemes (Section 5.5).
+KNWC_SCHEMES = (Scheme.NWC_PLUS, Scheme.NWC_STAR)
+
+
+@dataclass
+class ExperimentResult:
+    """Tabular outcome of one experiment.
+
+    Attributes:
+        name: Short id (``"fig9"``, ``"table2"``, ...).
+        title: Human-readable title matching the paper.
+        columns: Column order for rendering.
+        rows: One dict per measured cell.
+        meta: Scale/queries and other provenance.
+    """
+
+    name: str
+    title: str
+    columns: list[str]
+    rows: list[dict] = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
+
+
+def paper_datasets(scale: float | None = None) -> list[Dataset]:
+    """CA-like, NY-like and Gaussian at the requested scale."""
+    s = experiment_scale() if scale is None else scale
+    return [
+        ca_like(max(1, int(CA_CARDINALITY * s))),
+        ny_like(max(1, int(NY_CARDINALITY * s))),
+        gaussian(max(1, int(GAUSSIAN_CARDINALITY * s))),
+    ]
+
+
+def _setup(scale: float | None, queries: int | None):
+    s = experiment_scale() if scale is None else scale
+    q = experiment_query_count() if queries is None else queries
+    return s, q
+
+
+def _queries_for(dataset: Dataset, count: int, seed: int = 42):
+    return data_biased_query_points(dataset, count, seed=seed)
+
+
+def _meta(scale: float, queries: int, wf: float) -> dict:
+    return {"scale": scale, "queries": queries, "window_factor": wf}
+
+
+# ----------------------------------------------------------------------
+# Figure 9: effect of grid size (scheme DEP only)
+# ----------------------------------------------------------------------
+def fig9_grid_size(scale: float | None = None, queries: int | None = None) -> ExperimentResult:
+    """I/O of scheme DEP as the grid cell size grows 25 -> 400."""
+    scale, queries = _setup(scale, queries)
+    wf = window_scale_factor(scale)
+    result = ExperimentResult(
+        "fig9",
+        "Effect of grid size (scheme DEP)",
+        ["dataset", "grid_size", "node_accesses"],
+        meta=_meta(scale, queries, wf),
+    )
+    for dataset in paper_datasets(scale):
+        context = BenchContext.build(dataset)
+        qpts = _queries_for(dataset, queries)
+        for cell in GRID_SIZES:
+            point = SweepPoint(grid_cell=cell).scaled_window(wf)
+            row = run_nwc_setting(context, Scheme.DEP, point, qpts)
+            result.rows.append(
+                {"dataset": dataset.name, "grid_size": cell,
+                 "node_accesses": row["node_accesses"]}
+            )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 10: effect of object distribution (Gaussian std sweep)
+# ----------------------------------------------------------------------
+def fig10_distribution(scale: float | None = None, queries: int | None = None) -> ExperimentResult:
+    """All schemes over Gaussian datasets with std 2000 -> 1000."""
+    scale, queries = _setup(scale, queries)
+    wf = window_scale_factor(scale)
+    result = ExperimentResult(
+        "fig10",
+        "Effect of object distribution (Gaussian std)",
+        ["std", "scheme", "node_accesses"],
+        meta=_meta(scale, queries, wf),
+    )
+    cardinality = max(1, int(GAUSSIAN_CARDINALITY * scale))
+    for std in GAUSSIAN_STDS:
+        dataset = gaussian(cardinality=cardinality, std=std)
+        context = BenchContext.build(dataset)
+        qpts = _queries_for(dataset, queries)
+        point = SweepPoint().scaled_window(wf)
+        for scheme in ALL_SCHEMES:
+            row = run_nwc_setting(context, scheme, point, qpts)
+            result.rows.append(
+                {"std": std, "scheme": scheme.value,
+                 "node_accesses": row["node_accesses"]}
+            )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 11: effect of the number of searched objects n
+# ----------------------------------------------------------------------
+def fig11_num_objects(scale: float | None = None, queries: int | None = None) -> ExperimentResult:
+    """All schemes, all datasets, n = 8 -> 128."""
+    scale, queries = _setup(scale, queries)
+    wf = window_scale_factor(scale)
+    result = ExperimentResult(
+        "fig11",
+        "Effect of the number of searched objects n",
+        ["dataset", "n", "scheme", "node_accesses"],
+        meta=_meta(scale, queries, wf),
+    )
+    for dataset in paper_datasets(scale):
+        context = BenchContext.build(dataset)
+        qpts = _queries_for(dataset, queries)
+        for n in N_VALUES:
+            point = SweepPoint(n=n).scaled_window(wf)
+            for scheme in ALL_SCHEMES:
+                row = run_nwc_setting(context, scheme, point, qpts)
+                result.rows.append(
+                    {"dataset": dataset.name, "n": n, "scheme": scheme.value,
+                     "node_accesses": row["node_accesses"]}
+                )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 12: effect of the window size
+# ----------------------------------------------------------------------
+def fig12_window_size(scale: float | None = None, queries: int | None = None) -> ExperimentResult:
+    """All schemes, all datasets, window 8 -> 128 (square)."""
+    scale, queries = _setup(scale, queries)
+    wf = window_scale_factor(scale)
+    result = ExperimentResult(
+        "fig12",
+        "Effect of the window size",
+        ["dataset", "window", "scheme", "node_accesses"],
+        meta=_meta(scale, queries, wf),
+    )
+    for dataset in paper_datasets(scale):
+        context = BenchContext.build(dataset)
+        qpts = _queries_for(dataset, queries)
+        for size in WINDOW_SIZES:
+            point = SweepPoint(length=size, width=size).scaled_window(wf)
+            for scheme in ALL_SCHEMES:
+                row = run_nwc_setting(context, scheme, point, qpts)
+                result.rows.append(
+                    {"dataset": dataset.name, "window": size, "scheme": scheme.value,
+                     "node_accesses": row["node_accesses"]}
+                )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 13 / 14: kNWC experiments (kNWC+ vs kNWC*)
+# ----------------------------------------------------------------------
+def fig13_k(scale: float | None = None, queries: int | None = None) -> ExperimentResult:
+    """kNWC I/O as k grows, CA-like and NY-like datasets."""
+    scale, queries = _setup(scale, queries)
+    wf = window_scale_factor(scale)
+    result = ExperimentResult(
+        "fig13",
+        "Effect of k (kNWC+ vs kNWC*)",
+        ["dataset", "k", "scheme", "node_accesses"],
+        meta=_meta(scale, queries, wf),
+    )
+    datasets = paper_datasets(scale)[:2]  # CA-like, NY-like
+    for dataset in datasets:
+        context = BenchContext.build(dataset)
+        qpts = _queries_for(dataset, queries)
+        for k in K_VALUES:
+            point = SweepPoint(k=k, m=2).scaled_window(wf)
+            for scheme in KNWC_SCHEMES:
+                row = run_knwc_setting(context, scheme, point, qpts)
+                result.rows.append(
+                    {"dataset": dataset.name, "k": k,
+                     "scheme": "k" + scheme.value, "node_accesses": row["node_accesses"]}
+                )
+    return result
+
+
+def fig14_m(scale: float | None = None, queries: int | None = None) -> ExperimentResult:
+    """kNWC I/O as the allowed overlap m grows, CA-like and NY-like."""
+    scale, queries = _setup(scale, queries)
+    wf = window_scale_factor(scale)
+    result = ExperimentResult(
+        "fig14",
+        "Effect of m (kNWC+ vs kNWC*)",
+        ["dataset", "m", "scheme", "node_accesses"],
+        meta=_meta(scale, queries, wf),
+    )
+    datasets = paper_datasets(scale)[:2]
+    for dataset in datasets:
+        context = BenchContext.build(dataset)
+        qpts = _queries_for(dataset, queries)
+        for m in M_VALUES:
+            point = SweepPoint(k=4, m=m).scaled_window(wf)
+            for scheme in KNWC_SCHEMES:
+                row = run_knwc_setting(context, scheme, point, qpts)
+                result.rows.append(
+                    {"dataset": dataset.name, "m": m,
+                     "scheme": "k" + scheme.value, "node_accesses": row["node_accesses"]}
+                )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Tables and §5.2 storage overheads
+# ----------------------------------------------------------------------
+def table2_datasets(scale: float | None = None) -> ExperimentResult:
+    """Table 2: dataset descriptions (at the configured scale)."""
+    scale, _ = _setup(scale, 1)
+    result = ExperimentResult(
+        "table2",
+        "Description of datasets",
+        ["dataset", "cardinality", "description"],
+        meta={"scale": scale},
+    )
+    descriptions = {
+        "CA-like": "Synthetic substitute: places in California",
+        "NY-like": "Synthetic substitute: places in New York",
+    }
+    for dataset in paper_datasets(scale):
+        base = dataset.name.split("@")[0]
+        result.rows.append(
+            {
+                "dataset": dataset.name,
+                "cardinality": dataset.cardinality,
+                "description": descriptions.get(
+                    base, "Generated by Gaussian distribution"
+                ),
+            }
+        )
+    return result
+
+
+def table3_schemes() -> ExperimentResult:
+    """Table 3: which optimization each scheme enables."""
+    result = ExperimentResult(
+        "table3",
+        "Description of schemes",
+        ["scheme", "SRR", "DIP", "DEP", "IWP"],
+    )
+    for scheme in ALL_SCHEMES:
+        flags = scheme.flags
+        result.rows.append(
+            {
+                "scheme": scheme.value,
+                "SRR": "yes" if flags.srr else "-",
+                "DIP": "yes" if flags.dip else "-",
+                "DEP": "yes" if flags.dep else "-",
+                "IWP": "yes" if flags.iwp else "-",
+            }
+        )
+    return result
+
+
+def storage_overheads(scale: float | None = None) -> ExperimentResult:
+    """Section 5.2: bytes consumed by the DEP grid and IWP pointers."""
+    scale, _ = _setup(scale, 1)
+    result = ExperimentResult(
+        "storage",
+        "Storage overheads of DEP and IWP",
+        ["dataset", "grid_cells", "grid_bytes", "backward_ptrs",
+         "overlapping_ptrs", "iwp_bytes"],
+        meta={"scale": scale},
+    )
+    for dataset in paper_datasets(scale):
+        context = BenchContext.build(dataset)
+        grid = context.grid(25.0)
+        iwp = context.pointer_index()
+        result.rows.append(
+            {
+                "dataset": dataset.name,
+                "grid_cells": grid.cell_count,
+                "grid_bytes": grid.storage_overhead_bytes(),
+                "backward_ptrs": iwp.backward_pointer_total(),
+                "overlapping_ptrs": iwp.overlapping_pointer_total(),
+                "iwp_bytes": iwp.storage_overhead_bytes(),
+            }
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Section 4: analytic model vs measurement
+# ----------------------------------------------------------------------
+def cost_model_validation(
+    scale: float | None = None, queries: int | None = None
+) -> ExperimentResult:
+    """Compare the Section 4.1 expected I/O with measured NWC+ I/O on a
+    uniform (Poisson-like) dataset across n."""
+    scale, queries = _setup(scale, queries)
+    wf = window_scale_factor(scale)
+    cardinality = max(1, int(GAUSSIAN_CARDINALITY * scale))
+    dataset = uniform(cardinality, seed=7)
+    context = BenchContext.build(dataset)
+    profile = TreeProfile.from_tree(context.tree)
+    qpts = _queries_for(dataset, queries)
+    result = ExperimentResult(
+        "costmodel",
+        "Section 4 analytic model vs measured NWC+ I/O (uniform data)",
+        ["n", "model_io", "measured_io"],
+        meta=_meta(scale, queries, wf),
+    )
+    lam = dataset.density
+    for n in (2, 4, 8):
+        point = SweepPoint(n=n).scaled_window(wf)
+        # Rings of size l x w must be able to cover the whole space so
+        # the exhaustive tail charges a realistic worst case.
+        half_extent = dataset.extent.width / 2.0
+        max_level = max(4, int(half_extent / point.length) + 1)
+        model = NWCCostModel(lam, point.length, point.width, n, max_level=max_level)
+        expected = model.expected_io(profile.window_cost, profile.knn_cost)
+        measured = run_nwc_setting(context, Scheme.NWC_PLUS, point, qpts)
+        result.rows.append(
+            {"n": n, "model_io": expected, "measured_io": measured["node_accesses"]}
+        )
+    return result
+
+
+#: Registry used by the CLI and the benchmark suite.
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "table2": table2_datasets,
+    "table3": lambda **_: table3_schemes(),
+    "fig9": fig9_grid_size,
+    "fig10": fig10_distribution,
+    "fig11": fig11_num_objects,
+    "fig12": fig12_window_size,
+    "fig13": fig13_k,
+    "fig14": fig14_m,
+    "storage": storage_overheads,
+    "costmodel": cost_model_validation,
+}

@@ -1,0 +1,89 @@
+"""Rendering of experiment results: aligned text tables and CSV."""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Iterable
+
+from .experiments import ExperimentResult
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)
+
+
+def format_table(result: ExperimentResult) -> str:
+    """Render a result as an aligned, paper-style text table."""
+    lines = [f"== {result.name}: {result.title} =="]
+    if result.meta:
+        meta = ", ".join(f"{k}={v}" for k, v in sorted(result.meta.items()))
+        lines.append(f"   ({meta})")
+    headers = result.columns
+    table = [headers] + [
+        [_format_cell(row.get(col, "")) for col in headers] for row in result.rows
+    ]
+    widths = [max(len(r[i]) for r in table) for i in range(len(headers))]
+    for idx, row in enumerate(table):
+        line = "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        lines.append(line)
+        if idx == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def pivot_by_scheme(result: ExperimentResult, x_column: str,
+                    value_column: str = "node_accesses") -> str:
+    """Render a figure-style view: one row per x value, one column per
+    scheme — the layout of the paper's plots."""
+    schemes: list[str] = []
+    xs: list[object] = []
+    cells: dict[tuple[object, str], float] = {}
+    group_col = "dataset" if "dataset" in result.columns else None
+    groups: list[object] = []
+    for row in result.rows:
+        scheme = row.get("scheme", "value")
+        if scheme not in schemes:
+            schemes.append(scheme)
+        group = row.get(group_col, "") if group_col else ""
+        if group not in groups:
+            groups.append(group)
+        key = (group, row[x_column], scheme)
+        cells[key] = row[value_column]
+        if (group, row[x_column]) not in xs:
+            xs.append((group, row[x_column]))
+    lines = [f"== {result.name}: {result.title} — {value_column} by {x_column} =="]
+    header = [x_column] + schemes
+    if group_col:
+        header.insert(0, group_col)
+    rows_txt = [header]
+    for group, x in xs:
+        row_cells = ([str(group)] if group_col else []) + [str(x)]
+        for scheme in schemes:
+            value = cells.get((group, x, scheme))
+            row_cells.append(f"{value:.1f}" if value is not None else "-")
+        rows_txt.append(row_cells)
+    widths = [max(len(r[i]) for r in rows_txt) for i in range(len(header))]
+    for idx, row_cells in enumerate(rows_txt):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row_cells, widths)))
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def save_csv(result: ExperimentResult, path: str | os.PathLike[str]) -> None:
+    """Write a result's rows to a CSV file."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=result.columns)
+        writer.writeheader()
+        for row in result.rows:
+            writer.writerow({col: row.get(col, "") for col in result.columns})
+
+
+def reduction_rate(baseline: float, optimized: float) -> float:
+    """The paper's headline statistic: I/O cost reduction rate (%)."""
+    if baseline <= 0:
+        return 0.0
+    return 100.0 * (baseline - optimized) / baseline

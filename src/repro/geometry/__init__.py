@@ -1,0 +1,15 @@
+"""Two-dimensional geometry kernel shared by the index and the NWC core."""
+
+from .point import PointObject, euclidean, iter_nearest, make_points, squared_euclidean
+from .rect import Rect, mindist_point_rect, union_all
+
+__all__ = [
+    "PointObject",
+    "Rect",
+    "euclidean",
+    "squared_euclidean",
+    "iter_nearest",
+    "make_points",
+    "mindist_point_rect",
+    "union_all",
+]

@@ -1,0 +1,71 @@
+"""Point objects and point-level distance helpers.
+
+The whole library works on two-dimensional Euclidean space, matching the
+paper's setting (Section 2.1).  Data objects are immutable points with an
+integer identity so that result sets can be compared, hashed and
+intersected (needed by the kNWC overlap constraint of Definition 3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class PointObject:
+    """A static data object ``p`` in the object set ``P``.
+
+    Attributes:
+        oid: Stable object identifier, unique within a dataset.
+        x: X coordinate.
+        y: Y coordinate.
+    """
+
+    oid: int
+    x: float
+    y: float
+
+    def distance_to(self, x: float, y: float) -> float:
+        """Euclidean distance from this object to the point ``(x, y)``."""
+        return math.hypot(self.x - x, self.y - y)
+
+    def as_tuple(self) -> tuple[int, float, float]:
+        """Return ``(oid, x, y)``."""
+        return (self.oid, self.x, self.y)
+
+
+def make_points(coords: Iterable[tuple[float, float]]) -> list[PointObject]:
+    """Build :class:`PointObject` instances with sequential ids.
+
+    Args:
+        coords: Iterable of ``(x, y)`` pairs.
+
+    Returns:
+        List of points with ``oid`` assigned by enumeration order.
+    """
+    return [PointObject(i, float(x), float(y)) for i, (x, y) in enumerate(coords)]
+
+
+def euclidean(ax: float, ay: float, bx: float, by: float) -> float:
+    """Euclidean distance between ``(ax, ay)`` and ``(bx, by)``."""
+    return math.hypot(ax - bx, ay - by)
+
+
+def squared_euclidean(ax: float, ay: float, bx: float, by: float) -> float:
+    """Squared Euclidean distance; avoids the sqrt for comparisons."""
+    dx = ax - bx
+    dy = ay - by
+    return dx * dx + dy * dy
+
+
+def iter_nearest(
+    points: Sequence[PointObject], x: float, y: float
+) -> Iterator[PointObject]:
+    """Yield ``points`` ordered by ascending distance to ``(x, y)``.
+
+    Intended for small in-memory collections (e.g. the contents of one
+    search region); the index package provides the scalable counterpart.
+    """
+    return iter(sorted(points, key=lambda p: squared_euclidean(p.x, p.y, x, y)))

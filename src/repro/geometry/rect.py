@@ -1,0 +1,241 @@
+"""Axis-aligned rectangles and the window-placement math of the paper.
+
+``Rect`` doubles as the MBR type of the R*-tree and as the query-window /
+search-region type of the NWC algorithm.  All rectangles are closed: a
+point on the boundary is *inside* (the paper treats objects on window
+edges as contained; Lemma 1 relies on that).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .point import PointObject
+
+__all__ = ["Rect", "mindist_point_rect", "union_all"]
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """A closed axis-aligned rectangle ``[x1, x2] x [y1, y2]``."""
+
+    x1: float
+    y1: float
+    x2: float
+    y2: float
+
+    def __post_init__(self) -> None:
+        if self.x1 > self.x2 or self.y1 > self.y2:
+            raise ValueError(f"degenerate rectangle: {self}")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_point(x: float, y: float) -> "Rect":
+        """Zero-area rectangle at ``(x, y)`` (the MBR of a point)."""
+        return Rect(x, y, x, y)
+
+    @staticmethod
+    def window_with_right_top(x_right: float, y_top: float, length: float, width: float) -> "Rect":
+        """The ``length x width`` window whose right edge is ``x_right``
+        and top edge is ``y_top`` — the canonical candidate window of
+        Section 3.2 (object ``p`` on the right edge, partner on top)."""
+        return Rect(x_right - length, y_top - width, x_right, y_top)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> float:
+        """Extent along x."""
+        return self.x2 - self.x1
+
+    @property
+    def height(self) -> float:
+        """Extent along y."""
+        return self.y2 - self.y1
+
+    @property
+    def area(self) -> float:
+        """Area of the rectangle."""
+        return self.width * self.height
+
+    @property
+    def margin(self) -> float:
+        """Half-perimeter; the R* split heuristic minimizes this."""
+        return self.width + self.height
+
+    @property
+    def center(self) -> tuple[float, float]:
+        """Center point ``(cx, cy)``."""
+        return ((self.x1 + self.x2) / 2.0, (self.y1 + self.y2) / 2.0)
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def contains_point(self, x: float, y: float) -> bool:
+        """True when ``(x, y)`` lies inside or on the boundary."""
+        return self.x1 <= x <= self.x2 and self.y1 <= y <= self.y2
+
+    def contains_object(self, p: PointObject) -> bool:
+        """True when the object's location is inside this rectangle."""
+        return self.contains_point(p.x, p.y)
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True when ``other`` is fully inside this rectangle."""
+        return (
+            self.x1 <= other.x1
+            and self.y1 <= other.y1
+            and other.x2 <= self.x2
+            and other.y2 <= self.y2
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """True when the closed rectangles share at least one point."""
+        return (
+            self.x1 <= other.x2
+            and other.x1 <= self.x2
+            and self.y1 <= other.y2
+            and other.y1 <= self.y2
+        )
+
+    # ------------------------------------------------------------------
+    # Combinators
+    # ------------------------------------------------------------------
+    def union(self, other: "Rect") -> "Rect":
+        """Smallest rectangle covering both."""
+        return Rect(
+            min(self.x1, other.x1),
+            min(self.y1, other.y1),
+            max(self.x2, other.x2),
+            max(self.y2, other.y2),
+        )
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """Overlap rectangle, or ``None`` when disjoint."""
+        x1 = max(self.x1, other.x1)
+        y1 = max(self.y1, other.y1)
+        x2 = min(self.x2, other.x2)
+        y2 = min(self.y2, other.y2)
+        if x1 > x2 or y1 > y2:
+            return None
+        return Rect(x1, y1, x2, y2)
+
+    def overlap_area(self, other: "Rect") -> float:
+        """Area of the intersection (0.0 when disjoint)."""
+        inter = self.intersection(other)
+        return inter.area if inter is not None else 0.0
+
+    def expand(self, dx_neg: float, dy_neg: float, dx_pos: float, dy_pos: float) -> "Rect":
+        """Grow each side by a (non-negative) amount.
+
+        Args:
+            dx_neg: Growth of the left side (towards smaller x).
+            dy_neg: Growth of the bottom side.
+            dx_pos: Growth of the right side.
+            dy_pos: Growth of the top side.
+        """
+        return Rect(self.x1 - dx_neg, self.y1 - dy_neg, self.x2 + dx_pos, self.y2 + dy_pos)
+
+    def enlargement(self, other: "Rect") -> float:
+        """Area increase needed for this rectangle to cover ``other``.
+
+        Used by the R*-tree choose-subtree heuristic.
+        """
+        return self.union(other).area - self.area
+
+    # ------------------------------------------------------------------
+    # Distances
+    # ------------------------------------------------------------------
+    def mindist(self, x: float, y: float) -> float:
+        """MINDIST from the point ``(x, y)`` to this rectangle.
+
+        Zero when the point is inside; the paper uses this both for the
+        best-first R-tree traversal and as ``MINDIST(q, qwin)``.
+        """
+        dx = max(self.x1 - x, 0.0, x - self.x2)
+        dy = max(self.y1 - y, 0.0, y - self.y2)
+        return math.hypot(dx, dy)
+
+    def mindist_sq(self, x: float, y: float) -> float:
+        """Squared MINDIST; cheaper for priority-queue keys."""
+        dx = max(self.x1 - x, 0.0, x - self.x2)
+        dy = max(self.y1 - y, 0.0, y - self.y2)
+        return dx * dx + dy * dy
+
+    def maxdist(self, x: float, y: float) -> float:
+        """Distance from ``(x, y)`` to the farthest point of the rectangle."""
+        dx = max(abs(x - self.x1), abs(x - self.x2))
+        dy = max(abs(y - self.y1), abs(y - self.y2))
+        return math.hypot(dx, dy)
+
+    # ------------------------------------------------------------------
+    # Window-cluster helpers (Section 2.1 / 3.1 of the paper)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def bounding(points: Iterable[PointObject]) -> "Rect":
+        """MBR of a non-empty collection of objects."""
+        it = iter(points)
+        try:
+            first = next(it)
+        except StopIteration:
+            raise ValueError("bounding() needs at least one point") from None
+        x1 = x2 = first.x
+        y1 = y2 = first.y
+        for p in it:
+            x1 = min(x1, p.x)
+            y1 = min(y1, p.y)
+            x2 = max(x2, p.x)
+            y2 = max(y2, p.y)
+        return Rect(x1, y1, x2, y2)
+
+    @staticmethod
+    def fits_window(points: Sequence[PointObject], length: float, width: float) -> bool:
+        """True when all objects fit a window of ``length x width``."""
+        if not points:
+            return True
+        mbr = Rect.bounding(points)
+        return mbr.width <= length and mbr.height <= width
+
+    @staticmethod
+    def nearest_window_distance(
+        points: Sequence[PointObject], qx: float, qy: float, length: float, width: float
+    ) -> float:
+        """Equation (4): min ``MINDIST(q, qwin)`` over every ``l x w``
+        window containing all of ``points``.
+
+        Valid window placements ``[x, x+l] x [y, y+w]`` require
+        ``x in [xmax - l, xmin]`` and ``y in [ymax - w, ymin]``; the
+        minimum over placements is separable per axis and equals the
+        point-to-rectangle distance to ``[xmax - l, xmin + l] x
+        [ymax - w, ymin + w]``.
+
+        Raises:
+            ValueError: When the objects do not fit any such window.
+        """
+        mbr = Rect.bounding(points)
+        if mbr.width > length or mbr.height > width:
+            raise ValueError("objects do not fit in the window")
+        hull = Rect(mbr.x2 - length, mbr.y2 - width, mbr.x1 + length, mbr.y1 + width)
+        return hull.mindist(qx, qy)
+
+
+def mindist_point_rect(x: float, y: float, rect: Rect) -> float:
+    """Module-level alias of :meth:`Rect.mindist` (readability in call sites
+    that take the rectangle second, mirroring the paper's MINDIST(q, win))."""
+    return rect.mindist(x, y)
+
+
+def union_all(rects: Iterable[Rect]) -> Rect:
+    """Smallest rectangle covering every rectangle in ``rects``."""
+    it = iter(rects)
+    try:
+        acc = next(it)
+    except StopIteration:
+        raise ValueError("union_all() needs at least one rectangle") from None
+    for r in it:
+        acc = acc.union(r)
+    return acc

@@ -1,0 +1,12 @@
+"""Density grid substrate for the DEP optimization."""
+
+from .aggregate import SubtreeCountIndex
+from .density import DensityGrid, PrefixSumDensityGrid
+from .hierarchy import HierarchicalDensityGrid
+
+__all__ = [
+    "DensityGrid",
+    "HierarchicalDensityGrid",
+    "PrefixSumDensityGrid",
+    "SubtreeCountIndex",
+]

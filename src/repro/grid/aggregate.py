@@ -1,0 +1,89 @@
+"""Subtree-count pruning index — a DEP alternative (ablation).
+
+DEP's density grid answers "can this rectangle hold ``n`` objects?"
+with a cell-sum upper bound.  The same question can be answered from
+the R-tree itself once every node is annotated with its subtree object
+count: descend the tree, add whole subtrees whose MBR intersects the
+probe rectangle, stop as soon as the running bound reaches ``n``.
+Against the grid this trades memory (one integer per node instead of a
+``g x g`` array) for tighter bounds near cluster boundaries.
+
+The index is duck-type compatible with :class:`~repro.grid.DensityGrid`
+(``upper_bound`` / ``is_pruned`` / ``storage_overhead_bytes``), so it
+plugs straight into ``NWCEngine(..., grid=SubtreeCountIndex(tree))``.
+Like the paper's grid it is treated as a memory-resident auxiliary
+structure: probes do not count toward the I/O metric.
+
+Built for a static tree; structural updates require :meth:`rebuild`.
+"""
+
+from __future__ import annotations
+
+from ..geometry import Rect
+from ..index.node import Node
+from ..index.rtree import RStarTree
+
+
+class SubtreeCountIndex:
+    """Per-node object counts over a static R-tree."""
+
+    def __init__(self, tree: RStarTree) -> None:
+        self.tree = tree
+        self._counts: dict[int, int] = {}
+        self.rebuild()
+
+    def rebuild(self) -> None:
+        """Recompute every subtree count (call after tree updates)."""
+        self._counts.clear()
+        self._count(self.tree.root)
+
+    def _count(self, node: Node) -> int:
+        if node.is_leaf:
+            total = len(node.entries)
+        else:
+            total = sum(self._count(child) for child in node.entries)
+        self._counts[node.node_id] = total
+        return total
+
+    @property
+    def total(self) -> int:
+        """Objects indexed (count at the root)."""
+        return self._counts.get(self.tree.root.node_id, 0)
+
+    def node_count(self, node: Node) -> int:
+        """Objects stored below ``node``."""
+        return self._counts[node.node_id]
+
+    def upper_bound(self, rect: Rect, stop_at: int | None = None) -> int:
+        """Number of objects inside ``rect``.
+
+        Subtrees fully inside ``rect`` are charged from their counter;
+        partially overlapping subtrees are descended, so the result is
+        the *exact* count — the tightest "upper bound" DEP can use.
+        ``stop_at`` short-circuits the descent as soon as the running
+        count answers an ``is_pruned`` probe, which keeps typical probes
+        far cheaper than a full range count.
+        """
+        total = 0
+        stack = [self.tree.root]
+        while stack:
+            node = stack.pop()
+            if node.mbr is None or not node.mbr.intersects(rect):
+                continue
+            if rect.contains_rect(node.mbr):
+                total += self._counts[node.node_id]
+            elif node.is_leaf:
+                total += sum(1 for obj in node.entries if rect.contains_object(obj))
+            else:
+                stack.extend(node.entries)
+            if stop_at is not None and total >= stop_at:
+                return total
+        return total
+
+    def is_pruned(self, rect: Rect, n: int) -> bool:
+        """True when ``rect`` cannot contain ``n`` objects."""
+        return self.upper_bound(rect, stop_at=n) < n
+
+    def storage_overhead_bytes(self, bytes_per_count: int = 4) -> int:
+        """One counter per tree node."""
+        return bytes_per_count * len(self._counts)

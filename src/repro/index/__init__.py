@@ -1,0 +1,41 @@
+"""R*-tree index substrate: structure, queries, IWP pointers, persistence."""
+
+from .node import Node
+from .pointers import (
+    BackwardPointer,
+    IWPIndex,
+    backward_pointer_count,
+    backward_pointer_depths,
+)
+from .hilbert import hilbert_bulk_load, hilbert_d, hilbert_key
+from .persistence import load_tree, save_tree
+from .rstar import REINSERT_FRACTION, choose_subtree, pick_reinsert_entries, split_node
+from .rtree import DEFAULT_MAX_ENTRIES, RStarTree
+from .splits import SPLIT_STRATEGIES, VariantRTree, linear_split, make_tree, quadratic_split
+from .validate import InvariantViolation, validate_tree
+
+__all__ = [
+    "BackwardPointer",
+    "DEFAULT_MAX_ENTRIES",
+    "IWPIndex",
+    "InvariantViolation",
+    "Node",
+    "REINSERT_FRACTION",
+    "RStarTree",
+    "SPLIT_STRATEGIES",
+    "VariantRTree",
+    "backward_pointer_count",
+    "backward_pointer_depths",
+    "choose_subtree",
+    "hilbert_bulk_load",
+    "hilbert_d",
+    "hilbert_key",
+    "linear_split",
+    "load_tree",
+    "make_tree",
+    "pick_reinsert_entries",
+    "quadratic_split",
+    "save_tree",
+    "split_node",
+    "validate_tree",
+]

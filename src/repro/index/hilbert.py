@@ -1,0 +1,108 @@
+"""Hilbert-curve utilities and Hilbert-packed bulk loading.
+
+STR (the default loader in :mod:`repro.index.rtree`) tiles by x then y;
+Hilbert packing orders objects along a space-filling curve and cuts the
+order into nodes.  Both produce valid R-trees; their node MBRs differ,
+which shifts window-query I/O slightly — the ablation bench
+``benchmarks/test_ablations_index.py`` quantifies that on the paper's
+workload.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..geometry import PointObject, Rect
+from ..storage import IOStats
+from .rtree import DEFAULT_MAX_ENTRIES, RStarTree, _rebalance_tail
+
+#: Curve resolution: coordinates are quantized to 2**ORDER cells/axis.
+DEFAULT_CURVE_ORDER = 16
+
+
+def hilbert_d(x: int, y: int, order: int = DEFAULT_CURVE_ORDER) -> int:
+    """Distance along the Hilbert curve of the cell ``(x, y)``.
+
+    Classic bit-twiddling transform; ``x`` and ``y`` must lie in
+    ``[0, 2**order)``.
+    """
+    side = 1 << order
+    if not (0 <= x < side and 0 <= y < side):
+        raise ValueError(f"cell ({x}, {y}) outside [0, {side})^2")
+    rx = ry = 0
+    d = 0
+    s = side >> 1
+    while s > 0:
+        rx = 1 if (x & s) > 0 else 0
+        ry = 1 if (y & s) > 0 else 0
+        d += s * s * ((3 * rx) ^ ry)
+        # Rotate the quadrant.
+        if ry == 0:
+            if rx == 1:
+                x = s - 1 - x
+                y = s - 1 - y
+            x, y = y, x
+        s >>= 1
+    return d
+
+
+def hilbert_key(
+    p: PointObject, extent: Rect, order: int = DEFAULT_CURVE_ORDER
+) -> int:
+    """Hilbert index of an object's quantized location inside ``extent``."""
+    side = 1 << order
+    span_x = max(extent.width, 1e-12)
+    span_y = max(extent.height, 1e-12)
+    cx = min(side - 1, int((p.x - extent.x1) / span_x * side))
+    cy = min(side - 1, int((p.y - extent.y1) / span_y * side))
+    return hilbert_d(max(cx, 0), max(cy, 0), order)
+
+
+def hilbert_bulk_load(
+    objects: Sequence[PointObject],
+    max_entries: int = DEFAULT_MAX_ENTRIES,
+    min_entries: int | None = None,
+    fill: float = 0.9,
+    order: int = DEFAULT_CURVE_ORDER,
+    stats: IOStats | None = None,
+) -> RStarTree:
+    """Build a packed tree by sorting objects along the Hilbert curve.
+
+    Produces the same tree type as :meth:`RStarTree.bulk_load` (all
+    invariants hold; later dynamic updates work normally).
+    """
+    if not 0.1 < fill <= 1.0:
+        raise ValueError("fill must be in (0.1, 1.0]")
+    tree = RStarTree(max_entries=max_entries, min_entries=min_entries, stats=stats)
+    if not objects:
+        return tree
+    extent = Rect.bounding(objects)
+    ordered = sorted(objects, key=lambda p: hilbert_key(p, extent, order))
+    capacity = min(max_entries, max(2 * tree.min_entries, int(max_entries * fill)))
+    chunks = _rebalance_tail(
+        [ordered[i : i + capacity] for i in range(0, len(ordered), capacity)],
+        tree.min_entries,
+    )
+    level = []
+    for chunk in chunks:
+        leaf = tree._new_node(is_leaf=True)
+        for obj in chunk:
+            leaf.add_entry(obj)
+        level.append(leaf)
+    while len(level) > 1:
+        groups = _rebalance_tail(
+            [level[i : i + capacity] for i in range(0, len(level), capacity)],
+            tree.min_entries,
+        )
+        parents = []
+        for chunk in groups:
+            parent = tree._new_node(is_leaf=False)
+            for child in chunk:
+                parent.add_entry(child)
+            parents.append(parent)
+        level = parents
+    tree.root = level[0]
+    tree.root.parent = None
+    tree.size = len(objects)
+    return tree

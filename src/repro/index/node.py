@@ -1,0 +1,108 @@
+"""R-tree node structure.
+
+Nodes are in-memory and mutable (the R*-tree reshapes them on insert);
+``repro.index.persistence`` maps them onto fixed-size pages.  Leaves hold
+:class:`~repro.geometry.PointObject` entries, internal nodes hold child
+nodes.  Parent pointers are kept so the IWP substrate can walk ancestor
+chains and so deletes can condense the tree without a path stack.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..geometry import PointObject, Rect
+
+
+class Node:
+    """One R-tree node (leaf or internal)."""
+
+    __slots__ = ("is_leaf", "entries", "parent", "mbr", "node_id")
+
+    def __init__(self, is_leaf: bool, node_id: int = -1) -> None:
+        self.is_leaf = is_leaf
+        #: Leaf: list[PointObject]; internal: list[Node].
+        self.entries: list = []
+        self.parent: Optional[Node] = None
+        #: Cached MBR; ``None`` for an empty node.
+        self.mbr: Optional[Rect] = None
+        #: Stable id assigned by the tree (used by persistence and IWP).
+        self.node_id = node_id
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "leaf" if self.is_leaf else "node"
+        return f"<{kind} id={self.node_id} n={len(self.entries)} mbr={self.mbr}>"
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def entry_mbr(entry: "Node | PointObject") -> Rect:
+        """MBR of a child entry (a point collapses to a zero-area rect)."""
+        if isinstance(entry, Node):
+            assert entry.mbr is not None
+            return entry.mbr
+        return Rect.from_point(entry.x, entry.y)
+
+    def refresh_mbr(self) -> None:
+        """Recompute the cached MBR from the entries."""
+        if not self.entries:
+            self.mbr = None
+            return
+        if self.is_leaf:
+            self.mbr = Rect.bounding(self.entries)
+            return
+        acc = self.entries[0].mbr
+        for child in self.entries[1:]:
+            acc = acc.union(child.mbr)
+        self.mbr = acc
+
+    def add_entry(self, entry: "Node | PointObject") -> None:
+        """Append an entry, updating the MBR and (for nodes) parent link."""
+        self.entries.append(entry)
+        if isinstance(entry, Node):
+            entry.parent = self
+        entry_rect = self.entry_mbr(entry)
+        self.mbr = entry_rect if self.mbr is None else self.mbr.union(entry_rect)
+
+    def remove_entry(self, entry: "Node | PointObject") -> None:
+        """Remove an entry and recompute the MBR."""
+        self.entries.remove(entry)
+        if isinstance(entry, Node):
+            entry.parent = None
+        self.refresh_mbr()
+
+    # ------------------------------------------------------------------
+    def depth_from_root(self) -> int:
+        """Depth of this node (root = 0), following parent links."""
+        depth = 0
+        node = self
+        while node.parent is not None:
+            node = node.parent
+            depth += 1
+        return depth
+
+    def ancestors(self) -> Iterator["Node"]:
+        """Yield the parent chain from the immediate parent to the root."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def iter_subtree(self) -> Iterator["Node"]:
+        """Yield every node in this subtree (pre-order), without I/O
+        accounting — intended for maintenance and validation only."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            if not node.is_leaf:
+                stack.extend(node.entries)
+
+    def iter_objects(self) -> Iterator[PointObject]:
+        """Yield every object stored below this node (no I/O accounting)."""
+        for node in self.iter_subtree():
+            if node.is_leaf:
+                yield from node.entries

@@ -1,0 +1,190 @@
+"""Classic Guttman split strategies (linear and quadratic).
+
+The paper's experiments use R*-trees, but Section 3.2 only requires "an
+R-tree"; these alternative node-split policies let the ablation benches
+measure how much the index variant moves the paper's I/O numbers.  They
+plug into :class:`~repro.index.rtree.RStarTree` via the
+``split_strategy`` knob of :func:`make_tree`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Literal
+
+from ..geometry import Rect
+from ..storage import IOStats
+from .node import Node
+from .rstar import split_node as rstar_split
+from .rtree import RStarTree
+
+SplitFn = Callable[[Node, int], tuple[list, list]]
+
+
+def _seeds_quadratic(entries: list) -> tuple[int, int]:
+    """Guttman's quadratic PickSeeds: the pair wasting the most area.
+
+    Point entries (and collinear ones) make every pairwise union area
+    zero, so the union margin breaks ties — without it the seeds
+    degenerate to the first two entries.
+    """
+    worst = (0, 1)
+    worst_key = (float("-inf"), float("-inf"))
+    rects = [Node.entry_mbr(e) for e in entries]
+    for i in range(len(entries)):
+        for j in range(i + 1, len(entries)):
+            union = rects[i].union(rects[j])
+            key = (union.area - rects[i].area - rects[j].area, union.margin)
+            if key > worst_key:
+                worst_key = key
+                worst = (i, j)
+    return worst
+
+
+def _seeds_linear(entries: list) -> tuple[int, int]:
+    """Guttman's linear PickSeeds: extreme rectangles on the most
+    spread-out axis (normalized separation)."""
+    rects = [Node.entry_mbr(e) for e in entries]
+    best = (0, 1)
+    best_sep = float("-inf")
+    for axis in ("x", "y"):
+        if axis == "x":
+            lows = [(r.x1, i) for i, r in enumerate(rects)]
+            highs = [(r.x2, i) for i, r in enumerate(rects)]
+        else:
+            lows = [(r.y1, i) for i, r in enumerate(rects)]
+            highs = [(r.y2, i) for i, r in enumerate(rects)]
+        highest_low = max(lows)
+        lowest_high = min(highs)
+        span = max(h[0] for h in highs) - min(l[0] for l in lows)
+        if span <= 0:
+            continue
+        separation = (highest_low[0] - lowest_high[0]) / span
+        if separation > best_sep and highest_low[1] != lowest_high[1]:
+            best_sep = separation
+            best = (lowest_high[1], highest_low[1])
+    return best
+
+
+def _guttman_split(entries: list, min_entries: int, seeds: tuple[int, int]) -> tuple[list, list]:
+    """Distribute entries from two seeds by least enlargement, keeping
+    both groups above the fill bound."""
+    i, j = seeds
+    group1 = [entries[i]]
+    group2 = [entries[j]]
+    mbr1 = Node.entry_mbr(entries[i])
+    mbr2 = Node.entry_mbr(entries[j])
+    rest = [e for k, e in enumerate(entries) if k not in (i, j)]
+    while rest:
+        remaining = len(rest)
+        if len(group1) + remaining == min_entries:
+            group1.extend(rest)
+            break
+        if len(group2) + remaining == min_entries:
+            group2.extend(rest)
+            break
+        entry = rest.pop()
+        rect = Node.entry_mbr(entry)
+        union1 = mbr1.union(rect)
+        union2 = mbr2.union(rect)
+        grow1 = (union1.area - mbr1.area, union1.margin - mbr1.margin)
+        grow2 = (union2.area - mbr2.area, union2.margin - mbr2.margin)
+        if (grow1, mbr1.area, len(group1)) <= (grow2, mbr2.area, len(group2)):
+            group1.append(entry)
+            mbr1 = mbr1.union(rect)
+        else:
+            group2.append(entry)
+            mbr2 = mbr2.union(rect)
+    return group1, group2
+
+
+def quadratic_split(node: Node, min_entries: int) -> tuple[list, list]:
+    """Guttman's quadratic split."""
+    entries = list(node.entries)
+    return _guttman_split(entries, min_entries, _seeds_quadratic(entries))
+
+
+def linear_split(node: Node, min_entries: int) -> tuple[list, list]:
+    """Guttman's linear split."""
+    entries = list(node.entries)
+    return _guttman_split(entries, min_entries, _seeds_linear(entries))
+
+
+SPLIT_STRATEGIES: dict[str, SplitFn] = {
+    "rstar": rstar_split,
+    "quadratic": quadratic_split,
+    "linear": linear_split,
+}
+
+SplitName = Literal["rstar", "quadratic", "linear"]
+
+
+class VariantRTree(RStarTree):
+    """An R-tree whose split policy is pluggable.
+
+    ``split_strategy="rstar"`` reproduces :class:`RStarTree` exactly;
+    the Guttman variants disable forced reinsertion (it is an R*-only
+    heuristic) to stay faithful to the original algorithms.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 50,
+        min_entries: int | None = None,
+        stats: IOStats | None = None,
+        split_strategy: SplitName = "rstar",
+    ) -> None:
+        if split_strategy not in SPLIT_STRATEGIES:
+            raise ValueError(
+                f"unknown split strategy {split_strategy!r}; "
+                f"choose from {sorted(SPLIT_STRATEGIES)}"
+            )
+        super().__init__(max_entries=max_entries, min_entries=min_entries, stats=stats)
+        self.split_strategy = split_strategy
+        self._split_fn = SPLIT_STRATEGIES[split_strategy]
+
+    def _handle_overflow(self, node: Node, level: int, reinserted_levels: set[int]) -> None:
+        if self.split_strategy == "rstar":
+            super()._handle_overflow(node, level, reinserted_levels)
+        else:
+            self._split(node, level, reinserted_levels)
+
+    def _split(self, node: Node, level: int, reinserted_levels: set[int]) -> None:
+        group1, group2 = self._split_fn(node, self.min_entries)
+        left = self._new_node(node.is_leaf)
+        right = self._new_node(node.is_leaf)
+        for entry in group1:
+            left.add_entry(entry)
+        for entry in group2:
+            right.add_entry(entry)
+        parent = node.parent
+        if parent is None:
+            new_root = self._new_node(is_leaf=False)
+            new_root.add_entry(left)
+            new_root.add_entry(right)
+            self.root = new_root
+            return
+        parent.entries.remove(node)
+        node.parent = None
+        parent.add_entry(left)
+        parent.add_entry(right)
+        parent.refresh_mbr()
+        self._adjust_upward(parent)
+        if len(parent.entries) > self.max_entries:
+            self._handle_overflow(parent, level + 1, reinserted_levels)
+
+
+def make_tree(
+    split_strategy: SplitName = "rstar",
+    max_entries: int = 50,
+    min_entries: int | None = None,
+    stats: IOStats | None = None,
+) -> RStarTree:
+    """Factory for a dynamic tree with the requested split policy."""
+    if split_strategy == "rstar":
+        return RStarTree(max_entries=max_entries, min_entries=min_entries, stats=stats)
+    return VariantRTree(
+        max_entries=max_entries,
+        min_entries=min_entries,
+        stats=stats,
+        split_strategy=split_strategy,
+    )

@@ -1,0 +1,95 @@
+"""Structural invariant checker for R*-trees.
+
+Used heavily by the test suite (including hypothesis-driven random
+insert/delete sequences) to certify that every tree the library builds is
+a well-formed R-tree:
+
+* cached MBRs equal the tight bounds of the entries,
+* every entry lies inside its node's MBR,
+* fanout bounds hold (the root is exempt; leaf-root may hold < min),
+* all leaves are at the same depth,
+* parent pointers are consistent,
+* the stored size equals the number of reachable objects.
+"""
+
+from __future__ import annotations
+
+from .node import Node
+from .rtree import RStarTree
+
+
+class InvariantViolation(AssertionError):
+    """Raised when a structural invariant fails."""
+
+
+def validate_tree(tree: RStarTree, enforce_min_fill: bool = True) -> int:
+    """Validate every invariant; returns the number of objects found.
+
+    Args:
+        tree: The tree to check.
+        enforce_min_fill: Check the lower fanout bound (disable for
+            trees mid-surgery in white-box tests).
+
+    Raises:
+        InvariantViolation: On the first violated invariant.
+    """
+    root = tree.root
+    if root.parent is not None:
+        raise InvariantViolation("root must not have a parent")
+    leaf_depths: set[int] = set()
+    object_count = 0
+    stack: list[tuple[Node, int]] = [(root, 0)]
+    while stack:
+        node, depth = stack.pop()
+        object_count += _check_node(tree, node, depth, node is root, enforce_min_fill)
+        if node.is_leaf:
+            leaf_depths.add(depth)
+        else:
+            for child in node.entries:
+                stack.append((child, depth + 1))
+    if len(leaf_depths) > 1:
+        raise InvariantViolation(f"leaves at different depths: {sorted(leaf_depths)}")
+    if object_count != tree.size:
+        raise InvariantViolation(
+            f"tree.size={tree.size} but {object_count} objects reachable"
+        )
+    return object_count
+
+
+def _check_node(
+    tree: RStarTree, node: Node, depth: int, is_root: bool, enforce_min_fill: bool
+) -> int:
+    count = len(node.entries)
+    if count > tree.max_entries:
+        raise InvariantViolation(
+            f"node {node.node_id} at depth {depth} overflows: {count}"
+        )
+    if enforce_min_fill and not is_root and count < tree.min_entries:
+        raise InvariantViolation(
+            f"node {node.node_id} at depth {depth} underflows: {count}"
+        )
+    if is_root and not node.is_leaf and count < 2:
+        raise InvariantViolation("internal root must have at least 2 children")
+    if not node.entries:
+        if node.mbr is not None:
+            raise InvariantViolation(f"empty node {node.node_id} has an MBR")
+        return 0
+    expected = Node.entry_mbr(node.entries[0])
+    for entry in node.entries[1:]:
+        expected = expected.union(Node.entry_mbr(entry))
+    if node.mbr != expected:
+        raise InvariantViolation(
+            f"node {node.node_id}: cached MBR {node.mbr} != tight MBR {expected}"
+        )
+    if node.is_leaf:
+        return count
+    for child in node.entries:
+        if child.parent is not node:
+            raise InvariantViolation(
+                f"child {child.node_id} has wrong parent pointer"
+            )
+        if child.is_leaf != node.entries[0].is_leaf:
+            raise InvariantViolation(
+                f"node {node.node_id} mixes leaf and internal children"
+            )
+    return 0

@@ -1,0 +1,33 @@
+"""Disk substrate: fixed-size pages, node serialization, buffering, I/O stats."""
+
+from .buffer import BufferPool
+from .pages import DEFAULT_PAGE_SIZE, PageError, PageFile, PageHeader
+from .serializer import (
+    InternalRecord,
+    LeafRecord,
+    SerializationError,
+    decode,
+    encode_internal,
+    encode_leaf,
+    max_internal_entries,
+    max_leaf_entries,
+)
+from .stats import IOStats, StatsAggregator
+
+__all__ = [
+    "BufferPool",
+    "DEFAULT_PAGE_SIZE",
+    "IOStats",
+    "InternalRecord",
+    "LeafRecord",
+    "PageError",
+    "PageFile",
+    "PageHeader",
+    "SerializationError",
+    "StatsAggregator",
+    "decode",
+    "encode_internal",
+    "encode_leaf",
+    "max_internal_entries",
+    "max_leaf_entries",
+]

@@ -1,0 +1,76 @@
+"""An LRU buffer pool over a :class:`~repro.storage.pages.PageFile`.
+
+The paper reports *logical* node accesses, so experiments bypass the
+buffer pool; it exists to make the storage substrate a realistic database
+component (and is exercised by its own tests and an ablation bench that
+shows how caching would compress the paper's metric).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from .pages import PageFile
+
+
+class BufferPool:
+    """Page cache with least-recently-used eviction and dirty tracking."""
+
+    def __init__(self, file: PageFile, capacity: int = 128) -> None:
+        """Args:
+            file: Underlying page file.
+            capacity: Maximum number of cached pages (must be positive).
+        """
+        if capacity <= 0:
+            raise ValueError("buffer pool capacity must be positive")
+        self.file = file
+        self.capacity = capacity
+        self._frames: OrderedDict[int, bytes] = OrderedDict()
+        self._dirty: set[int] = set()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def get(self, page_id: int) -> bytes:
+        """Read a page through the cache."""
+        if page_id in self._frames:
+            self.hits += 1
+            self._frames.move_to_end(page_id)
+            return self._frames[page_id]
+        self.misses += 1
+        data = self.file.read_page(page_id)
+        self._admit(page_id, data)
+        return data
+
+    def put(self, page_id: int, data: bytes) -> None:
+        """Write a page through the cache (write-back)."""
+        self._admit(page_id, data)
+        self._dirty.add(page_id)
+
+    def flush(self) -> None:
+        """Write every dirty page back to the file."""
+        for page_id in sorted(self._dirty):
+            if page_id in self._frames:
+                self.file.write_page(page_id, self._frames[page_id])
+        self._dirty.clear()
+        self.file.flush()
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of reads served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def _admit(self, page_id: int, data: bytes) -> None:
+        if page_id in self._frames:
+            self._frames.move_to_end(page_id)
+            self._frames[page_id] = data
+            return
+        while len(self._frames) >= self.capacity:
+            victim, victim_data = self._frames.popitem(last=False)
+            if victim in self._dirty:
+                self.file.write_page(victim, victim_data)
+                self._dirty.discard(victim)
+        self._frames[page_id] = data

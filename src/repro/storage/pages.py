@@ -1,0 +1,166 @@
+"""A fixed-size page abstraction over a binary file.
+
+The paper stores the R*-tree on 4096-byte pages (Section 5).  The
+in-memory tree is what the algorithms run against; this module provides
+the disk substrate used by :mod:`repro.index.persistence` to serialize a
+tree into a page file and load it back, with physical reads/writes
+counted in :class:`repro.storage.stats.IOStats`.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from .stats import IOStats
+
+DEFAULT_PAGE_SIZE = 4096
+
+#: Marker stored in a page header to recognize repro page files.
+MAGIC = b"NWC1"
+
+
+class PageError(Exception):
+    """Raised on malformed page files or out-of-range page ids."""
+
+
+@dataclass(frozen=True, slots=True)
+class PageHeader:
+    """Decoded header of a page file.
+
+    Attributes:
+        page_size: Size of every page in bytes.
+        page_count: Number of allocated pages (excluding the header page).
+        root_page: Page id of the tree root (``-1`` when unset).
+    """
+
+    page_size: int
+    page_count: int
+    root_page: int
+
+
+class PageFile:
+    """Fixed-size page storage backed by a regular file.
+
+    Page 0 is a header page; data pages are numbered from 1.  All reads
+    and writes are whole pages, mirroring a disk-based system.
+    """
+
+    def __init__(self, path: str | os.PathLike[str], page_size: int = DEFAULT_PAGE_SIZE,
+                 stats: IOStats | None = None, create: bool = False) -> None:
+        """Open (or create) a page file.
+
+        Args:
+            path: Filesystem path of the backing file.
+            page_size: Page size in bytes; must hold the header.
+            stats: Counter sink; a private one is created when omitted.
+            create: Truncate/initialize the file when True.
+        """
+        if page_size < 32:
+            raise PageError(f"page size too small: {page_size}")
+        self.path = os.fspath(path)
+        self.page_size = page_size
+        self.stats = stats if stats is not None else IOStats()
+        mode = "w+b" if create or not os.path.exists(self.path) else "r+b"
+        self._file = open(self.path, mode)
+        if mode == "w+b":
+            self._page_count = 0
+            self._root_page = -1
+            self._write_header()
+        else:
+            header = self._read_header()
+            if header.page_size != page_size:
+                raise PageError(
+                    f"page size mismatch: file has {header.page_size}, "
+                    f"requested {page_size}"
+                )
+            self._page_count = header.page_count
+            self._root_page = header.root_page
+
+    # ------------------------------------------------------------------
+    # Header handling
+    # ------------------------------------------------------------------
+    def _write_header(self) -> None:
+        payload = MAGIC + self.page_size.to_bytes(4, "little")
+        payload += self._page_count.to_bytes(8, "little")
+        payload += self._root_page.to_bytes(8, "little", signed=True)
+        self._file.seek(0)
+        self._file.write(payload.ljust(self.page_size, b"\x00"))
+        self._file.flush()
+
+    def _read_header(self) -> PageHeader:
+        self._file.seek(0)
+        raw = self._file.read(self.page_size)
+        if len(raw) < 24 or raw[:4] != MAGIC:
+            raise PageError(f"not a repro page file: {self.path}")
+        page_size = int.from_bytes(raw[4:8], "little")
+        page_count = int.from_bytes(raw[8:16], "little")
+        root_page = int.from_bytes(raw[16:24], "little", signed=True)
+        return PageHeader(page_size, page_count, root_page)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def page_count(self) -> int:
+        """Number of allocated data pages."""
+        return self._page_count
+
+    @property
+    def root_page(self) -> int:
+        """Page id recorded as the tree root (``-1`` when unset)."""
+        return self._root_page
+
+    def set_root_page(self, page_id: int) -> None:
+        """Record the root page id in the header."""
+        self._check_page_id(page_id)
+        self._root_page = page_id
+        self._write_header()
+
+    def allocate(self) -> int:
+        """Allocate a fresh page and return its id (1-based)."""
+        self._page_count += 1
+        self._write_header()
+        return self._page_count
+
+    def write_page(self, page_id: int, data: bytes) -> None:
+        """Write one page; ``data`` must fit in ``page_size`` bytes."""
+        self._check_page_id(page_id)
+        if len(data) > self.page_size:
+            raise PageError(
+                f"payload of {len(data)} bytes exceeds page size {self.page_size}"
+            )
+        self._file.seek(page_id * self.page_size)
+        self._file.write(data.ljust(self.page_size, b"\x00"))
+        self.stats.page_writes += 1
+
+    def read_page(self, page_id: int) -> bytes:
+        """Read one full page."""
+        self._check_page_id(page_id)
+        self._file.seek(page_id * self.page_size)
+        raw = self._file.read(self.page_size)
+        if len(raw) != self.page_size:
+            raise PageError(f"short read on page {page_id}")
+        self.stats.page_reads += 1
+        return raw
+
+    def flush(self) -> None:
+        """Flush buffered writes to the OS."""
+        self._file.flush()
+
+    def close(self) -> None:
+        """Flush and close the backing file."""
+        self._write_header()
+        self._file.close()
+
+    def __enter__(self) -> "PageFile":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _check_page_id(self, page_id: int) -> None:
+        if not 1 <= page_id <= self._page_count:
+            raise PageError(
+                f"page id {page_id} out of range 1..{self._page_count}"
+            )

@@ -1,0 +1,45 @@
+"""Query workloads and the Section 5 parameter sweeps."""
+
+from .queries import (
+    DEFAULT_QUERY_COUNT,
+    data_biased_query_points,
+    uniform_query_points,
+)
+from .sweeps import (
+    DEFAULT_GRID_CELL,
+    DEFAULT_N,
+    DEFAULT_WINDOW,
+    GAUSSIAN_STDS,
+    GRID_SIZES,
+    K_VALUES,
+    M_VALUES,
+    N_VALUES,
+    WINDOW_SIZES,
+    SweepPoint,
+    sweep_grid,
+    sweep_k,
+    sweep_m,
+    sweep_n,
+    sweep_window,
+)
+
+__all__ = [
+    "DEFAULT_GRID_CELL",
+    "DEFAULT_N",
+    "DEFAULT_QUERY_COUNT",
+    "DEFAULT_WINDOW",
+    "GAUSSIAN_STDS",
+    "GRID_SIZES",
+    "K_VALUES",
+    "M_VALUES",
+    "N_VALUES",
+    "WINDOW_SIZES",
+    "SweepPoint",
+    "data_biased_query_points",
+    "sweep_grid",
+    "sweep_k",
+    "sweep_m",
+    "sweep_n",
+    "sweep_window",
+    "uniform_query_points",
+]

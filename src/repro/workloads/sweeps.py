@@ -1,0 +1,75 @@
+"""Parameter sweeps used by the Section 5 experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator, Sequence
+
+#: Paper defaults (Section 5): n = 8, window 8 x 8, grid cell 25.
+DEFAULT_N = 8
+DEFAULT_WINDOW = 8.0
+DEFAULT_GRID_CELL = 25.0
+
+#: The paper's sweep values.
+GRID_SIZES = (25.0, 50.0, 100.0, 200.0, 400.0)            # Fig 9
+GAUSSIAN_STDS = (2000.0, 1750.0, 1500.0, 1250.0, 1000.0)  # Fig 10
+N_VALUES = (8, 16, 32, 64, 128)                           # Fig 11
+WINDOW_SIZES = (8.0, 16.0, 32.0, 64.0, 128.0)             # Fig 12
+K_VALUES = (2, 4, 6, 8, 10)                               # Fig 13
+M_VALUES = (0, 1, 2, 4, 6)                                # Fig 14
+
+
+@dataclass(frozen=True, slots=True)
+class SweepPoint:
+    """One experiment configuration.
+
+    Attributes:
+        n: Objects per window.
+        length: Window length.
+        width: Window width.
+        grid_cell: Density-grid cell size (DEP).
+        k: Groups requested (kNWC experiments; 1 otherwise).
+        m: Allowed pairwise overlap (kNWC experiments).
+    """
+
+    n: int = DEFAULT_N
+    length: float = DEFAULT_WINDOW
+    width: float = DEFAULT_WINDOW
+    grid_cell: float = DEFAULT_GRID_CELL
+    k: int = 1
+    m: int = 0
+
+    def scaled_window(self, factor: float) -> "SweepPoint":
+        """Scale the window (used when datasets are subsampled to keep
+        the expected objects-per-window comparable)."""
+        return replace(self, length=self.length * factor, width=self.width * factor)
+
+
+def sweep_n(values: Sequence[int] = N_VALUES, **kwargs) -> Iterator[SweepPoint]:
+    """Fig 11: vary the number of searched objects."""
+    for n in values:
+        yield SweepPoint(n=n, **kwargs)
+
+
+def sweep_window(values: Sequence[float] = WINDOW_SIZES, **kwargs) -> Iterator[SweepPoint]:
+    """Fig 12: vary the (square) window size."""
+    for size in values:
+        yield SweepPoint(length=size, width=size, **kwargs)
+
+
+def sweep_grid(values: Sequence[float] = GRID_SIZES, **kwargs) -> Iterator[SweepPoint]:
+    """Fig 9: vary the density-grid cell size."""
+    for cell in values:
+        yield SweepPoint(grid_cell=cell, **kwargs)
+
+
+def sweep_k(values: Sequence[int] = K_VALUES, m: int = 2, **kwargs) -> Iterator[SweepPoint]:
+    """Fig 13: vary k at fixed m."""
+    for k in values:
+        yield SweepPoint(k=k, m=m, **kwargs)
+
+
+def sweep_m(values: Sequence[int] = M_VALUES, k: int = 4, **kwargs) -> Iterator[SweepPoint]:
+    """Fig 14: vary m at fixed k."""
+    for m in values:
+        yield SweepPoint(k=k, m=m, **kwargs)

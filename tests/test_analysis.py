@@ -1,0 +1,192 @@
+"""Unit tests for the Section 4 cost models and estimators."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    KNWCCostModel,
+    NWCCostModel,
+    TreeProfile,
+    answer_level_probability,
+    expected_retrieved_objects,
+    level_rectangle_count,
+    no_qualified_window_probability,
+    overlap_acceptance_estimate,
+    real_binomial_pmf,
+    window_not_qualified_probability,
+)
+from repro.index import RStarTree
+from tests.conftest import make_uniform_points
+
+
+class TestEquation8:
+    def test_zero_density_never_qualified(self):
+        assert window_not_qualified_probability(0.0, 10, 10, 1) == 1.0
+
+    def test_n_zero_always_qualified(self):
+        assert window_not_qualified_probability(1.0, 10, 10, 0) == 0.0
+
+    def test_matches_poisson_cdf(self):
+        lam, l, w, n = 0.01, 10.0, 10.0, 3
+        mean = lam * l * w
+        expected = math.exp(-mean) * sum(mean**i / math.factorial(i) for i in range(n))
+        assert window_not_qualified_probability(lam, l, w, n) == pytest.approx(expected)
+
+    def test_monotone_in_n(self):
+        probs = [window_not_qualified_probability(0.02, 10, 10, n) for n in (1, 2, 4, 8)]
+        assert probs == sorted(probs)
+
+    def test_monotone_in_density(self):
+        probs = [window_not_qualified_probability(lam, 10, 10, 3)
+                 for lam in (0.001, 0.01, 0.1)]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_negative_lambda_rejected(self):
+        with pytest.raises(ValueError):
+            window_not_qualified_probability(-1.0, 1, 1, 1)
+
+
+class TestEquations9and10:
+    def test_ring_counts(self):
+        assert [level_rectangle_count(i) for i in (1, 2, 3)] == [4, 12, 20]
+        with pytest.raises(ValueError):
+            level_rectangle_count(0)
+
+    def test_ring_counts_tile_the_square(self):
+        # Rings 1..i contain (2i)^2 rectangles in total.
+        for i in range(1, 10):
+            assert sum(level_rectangle_count(j) for j in range(1, i + 1)) == (2 * i) ** 2
+
+    def test_expected_objects(self):
+        assert expected_retrieved_objects(3, 0.5, 2, 2) == pytest.approx(2 * 9 * 0.5 * 4)
+        assert expected_retrieved_objects(0, 1.0, 1, 1) == 0.0
+
+
+class TestQAndLevelDistribution:
+    def test_q_zero_is_one(self):
+        assert no_qualified_window_probability(0, 0.1, 10, 10, 2) == 1.0
+
+    def test_q_decreasing_in_level(self):
+        qs = [no_qualified_window_probability(i, 0.02, 10, 10, 2) for i in (1, 3, 6)]
+        assert qs == sorted(qs, reverse=True)
+
+    def test_answer_level_probabilities_sum_below_one(self):
+        total = sum(answer_level_probability(i, 0.02, 10, 10, 2) for i in range(1, 40))
+        assert 0.0 < total <= 1.0 + 1e-9
+
+    def test_dense_space_answers_at_level_one(self):
+        assert answer_level_probability(1, 10.0, 10, 10, 2) == pytest.approx(1.0)
+
+
+class TestNWCCostModel:
+    def _profile(self):
+        pts = make_uniform_points(2000, seed=9)
+        tree = RStarTree.bulk_load(pts, max_entries=16)
+        return TreeProfile.from_tree(tree), len(pts) / 1_000_000.0
+
+    def test_expected_io_positive_and_monotone_in_n(self):
+        profile, lam = self._profile()
+        ios = []
+        for n in (2, 4, 8):
+            model = NWCCostModel(lam, 50, 50, n, max_level=40)
+            ios.append(model.expected_io(profile.window_cost, profile.knn_cost))
+        assert all(io > 0 for io in ios)
+        assert ios == sorted(ios)
+
+    def test_exhaustive_tail_dominates_for_impossible_n(self):
+        profile, lam = self._profile()
+        model = NWCCostModel(lam, 5, 5, 100, max_level=40)
+        with_tail = model.expected_io(profile.window_cost, profile.knn_cost)
+        without = model.expected_io(profile.window_cost, profile.knn_cost,
+                                    include_exhaustive_tail=False)
+        assert without == pytest.approx(0.0, abs=1e-6)
+        assert with_tail > 0.0
+
+    def test_answer_level_distribution_length(self):
+        model = NWCCostModel(0.01, 10, 10, 2, max_level=15)
+        assert len(model.answer_level_distribution()) == 15
+
+
+class TestTreeProfile:
+    def test_profile_shape(self, uniform_tree):
+        profile = TreeProfile.from_tree(uniform_tree)
+        assert profile.levels[0][0] == 1.0  # one root
+        assert profile.lam == pytest.approx(uniform_tree.size / profile.area)
+
+    def test_window_cost_monotone_in_window(self, uniform_tree):
+        profile = TreeProfile.from_tree(uniform_tree)
+        costs = [profile.window_cost(s, s) for s in (5, 50, 500)]
+        assert costs == sorted(costs)
+        assert costs[0] >= 1.0  # the root is always read
+
+    def test_window_cost_bounded_by_node_count(self, uniform_tree):
+        profile = TreeProfile.from_tree(uniform_tree)
+        assert profile.window_cost(1e6, 1e6) <= uniform_tree.node_count() + 1
+
+    def test_knn_cost_monotone_in_k(self, uniform_tree):
+        profile = TreeProfile.from_tree(uniform_tree)
+        costs = [profile.knn_cost(k) for k in (1, 10, 100, 1000)]
+        assert costs == sorted(costs)
+        assert profile.knn_cost(0) == 1.0
+
+    def test_empty_tree_rejected(self):
+        with pytest.raises(ValueError):
+            TreeProfile.from_tree(RStarTree())
+
+
+class TestRealBinomial:
+    def test_integer_case_matches_comb(self):
+        import math as m
+
+        for trials, succ, p in [(10, 3, 0.3), (5, 0, 0.5), (7, 7, 0.9)]:
+            expected = m.comb(trials, succ) * p**succ * (1 - p) ** (trials - succ)
+            assert real_binomial_pmf(trials, succ, p) == pytest.approx(expected)
+
+    def test_mass_sums_to_one_for_integer_trials(self):
+        total = sum(real_binomial_pmf(12, d, 0.37) for d in range(13))
+        assert total == pytest.approx(1.0)
+
+    def test_degenerate_probabilities(self):
+        assert real_binomial_pmf(5, 0, 0.0) == 1.0
+        assert real_binomial_pmf(5, 3, 0.0) == 0.0
+        assert real_binomial_pmf(5, 5, 1.0) == 1.0
+
+    def test_out_of_range(self):
+        assert real_binomial_pmf(3.5, 4, 0.5) == 0.0
+        assert real_binomial_pmf(-1, 0, 0.5) == 0.0
+
+
+class TestKNWCCostModel:
+    def test_acceptance_estimate_bounds(self):
+        assert overlap_acceptance_estimate(8, 7, 1) == 1.0
+        assert 0.0 < overlap_acceptance_estimate(8, 0, 4) < 0.001
+        with pytest.raises(ValueError):
+            overlap_acceptance_estimate(8, 8, 1)
+        with pytest.raises(ValueError):
+            overlap_acceptance_estimate(8, 0, 0)
+
+    def test_insertion_failure_probability_in_unit_interval(self):
+        model = KNWCCostModel(0.02, 10, 10, n=2, k=3, m=1)
+        assert 0.0 <= model.insertion_failure_probability() <= 1.0
+
+    def test_s_and_r_are_probabilities(self):
+        model = KNWCCostModel(0.05, 10, 10, n=2, k=2, m=1)
+        for i in range(0, 5):
+            for a in range(0, 4):
+                assert 0.0 <= model.inserted_exactly(i, a) <= 1.0 + 1e-9
+                assert 0.0 <= model.inserted_at_least(max(i, 1), a) <= 1.0 + 1e-9
+
+    def test_expected_io_grows_with_k(self, uniform_tree):
+        profile = TreeProfile.from_tree(uniform_tree)
+        lam = uniform_tree.size / 1_000_000.0
+        ios = []
+        for k in (1, 3, 6):
+            model = KNWCCostModel(lam, 60, 60, n=2, k=k, m=1, max_level=30)
+            ios.append(model.expected_io(profile.window_cost, profile.knn_cost))
+        assert ios == sorted(ios)
+
+    def test_kth_level_probability_normalizes(self):
+        model = KNWCCostModel(0.05, 20, 20, n=2, k=2, m=1, max_level=40)
+        total = sum(model.kth_group_level_probability(i) for i in range(1, 41))
+        assert total <= 1.0 + 1e-6

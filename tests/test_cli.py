@@ -1,0 +1,61 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_args(self):
+        args = build_parser().parse_args(
+            ["experiment", "fig9", "--scale", "0.01", "--queries", "2"]
+        )
+        assert args.id == "fig9"
+        assert args.scale == 0.01
+        assert args.queries == 2
+
+    def test_query_args_defaults(self):
+        args = build_parser().parse_args(["query"])
+        assert args.dataset == "ca" and args.scheme == "NWC_STAR"
+
+
+class TestMain:
+    def test_table3(self, capsys):
+        assert main(["experiment", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "NWC*" in out and "SRR" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_table2_with_csv(self, tmp_path, capsys):
+        csv_path = tmp_path / "t2.csv"
+        code = main(["experiment", "table2", "--scale", "0.004", "--csv", str(csv_path)])
+        assert code == 0
+        assert csv_path.exists()
+        assert "cardinality" in csv_path.read_text()
+
+    def test_single_query(self, capsys):
+        code = main([
+            "query", "--dataset", "gaussian", "--size", "2000",
+            "--scheme", "NWC_PLUS", "-x", "5000", "-y", "5000",
+            "--length", "500", "--width", "500", "-n", "4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "node accesses:" in out
+
+    def test_single_knwc_query(self, capsys):
+        code = main([
+            "query", "--dataset", "gaussian", "--size", "2000",
+            "-x", "5000", "-y", "5000", "--length", "500", "--width", "500",
+            "-n", "3", "-k", "2", "-m", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "group" in out

@@ -1,0 +1,121 @@
+"""Boundary-geometry regression tests.
+
+Lemma 1's generation rule assigns objects on the lines ``x = qx`` /
+``y = qy`` to a quadrant by convention (>= goes right/top).  Windows
+snap objects exactly onto their edges, and the engine's window queries
+run in real space while membership filtering runs in the reflected
+frame — all places where an off-by-one-ulp or an open/closed mix-up
+would silently drop answers.  These cases pin the exact boundary
+behaviour with coordinates that are exactly representable in binary
+floating point.
+"""
+
+import math
+
+import pytest
+
+from repro.core import (
+    DistanceMeasure,
+    NWCEngine,
+    NWCQuery,
+    Scheme,
+    nwc_bruteforce,
+)
+from repro.geometry import PointObject, Rect, make_points
+from repro.index import RStarTree
+
+
+def engine_for(points, scheme=Scheme.NWC_STAR):
+    tree = RStarTree.bulk_load(points, max_entries=8)
+    return NWCEngine(tree, scheme, grid_cell_size=8.0)
+
+
+def assert_matches_bruteforce(points, query):
+    engine = engine_for(points)
+    got = engine.nwc(query)
+    expect = nwc_bruteforce(points, query)
+    if expect.distance == float("inf"):
+        assert not got.found
+    else:
+        assert got.found
+        assert math.isclose(got.distance, expect.distance,
+                            rel_tol=1e-12, abs_tol=1e-12)
+
+
+class TestObjectsOnQueryAxes:
+    def test_objects_exactly_on_vertical_axis(self):
+        pts = make_points([(10.0, 4.0), (10.0, 6.0), (10.0, 8.0)])
+        assert_matches_bruteforce(pts, NWCQuery(10.0, 0.0, 4.0, 4.0, 3))
+
+    def test_objects_exactly_on_horizontal_axis(self):
+        pts = make_points([(4.0, 10.0), (6.0, 10.0), (8.0, 10.0)])
+        assert_matches_bruteforce(pts, NWCQuery(0.0, 10.0, 4.0, 4.0, 3))
+
+    def test_object_exactly_at_query_point(self):
+        pts = make_points([(10.0, 10.0), (11.0, 11.0), (12.0, 10.0)])
+        query = NWCQuery(10.0, 10.0, 4.0, 4.0, 3)
+        engine = engine_for(pts)
+        result = engine.nwc(query)
+        assert result.found
+        assert result.distance == pytest.approx(math.hypot(2.0, 0.0))
+
+    def test_cluster_straddling_both_axes(self):
+        pts = make_points([(-2.0, -2.0), (2.0, -2.0), (-2.0, 2.0), (2.0, 2.0)])
+        assert_matches_bruteforce(pts, NWCQuery(0.0, 0.0, 4.0, 4.0, 4))
+
+
+class TestObjectsOnWindowEdges:
+    def test_cluster_spanning_exactly_the_window(self):
+        # Spread exactly equals the window in both axes: only one
+        # placement contains all four objects.
+        pts = make_points([(10.0, 10.0), (14.0, 10.0), (10.0, 13.0), (14.0, 13.0)])
+        query = NWCQuery(0.0, 0.0, 4.0, 3.0, 4)
+        assert_matches_bruteforce(pts, query)
+        result = engine_for(pts).nwc(query)
+        assert result.found
+
+    def test_cluster_one_ulp_too_wide(self):
+        too_wide = math.nextafter(14.0, 15.0)
+        pts = make_points([(10.0, 10.0), (too_wide, 10.0)])
+        result = engine_for(pts).nwc(NWCQuery(0.0, 0.0, 4.0, 4.0, 2))
+        assert not result.found
+
+    def test_partner_exactly_w_above_generator(self):
+        # Window with generator on the right edge and partner exactly w
+        # higher: both must be inside.
+        pts = make_points([(10.0, 10.0), (10.0, 14.0)])
+        query = NWCQuery(0.0, 0.0, 2.0, 4.0, 2)
+        result = engine_for(pts).nwc(query)
+        assert result.found
+        assert {p.oid for p in result.objects} == {0, 1}
+
+    def test_duplicate_coordinates_cluster(self):
+        pts = [PointObject(i, 20.0, 20.0) for i in range(6)]
+        result = engine_for(pts).nwc(NWCQuery(0.0, 0.0, 1.0, 1.0, 6))
+        assert result.found
+        assert len(result.objects) == 6
+
+
+class TestRegionBoundary:
+    def test_objects_on_region_border_are_inside(self):
+        pts = make_points([(10.0, 10.0), (12.0, 10.0), (50.0, 50.0)])
+        region = Rect(10.0, 10.0, 12.0, 10.0)  # degenerate strip
+        engine = engine_for(pts, Scheme.NWC_PLUS)
+        result = engine.nwc(NWCQuery(0.0, 0.0, 4.0, 4.0, 2), region=region)
+        assert result.found
+        assert {p.oid for p in result.objects} == {0, 1}
+
+
+class TestMeasureBoundaries:
+    def test_nearest_window_measure_zero_when_q_inside(self):
+        pts = make_points([(9.0, 9.0), (11.0, 11.0)])
+        query = NWCQuery(10.0, 10.0, 4.0, 4.0, 2, DistanceMeasure.NEAREST_WINDOW)
+        result = engine_for(pts).nwc(query)
+        assert result.found
+        assert result.distance == 0.0
+
+    def test_min_measure_with_object_at_q(self):
+        pts = make_points([(10.0, 10.0), (12.0, 12.0)])
+        query = NWCQuery(10.0, 10.0, 4.0, 4.0, 2, DistanceMeasure.MIN)
+        result = engine_for(pts).nwc(query)
+        assert result.distance == 0.0

@@ -1,0 +1,107 @@
+"""Unit tests for the brute-force reference implementations."""
+
+import pytest
+
+from repro.core import (
+    DistanceMeasure,
+    KNWCQuery,
+    NWCQuery,
+    knwc_bruteforce,
+    nwc_bruteforce,
+    qualified_window_exists,
+)
+from repro.core.bruteforce import (
+    enumerate_generated_windows,
+    enumerate_snapped_windows,
+)
+from repro.geometry import make_points
+
+
+class TestEnumerators:
+    def test_snapped_window_count(self):
+        pts = make_points([(0, 0), (5, 5)])
+        wins = list(enumerate_snapped_windows(pts, 10, 10))
+        assert len(wins) == 4 * 2 * 2  # 4 combos per (x, y) pair
+        for win in wins:
+            assert win.width == 10 and win.height == 10
+
+    def test_snapped_windows_touch_an_object_coordinate(self):
+        pts = make_points([(3, 7), (11, 2)])
+        xs = {p.x for p in pts}
+        ys = {p.y for p in pts}
+        for win in enumerate_snapped_windows(pts, 4, 4):
+            assert win.x1 in xs or win.x2 in xs
+            assert win.y1 in ys or win.y2 in ys
+
+    def test_generated_windows_have_generator_on_vertical_edge(self):
+        pts = make_points([(10, 10), (14, 12), (40, 40)])
+        query = NWCQuery(0, 0, 8, 8, 2)
+        for win in enumerate_generated_windows(pts, query):
+            assert any(p.x in (win.x1, win.x2) and win.contains_object(p) for p in pts)
+            assert any(p.y in (win.y1, win.y2) and win.contains_object(p) for p in pts)
+
+
+class TestNWCBruteForce:
+    def test_obvious_cluster(self):
+        pts = make_points([(10, 10), (11, 11), (12, 10), (500, 500)])
+        q = NWCQuery(0, 0, 5, 5, 3)
+        result = nwc_bruteforce(pts, q)
+        assert result.found
+        assert sorted(result.group.oids) == [0, 1, 2]
+
+    def test_picks_nearer_of_two_clusters(self):
+        near = [(50, 50), (51, 51)]
+        far = [(400, 400), (401, 401)]
+        pts = make_points(near + far)
+        result = nwc_bruteforce(pts, NWCQuery(0, 0, 5, 5, 2))
+        assert sorted(result.group.oids) == [0, 1]
+
+    def test_infeasible_returns_empty(self):
+        pts = make_points([(0, 0), (100, 100)])
+        result = nwc_bruteforce(pts, NWCQuery(0, 0, 5, 5, 2))
+        assert not result.found
+
+    def test_optimal_values_ordered_across_measures(self):
+        # Pointwise min <= avg <= max implies the same ordering of the
+        # optima over any candidate universe.
+        pts = make_points([(10, 0), (39, 0), (20, 20), (21, 20), (5, 8)])
+        values = {}
+        for measure in (DistanceMeasure.MIN, DistanceMeasure.AVG, DistanceMeasure.MAX):
+            q = NWCQuery(10, 0, 30, 30, 2, measure)
+            values[measure] = nwc_bruteforce(pts, q).distance
+        assert (values[DistanceMeasure.MIN]
+                <= values[DistanceMeasure.AVG]
+                <= values[DistanceMeasure.MAX])
+
+
+class TestKNWCBruteForce:
+    def test_disjoint_groups(self):
+        pts = make_points([(10, 10), (11, 11), (30, 30), (31, 31), (60, 60), (61, 61)])
+        query = KNWCQuery.make(0, 0, 5, 5, n=2, k=3, m=0)
+        result = knwc_bruteforce(pts, query)
+        assert len(result.groups) == 3
+        assert result.max_pairwise_overlap() == 0
+        assert list(result.distances) == sorted(result.distances)
+
+    def test_paper_maintenance_variant_runs(self):
+        pts = make_points([(10, 10), (11, 11), (12, 12), (13, 13)])
+        query = KNWCQuery.make(0, 0, 5, 5, n=2, k=2, m=1)
+        result = knwc_bruteforce(pts, query, maintenance="paper")
+        assert len(result.groups) >= 1
+
+
+class TestQualifiedWindowExists:
+    def test_exists(self):
+        pts = make_points([(5, 5), (6, 6), (7, 5)])
+        assert qualified_window_exists(pts, 5, 5, 3)
+
+    def test_does_not_exist(self):
+        pts = make_points([(0, 0), (100, 0), (200, 0)])
+        assert not qualified_window_exists(pts, 5, 5, 2)
+
+    def test_edge_cases(self):
+        assert qualified_window_exists([], 5, 5, 0)
+        assert not qualified_window_exists([], 5, 5, 1)
+        pts = make_points([(1, 1)])
+        assert qualified_window_exists(pts, 5, 5, 1)
+        assert not qualified_window_exists(pts, 5, 5, 2)

@@ -1,0 +1,149 @@
+"""Integration tests: kNWC engine vs brute force and Definition 3."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    KNWCQuery,
+    NWCEngine,
+    NWCQuery,
+    Scheme,
+    knwc_bruteforce,
+)
+from repro.geometry import make_points
+from repro.index import RStarTree
+from tests.conftest import make_clustered_points, make_uniform_points
+
+
+def random_case(rng, seed):
+    pts = make_uniform_points(rng.randint(10, 50), span=120, seed=seed)
+    n = rng.randint(2, 4)
+    query = KNWCQuery.make(
+        rng.uniform(0, 120), rng.uniform(0, 120),
+        rng.uniform(15, 45), rng.uniform(15, 45),
+        n=n, k=rng.randint(1, 4), m=rng.randint(0, n - 1),
+    )
+    return pts, query
+
+
+class TestExactEquivalence:
+    def test_baseline_matches_bruteforce_greedy(self):
+        # With no pruning the engine enumerates the full generated-window
+        # universe; the exact policy is order independent, so the answer
+        # must equal brute force group for group.
+        rng = random.Random(211)
+        for trial in range(12):
+            pts, query = random_case(rng, trial)
+            tree = RStarTree.bulk_load(pts, max_entries=8)
+            engine = NWCEngine(tree, Scheme.NWC)
+            got = engine.knwc(query)
+            expect = knwc_bruteforce(pts, query)
+            assert [sorted(g.oids) for g in got.groups] == [
+                sorted(g.oids) for g in expect.groups
+            ]
+
+    @pytest.mark.parametrize("scheme", [Scheme.NWC_PLUS, Scheme.NWC_STAR],
+                             ids=lambda s: s.value)
+    def test_optimized_schemes_match_distances(self, scheme):
+        rng = random.Random(97)
+        for trial in range(10):
+            pts, query = random_case(rng, trial + 40)
+            tree = RStarTree.bulk_load(pts, max_entries=8)
+            engine = NWCEngine(tree, scheme, grid_cell_size=15.0)
+            got = engine.knwc(query)
+            expect = knwc_bruteforce(pts, query)
+            assert [round(d, 9) for d in got.distances] == [
+                round(d, 9) for d in expect.distances
+            ]
+
+
+class TestDefinitionThree:
+    def _run(self, scheme=Scheme.NWC_PLUS, maintenance="exact", k=3, m=1):
+        pts = make_clustered_points(400, clusters=4, seed=19)
+        tree = RStarTree.bulk_load(pts, max_entries=16)
+        engine = NWCEngine(tree, scheme, grid_cell_size=25.0)
+        query = KNWCQuery.make(500, 500, 60, 60, n=5, k=k, m=m)
+        return engine.knwc(query, maintenance=maintenance), query
+
+    def test_groups_sorted_by_distance(self):
+        result, _ = self._run()
+        assert list(result.distances) == sorted(result.distances)
+
+    def test_overlap_constraint_holds(self):
+        for maintenance in ("exact", "paper"):
+            result, query = self._run(maintenance=maintenance)
+            assert result.max_pairwise_overlap() <= query.m
+
+    def test_each_group_has_n_distinct_objects(self):
+        result, query = self._run()
+        for group in result.groups:
+            assert len(group.objects) == query.base.n
+            assert len(group.oids) == query.base.n
+
+    def test_each_group_fits_its_window(self):
+        result, query = self._run()
+        for group in result.groups:
+            for p in group.objects:
+                assert group.window.contains_object(p)
+
+    def test_k_one_equals_nwc(self):
+        pts = make_clustered_points(300, seed=8)
+        tree = RStarTree.bulk_load(pts, max_entries=16)
+        engine = NWCEngine(tree, Scheme.NWC_PLUS)
+        nwc = engine.nwc(NWCQuery(400, 400, 60, 60, 4))
+        knwc = engine.knwc(KNWCQuery.make(400, 400, 60, 60, n=4, k=1, m=0))
+        assert len(knwc.groups) == 1
+        assert knwc.groups[0].distance == pytest.approx(nwc.distance)
+
+    def test_fewer_than_k_groups_when_space_is_sparse(self):
+        pts = make_points([(100, 100), (101, 101), (500, 500), (501, 501)])
+        tree = RStarTree.bulk_load(pts, max_entries=8)
+        engine = NWCEngine(tree, Scheme.NWC_PLUS)
+        result = engine.knwc(KNWCQuery.make(0, 0, 10, 10, n=2, k=5, m=0))
+        assert len(result.groups) == 2  # only two disjoint pairs exist
+
+    def test_larger_m_never_returns_fewer_groups(self):
+        counts = {}
+        for m in (0, 2, 4):
+            result, _ = self._run(k=6, m=m)
+            counts[m] = len(result.groups)
+        assert counts[0] <= counts[2] <= counts[4]
+
+    def test_paper_maintenance_close_to_exact_here(self):
+        exact, _ = self._run(maintenance="exact", k=3, m=1)
+        paper, _ = self._run(maintenance="paper", k=3, m=1)
+        # Both respect Definition 3's ordering/overlap; on this easy
+        # workload they find the same nearest group.
+        assert paper.groups[0].distance == pytest.approx(exact.groups[0].distance)
+
+    def test_unknown_maintenance_rejected(self):
+        pts = make_clustered_points(100, seed=2)
+        tree = RStarTree.bulk_load(pts, max_entries=8)
+        engine = NWCEngine(tree, Scheme.NWC_PLUS)
+        with pytest.raises(ValueError):
+            engine.knwc(KNWCQuery.make(0, 0, 10, 10, n=2, k=2, m=0),
+                        maintenance="bogus")
+
+
+class TestKNWCIOBehaviour:
+    def test_star_not_worse_than_plus(self):
+        pts = make_clustered_points(1500, clusters=6, seed=44)
+        tree = RStarTree.bulk_load(pts, max_entries=16)
+        query = KNWCQuery.make(500, 500, 50, 50, n=5, k=4, m=2)
+        plus = NWCEngine(tree, Scheme.NWC_PLUS).knwc(query)
+        star = NWCEngine(tree, Scheme.NWC_STAR, grid_cell_size=25.0).knwc(query)
+        assert [round(d, 6) for d in star.distances] == [
+            round(d, 6) for d in plus.distances
+        ]
+        assert star.node_accesses <= plus.node_accesses * 1.5
+
+    def test_io_grows_with_k(self):
+        pts = make_clustered_points(1500, clusters=6, seed=45)
+        tree = RStarTree.bulk_load(pts, max_entries=16)
+        engine = NWCEngine(tree, Scheme.NWC_PLUS)
+        io = [
+            engine.knwc(KNWCQuery.make(500, 500, 50, 50, n=5, k=k, m=2)).node_accesses
+            for k in (1, 4, 8)
+        ]
+        assert io[0] <= io[1] <= io[2]

@@ -1,0 +1,109 @@
+"""Tests for dynamic updates through the engine (insert/delete with DEP
+grid maintenance and lazy IWP rebuild)."""
+
+import math
+
+import pytest
+
+from repro.core import NWCEngine, NWCQuery, Scheme, nwc_sweep
+from repro.geometry import PointObject
+from repro.index import RStarTree, validate_tree
+from tests.conftest import make_clustered_points, make_uniform_points
+
+
+def _close(a: float, b: float) -> bool:
+    return math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9) or a == b == float("inf")
+
+
+def build_engine(scheme, points):
+    tree = RStarTree.bulk_load(points, max_entries=16)
+    return NWCEngine(tree, scheme, grid_cell_size=50.0)
+
+
+class TestInsert:
+    @pytest.mark.parametrize("scheme", [Scheme.NWC_PLUS, Scheme.NWC_STAR],
+                             ids=lambda s: s.value)
+    def test_inserted_cluster_becomes_answer(self, scheme):
+        pts = make_uniform_points(300, seed=61)
+        engine = build_engine(scheme, pts)
+        query = NWCQuery(500, 500, 20, 20, 4)
+        before = engine.nwc(query)
+        # Plant a tight cluster right next to the query point.
+        planted = [PointObject(10_000 + i, 505.0 + i, 505.0) for i in range(4)]
+        for p in planted:
+            engine.insert(p)
+        after = engine.nwc(query)
+        assert after.found
+        assert after.distance < before.distance
+        assert {p.oid for p in after.objects} == {p.oid for p in planted}
+        validate_tree(engine.tree)
+
+    def test_insert_keeps_answers_exact(self):
+        pts = make_clustered_points(250, clusters=3, seed=63)
+        engine = build_engine(Scheme.NWC_STAR, pts)
+        extra = make_uniform_points(60, seed=64)
+        all_points = list(pts)
+        for i, p in enumerate(extra):
+            obj = PointObject(20_000 + i, p.x, p.y)
+            engine.insert(obj)
+            all_points.append(obj)
+        query = NWCQuery(400, 600, 80, 80, 5)
+        assert _close(engine.nwc(query).distance, nwc_sweep(all_points, query).distance)
+
+    def test_insert_outside_grid_extent_stays_correct(self):
+        # The auto-built grid covers the root MBR at build time; inserts
+        # beyond it must trigger a rebuild, not an unsafe prune.
+        pts = make_uniform_points(200, seed=65)
+        engine = build_engine(Scheme.NWC_STAR, pts)
+        planted = [PointObject(30_000 + i, 1500.0 + i, 1500.0) for i in range(4)]
+        for p in planted:
+            engine.insert(p)
+        query = NWCQuery(1500, 1500, 20, 20, 4)
+        result = engine.nwc(query)
+        assert result.found
+        assert {p.oid for p in result.objects} == {p.oid for p in planted}
+
+
+class TestDelete:
+    @pytest.mark.parametrize("scheme", [Scheme.NWC_PLUS, Scheme.NWC_STAR],
+                             ids=lambda s: s.value)
+    def test_deleting_answer_changes_result(self, scheme):
+        pts = make_clustered_points(400, clusters=3, seed=67)
+        engine = build_engine(scheme, pts)
+        query = NWCQuery(500, 500, 60, 60, 4)
+        first = engine.nwc(query)
+        assert first.found
+        for p in first.objects:
+            assert engine.delete(p)
+        second = engine.nwc(query)
+        if second.found:
+            assert second.distance >= first.distance
+            assert not (set(p.oid for p in second.objects)
+                        & set(p.oid for p in first.objects))
+        remaining = [p for p in pts if p not in first.objects]
+        assert _close(second.distance, nwc_sweep(remaining, query).distance)
+
+    def test_delete_missing_returns_false(self):
+        pts = make_uniform_points(100, seed=69)
+        engine = build_engine(Scheme.NWC_STAR, pts)
+        assert not engine.delete(PointObject(999_999, -5.0, -5.0))
+
+    def test_grid_counts_follow_deletes(self):
+        pts = make_uniform_points(200, seed=71)
+        engine = build_engine(Scheme.DEP, pts)
+        total_before = engine.grid.total
+        assert engine.delete(pts[0])
+        engine.nwc(NWCQuery(500, 500, 50, 50, 2))  # triggers refresh path
+        assert engine.grid.total == total_before - 1
+
+
+class TestIWPRebuild:
+    def test_iwp_refreshed_lazily(self):
+        pts = make_uniform_points(500, seed=73)
+        engine = build_engine(Scheme.NWC_STAR, pts)
+        old_iwp = engine.iwp
+        engine.insert(PointObject(40_000, 123.0, 456.0))
+        assert engine._iwp_dirty
+        engine.nwc(NWCQuery(100, 400, 40, 40, 2))
+        assert engine.iwp is not old_iwp
+        assert not engine._iwp_dirty

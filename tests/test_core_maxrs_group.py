@@ -1,0 +1,190 @@
+"""Tests for the MaxRS baseline and the group-NWC extension."""
+
+import math
+import random
+
+import pytest
+
+from repro.core import (
+    Aggregate,
+    GroupNWCQuery,
+    NWCEngine,
+    NWCQuery,
+    Scheme,
+    group_nwc,
+    group_nwc_bruteforce,
+    maxrs,
+    maxrs_bruteforce,
+)
+from repro.core.measures import DistanceMeasure
+from repro.geometry import make_points
+from repro.index import RStarTree
+from tests.conftest import make_clustered_points, make_uniform_points
+
+
+class TestMaxRS:
+    def test_matches_bruteforce_on_random_inputs(self):
+        rng = random.Random(301)
+        for trial in range(20):
+            pts = make_points(
+                [(rng.uniform(0, 100), rng.uniform(0, 100))
+                 for _ in range(rng.randint(1, 40))]
+            )
+            l = rng.uniform(5, 40)
+            w = rng.uniform(5, 40)
+            assert maxrs(pts, l, w).count == maxrs_bruteforce(pts, l, w)
+
+    def test_window_contains_reported_objects(self):
+        pts = make_clustered_points(300, seed=303)
+        result = maxrs(pts, 50, 50)
+        assert len(result.objects) == result.count
+        for p in result.objects:
+            assert result.window.contains_object(p)
+
+    def test_count_at_least_one(self):
+        pts = make_points([(5, 5)])
+        assert maxrs(pts, 10, 10).count == 1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            maxrs([], 5, 5)
+        with pytest.raises(ValueError):
+            maxrs(make_points([(0, 0)]), 0, 5)
+
+    def test_differs_from_nwc_semantics(self):
+        # Paper Section 2.2: MaxRS ignores the query location.  Build a
+        # small near cluster and a huge far cluster: NWC returns the
+        # near one, MaxRS the far one.
+        near = [(10.0 + i, 10.0) for i in range(3)]
+        far = [(500.0 + i % 4, 500.0 + i // 4) for i in range(12)]
+        pts = make_points(near + far)
+        tree = RStarTree.bulk_load(pts, max_entries=8)
+        nwc = NWCEngine(tree, Scheme.NWC_PLUS).nwc(NWCQuery(0, 0, 10, 10, 3))
+        rs = maxrs(pts, 10, 10)
+        assert {p.oid for p in nwc.objects} == {0, 1, 2}
+        assert rs.count == 12
+        assert rs.window.mindist(0, 0) > nwc.distance
+
+
+def random_group_query(rng, n_points_max=35):
+    pts = make_points(
+        [(rng.uniform(0, 120), rng.uniform(0, 120))
+         for _ in range(rng.randint(4, n_points_max))]
+    )
+    query = GroupNWCQuery(
+        query_points=tuple(
+            (rng.uniform(0, 120), rng.uniform(0, 120))
+            for _ in range(rng.randint(1, 4))
+        ),
+        length=rng.uniform(10, 45),
+        width=rng.uniform(10, 45),
+        n=rng.randint(1, 4),
+        aggregate=rng.choice([Aggregate.SUM, Aggregate.MAX]),
+        measure=rng.choice([DistanceMeasure.MIN, DistanceMeasure.MAX,
+                            DistanceMeasure.AVG]),
+    )
+    return pts, query
+
+
+class TestGroupNWC:
+    def test_matches_bruteforce(self):
+        rng = random.Random(305)
+        for trial in range(25):
+            pts, query = random_group_query(rng)
+            tree = RStarTree.bulk_load(pts, max_entries=8)
+            got = group_nwc(tree, query)
+            expect = group_nwc_bruteforce(pts, query)
+            if expect.distance == float("inf"):
+                assert not got.found
+            else:
+                assert math.isclose(got.distance, expect.distance,
+                                    rel_tol=1e-9, abs_tol=1e-9)
+
+    def test_pruned_equals_unpruned(self):
+        rng = random.Random(307)
+        for trial in range(10):
+            pts, query = random_group_query(rng)
+            tree = RStarTree.bulk_load(pts, max_entries=8)
+            fast = group_nwc(tree, query, prune=True)
+            slow = group_nwc(tree, query, prune=False)
+            assert math.isclose(fast.distance, slow.distance,
+                                rel_tol=1e-9, abs_tol=1e-9) or (
+                fast.distance == slow.distance == float("inf")
+            )
+
+    def test_single_point_group_equals_nwc(self):
+        pts = make_clustered_points(300, seed=309)
+        tree = RStarTree.bulk_load(pts, max_entries=16)
+        qx, qy = 400.0, 600.0
+        gq = GroupNWCQuery(((qx, qy),), 80.0, 80.0, 4,
+                           aggregate=Aggregate.SUM, measure=DistanceMeasure.MAX)
+        group_result = group_nwc(tree, gq)
+        nwc_result = NWCEngine(tree, Scheme.NWC_PLUS).nwc(NWCQuery(qx, qy, 80, 80, 4))
+        assert group_result.distance == pytest.approx(nwc_result.distance)
+
+    def test_pruning_saves_io(self):
+        pts = make_clustered_points(2000, clusters=6, seed=311)
+        tree = RStarTree.bulk_load(pts, max_entries=16)
+        query = GroupNWCQuery(((300.0, 300.0), (420.0, 350.0)), 60.0, 60.0, 5)
+        fast = group_nwc(tree, query, prune=True)
+        slow = group_nwc(tree, query, prune=False)
+        assert fast.node_accesses < slow.node_accesses
+
+    def test_result_validity(self):
+        pts = make_clustered_points(400, seed=313)
+        tree = RStarTree.bulk_load(pts, max_entries=16)
+        query = GroupNWCQuery(((200.0, 200.0), (700.0, 250.0), (450.0, 600.0)),
+                              90.0, 90.0, 5, aggregate=Aggregate.MAX)
+        result = group_nwc(tree, query)
+        if result.found:
+            assert len(result.objects) == 5
+            for p in result.objects:
+                assert result.group.window.contains_object(p)
+            costs = [query.point_cost(p.x, p.y) for p in result.objects]
+            assert result.distance == pytest.approx(max(costs))
+
+    def test_group_knwc_first_group_matches_group_nwc(self):
+        from repro.core import group_knwc
+
+        pts = make_clustered_points(300, clusters=3, seed=317)
+        tree = RStarTree.bulk_load(pts, max_entries=16)
+        query = GroupNWCQuery(((300.0, 300.0), (500.0, 400.0)), 80.0, 80.0, 4)
+        single = group_nwc(tree, query)
+        multi = group_knwc(tree, query, k=3, m=1)
+        assert multi.groups
+        assert multi.groups[0].distance == pytest.approx(single.distance)
+        assert list(multi.distances) == sorted(multi.distances)
+        assert multi.max_pairwise_overlap() <= 1 or len(multi.groups) <= 1
+
+    def test_group_knwc_pruned_equals_unpruned_baseline(self):
+        from repro.core import group_knwc
+
+        rng = random.Random(319)
+        for trial in range(8):
+            pts, query = random_group_query(rng, n_points_max=25)
+            tree = RStarTree.bulk_load(pts, max_entries=8)
+            slow = group_knwc(tree, query, k=2, m=query.n - 1, prune=False)
+            fast = group_knwc(tree, query, k=2, m=query.n - 1, prune=True)
+            assert [round(d, 9) for d in fast.distances] == [
+                round(d, 9) for d in slow.distances
+            ]
+
+    def test_group_knwc_validates_m(self):
+        from repro.core import group_knwc
+
+        pts = make_points([(1, 1), (2, 2)])
+        tree = RStarTree.bulk_load(pts, max_entries=8)
+        query = GroupNWCQuery(((0.0, 0.0),), 10.0, 10.0, 2)
+        with pytest.raises(ValueError):
+            group_knwc(tree, query, k=2, m=2)
+
+    def test_query_validation(self):
+        with pytest.raises(ValueError):
+            GroupNWCQuery((), 10, 10, 2)
+        with pytest.raises(ValueError):
+            GroupNWCQuery(((0, 0),), -1, 10, 2)
+        with pytest.raises(ValueError):
+            GroupNWCQuery(((0, 0),), 10, 10, 0)
+        with pytest.raises(ValueError):
+            GroupNWCQuery(((0, 0),), 10, 10, 2,
+                          measure=DistanceMeasure.NEAREST_WINDOW)

@@ -1,0 +1,63 @@
+"""Unit tests for the four distance measures (repro.core.measures)."""
+
+import pytest
+
+from repro.core import (
+    DistanceMeasure,
+    average_distance,
+    cluster_distance,
+    maximum_distance,
+    minimum_distance,
+    nearest_window_distance,
+)
+from repro.geometry import make_points
+
+
+GROUP = make_points([(3, 4), (6, 8), (0, 5)])  # distances 5, 10, 5 from origin
+
+
+class TestIndividualMeasures:
+    def test_minimum(self):
+        assert minimum_distance(0, 0, GROUP) == pytest.approx(5.0)
+
+    def test_maximum(self):
+        assert maximum_distance(0, 0, GROUP) == pytest.approx(10.0)
+
+    def test_average(self):
+        assert average_distance(0, 0, GROUP) == pytest.approx(20.0 / 3.0)
+
+    def test_nearest_window_zero_when_q_coverable(self):
+        # Group spans (0..6, 4..8); a 10x10 window can cover it and q.
+        assert nearest_window_distance(0, 0, GROUP, 10, 10) == pytest.approx(0.0)
+
+    def test_nearest_window_positive_when_q_far(self):
+        pts = make_points([(100, 0), (104, 0)])
+        assert nearest_window_distance(0, 0, pts, 10, 10) == pytest.approx(94.0)
+
+    def test_empty_group_rejected(self):
+        for fn in (minimum_distance, maximum_distance, average_distance):
+            with pytest.raises(ValueError):
+                fn(0, 0, [])
+        with pytest.raises(ValueError):
+            nearest_window_distance(0, 0, [], 1, 1)
+
+
+class TestClusterDistanceDispatch:
+    def test_dispatch_matches_direct_calls(self):
+        assert cluster_distance(0, 0, GROUP, DistanceMeasure.MIN, 10, 10) == pytest.approx(5.0)
+        assert cluster_distance(0, 0, GROUP, DistanceMeasure.MAX, 10, 10) == pytest.approx(10.0)
+        assert cluster_distance(0, 0, GROUP, DistanceMeasure.AVG, 10, 10) == pytest.approx(20 / 3)
+        assert cluster_distance(0, 0, GROUP, DistanceMeasure.NEAREST_WINDOW, 10, 10) == 0.0
+
+    def test_ordering_between_measures(self):
+        # For any group: nearest-window <= min <= avg <= max.
+        nw = cluster_distance(0, 0, GROUP, DistanceMeasure.NEAREST_WINDOW, 10, 10)
+        mn = cluster_distance(0, 0, GROUP, DistanceMeasure.MIN, 10, 10)
+        av = cluster_distance(0, 0, GROUP, DistanceMeasure.AVG, 10, 10)
+        mx = cluster_distance(0, 0, GROUP, DistanceMeasure.MAX, 10, 10)
+        assert nw <= mn <= av <= mx
+
+    def test_single_object_group_all_measures_agree(self):
+        single = make_points([(3, 4)])
+        for measure in (DistanceMeasure.MIN, DistanceMeasure.MAX, DistanceMeasure.AVG):
+            assert cluster_distance(0, 0, single, measure, 10, 10) == pytest.approx(5.0)

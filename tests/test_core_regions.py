@@ -1,0 +1,167 @@
+"""Unit tests for search regions, SRR shrinking and generation regions."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    QuadrantFrame,
+    generation_region,
+    point_generation_region,
+    search_region,
+    shrink_search_region,
+)
+from repro.geometry import PointObject, Rect
+
+
+Q = (100.0, 100.0)
+
+
+def frame_for(px, py):
+    p = PointObject(0, px, py)
+    return p, QuadrantFrame.for_object(*Q, p)
+
+
+class TestQuadrantFrame:
+    @pytest.mark.parametrize(
+        "px,py,quadrant,sx,sy",
+        [
+            (150, 150, 1, 1, 1),
+            (50, 150, 2, -1, 1),
+            (50, 50, 3, -1, -1),
+            (150, 50, 4, 1, -1),
+        ],
+    )
+    def test_quadrant_assignment(self, px, py, quadrant, sx, sy):
+        _, frame = frame_for(px, py)
+        assert frame.quadrant == quadrant
+        assert frame.sx == sx and frame.sy == sy
+
+    def test_axis_boundary_convention(self):
+        # On the axes the object counts as x >= qx / y >= qy.
+        _, frame = frame_for(100, 100)
+        assert frame.quadrant == 1
+
+    def test_object_maps_into_first_quadrant(self):
+        for px, py in [(150, 150), (50, 150), (50, 50), (150, 50)]:
+            p, frame = frame_for(px, py)
+            tx, ty = frame.to_frame(p.x, p.y)
+            assert tx >= 0 and ty >= 0
+
+    def test_transform_is_isometry(self):
+        p, frame = frame_for(37, 181)
+        tx, ty = frame.to_frame(p.x, p.y)
+        assert math.hypot(tx, ty) == pytest.approx(p.distance_to(*Q))
+
+    def test_to_real_rect_flips_properly(self):
+        _, frame = frame_for(50, 50)  # sx = sy = -1
+        rect = frame.to_real_rect(0, 0, 10, 20)
+        assert rect == Rect(90, 80, 100, 100)
+
+
+class TestSearchRegion:
+    def test_q1_region_matches_paper(self):
+        # p in Q1: SR = [px - l, px] x [py - w, py + w] (Section 3.2).
+        p, frame = frame_for(150, 160)
+        region = search_region(frame, p, 20.0, 10.0)
+        assert region.to_real(frame) == Rect(130, 150, 150, 170)
+
+    def test_q3_region_mirrored(self):
+        p, frame = frame_for(50, 40)
+        region = search_region(frame, p, 20.0, 10.0)
+        assert region.to_real(frame) == Rect(50, 30, 70, 50)
+
+    def test_region_contains_object_exactly(self):
+        for px, py in [(150, 160), (50, 40), (43.7, 181.1), (100.0, 99.99)]:
+            p, frame = frame_for(px, py)
+            region = search_region(frame, p, 7.3, 2.9)
+            assert region.to_real(frame).contains_object(p)
+
+    def test_mindist_origin_matches_real_rect(self):
+        p, frame = frame_for(163, 42)
+        region = search_region(frame, p, 12.0, 9.0)
+        assert region.mindist_origin() == pytest.approx(
+            region.to_real(frame).mindist(*Q)
+        )
+
+    def test_window_rect_contains_generator_and_partner_edge(self):
+        p, frame = frame_for(150, 160)
+        region = search_region(frame, p, 20.0, 10.0)
+        win = region.window_rect(frame, partner_y=165.0)
+        assert win == Rect(130, 155, 150, 165)
+        assert win.contains_object(p)
+
+
+class TestShrinkSearchRegion:
+    def _region(self, px=150.0, py=160.0, length=20.0, width=10.0):
+        p, frame = frame_for(px, py)
+        return frame, search_region(frame, p, length, width)
+
+    def test_infinite_bound_is_identity(self):
+        _, region = self._region()
+        assert shrink_search_region(region, float("inf")) is region
+
+    def test_far_object_skipped_entirely(self):
+        # dist(q, SR) = 30 horizontally; any bound below that skips p.
+        _, region = self._region(px=150, py=100)
+        assert shrink_search_region(region, 25.0) is None
+
+    def test_generous_bound_keeps_full_width(self):
+        _, region = self._region()
+        shrunk = shrink_search_region(region, 1e9)
+        assert shrunk is not None
+        assert shrunk.upper == region.width
+
+    def test_tight_bound_shrinks_upper_extension(self):
+        frame, region = self._region(px=150, py=160, length=20, width=10)
+        # dx = 30; dy budget of 55 is below ty_p = 60, forcing a shrink
+        # (upper becomes 55 + w - 60 = 5 < w = 10).
+        bound = math.hypot(30.0, 55.0)
+        shrunk = shrink_search_region(region, bound)
+        assert shrunk is not None
+        assert 0.0 <= shrunk.upper < region.width
+        # Every window whose bottom edge stays in the shrunk region must
+        # be closer than the bound.
+        top = shrunk.y2
+        window_bottom = top - region.width
+        dy = max(0.0, window_bottom)
+        assert math.hypot(30.0, dy) <= bound + 1e-9
+
+    def test_shrunk_region_still_contains_object(self):
+        frame, region = self._region()
+        shrunk = shrink_search_region(region, region.mindist_origin() + 1.0)
+        if shrunk is not None:
+            p = PointObject(0, region.px, region.py)
+            assert shrunk.to_real(frame).contains_object(p)
+
+
+class TestGenerationRegion:
+    def test_rect_right_of_q_extends_left(self):
+        rect = Rect(150, 150, 160, 160)
+        gen = generation_region(rect, *Q, 20.0, 10.0)
+        assert gen == Rect(130, 140, 160, 170)
+
+    def test_rect_left_of_q_extends_right(self):
+        rect = Rect(40, 150, 60, 160)
+        gen = generation_region(rect, *Q, 20.0, 10.0)
+        assert gen == Rect(40, 140, 80, 170)
+
+    def test_straddling_rect_extends_both(self):
+        rect = Rect(90, 90, 110, 110)
+        gen = generation_region(rect, *Q, 20.0, 10.0)
+        assert gen == Rect(70, 80, 130, 120)
+
+    def test_point_generation_region(self):
+        gen = point_generation_region(150, 150, *Q, 20.0, 10.0)
+        assert gen == Rect(130, 140, 150, 160)
+
+    def test_windows_of_contained_objects_stay_inside(self):
+        # Any window generated by an object in the rect lies in gen.
+        rect = Rect(140, 150, 170, 180)
+        length, width = 15.0, 8.0
+        gen = generation_region(rect, *Q, length, width)
+        for px in (140.0, 155.0, 170.0):
+            for py in (150.0, 165.0, 180.0):
+                # windows extend left (object right of q) and +-w in y
+                win_lo = Rect(px - length, py - width, px, py + width)
+                assert gen.contains_rect(win_lo)

@@ -1,0 +1,43 @@
+"""Unit tests for the Table 3 scheme registry."""
+
+from repro.core import ALL_SCHEMES, OptimizationFlags, Scheme
+
+
+class TestFlags:
+    def test_table3_matrix(self):
+        expected = {
+            Scheme.NWC: (False, False, False, False),
+            Scheme.SRR: (True, False, False, False),
+            Scheme.DIP: (False, True, False, False),
+            Scheme.DEP: (False, False, True, False),
+            Scheme.IWP: (False, False, False, True),
+            Scheme.NWC_PLUS: (True, True, False, False),
+            Scheme.NWC_STAR: (True, True, True, True),
+        }
+        for scheme, (srr, dip, dep, iwp) in expected.items():
+            flags = scheme.flags
+            assert (flags.srr, flags.dip, flags.dep, flags.iwp) == (srr, dip, dep, iwp)
+
+    def test_all_schemes_order_matches_paper(self):
+        assert [s.value for s in ALL_SCHEMES] == [
+            "NWC", "SRR", "DIP", "DEP", "IWP", "NWC+", "NWC*",
+        ]
+
+    def test_needs_helpers(self):
+        assert Scheme.DEP.flags.needs_grid
+        assert not Scheme.DEP.flags.needs_pointers
+        assert Scheme.IWP.flags.needs_pointers
+        assert Scheme.NWC_STAR.flags.needs_grid and Scheme.NWC_STAR.flags.needs_pointers
+
+    def test_storage_free_matches_paper_nwc_plus_definition(self):
+        # "NWC+ by enabling only SRR and DIP (which do not incur extra
+        # storage overhead)" — Section 5.
+        assert Scheme.NWC_PLUS.flags.storage_free
+        assert Scheme.NWC.flags.storage_free
+        assert not Scheme.NWC_STAR.flags.storage_free
+        assert not Scheme.DEP.flags.storage_free
+        assert not Scheme.IWP.flags.storage_free
+
+    def test_default_flags_all_off(self):
+        flags = OptimizationFlags()
+        assert not (flags.srr or flags.dip or flags.dep or flags.iwp)

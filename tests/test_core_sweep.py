@@ -1,0 +1,116 @@
+"""Tests for the slab-sweep reference algorithm (repro.core.sweep)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core import (
+    DistanceMeasure,
+    KNWCQuery,
+    NWCEngine,
+    NWCQuery,
+    Scheme,
+    knwc_bruteforce,
+    knwc_sweep,
+    nwc_bruteforce,
+    nwc_sweep,
+)
+from repro.geometry import make_points
+from repro.index import RStarTree
+from tests.conftest import make_clustered_points
+
+
+def _close(a: float, b: float) -> bool:
+    return math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9) or (
+        a == b == float("inf")
+    )
+
+
+class TestAgainstBruteForce:
+    def test_nwc_matches_on_random_inputs(self):
+        rng = random.Random(17)
+        for trial in range(15):
+            pts = make_points(
+                [(rng.uniform(0, 150), rng.uniform(0, 150))
+                 for _ in range(rng.randint(5, 45))]
+            )
+            q = NWCQuery(rng.uniform(-10, 160), rng.uniform(-10, 160),
+                         rng.uniform(5, 40), rng.uniform(5, 40),
+                         rng.randint(1, 5),
+                         rng.choice(list(DistanceMeasure)))
+            assert _close(nwc_sweep(pts, q).distance, nwc_bruteforce(pts, q).distance)
+
+    def test_knwc_matches_group_for_group(self):
+        rng = random.Random(23)
+        for trial in range(12):
+            pts = make_points(
+                [(rng.uniform(0, 120), rng.uniform(0, 120))
+                 for _ in range(rng.randint(8, 40))]
+            )
+            n = rng.randint(2, 4)
+            query = KNWCQuery.make(
+                rng.uniform(0, 120), rng.uniform(0, 120),
+                rng.uniform(15, 40), rng.uniform(15, 40),
+                n=n, k=rng.randint(1, 3), m=rng.randint(0, n - 1),
+            )
+            a = knwc_sweep(pts, query)
+            b = knwc_bruteforce(pts, query)
+            assert [sorted(g.oids) for g in a.groups] == [
+                sorted(g.oids) for g in b.groups
+            ]
+
+
+class TestAgainstEngine:
+    def test_mid_scale_agreement(self):
+        pts = make_clustered_points(700, clusters=4, seed=29)
+        tree = RStarTree.bulk_load(pts, max_entries=16)
+        engine = NWCEngine(tree, Scheme.NWC_STAR)
+        rng = random.Random(5)
+        for _ in range(4):
+            q = NWCQuery(rng.uniform(0, 1000), rng.uniform(0, 1000), 70, 70, 5)
+            assert _close(engine.nwc(q).distance, nwc_sweep(pts, q).distance)
+
+    def test_knwc_mid_scale_agreement(self):
+        pts = make_clustered_points(400, clusters=3, seed=31)
+        tree = RStarTree.bulk_load(pts, max_entries=16)
+        engine = NWCEngine(tree, Scheme.NWC)
+        query = KNWCQuery.make(500, 500, 80, 80, n=4, k=3, m=1)
+        a = engine.knwc(query)
+        b = knwc_sweep(pts, query)
+        assert [sorted(g.oids) for g in a.groups] == [
+            sorted(g.oids) for g in b.groups
+        ]
+
+
+class TestSweepEdgeCases:
+    def test_empty_dataset(self):
+        q = NWCQuery(0, 0, 10, 10, 1)
+        assert not nwc_sweep([], q).found
+
+    def test_single_object(self):
+        pts = make_points([(5, 5)])
+        q = NWCQuery(0, 0, 10, 10, 1)
+        result = nwc_sweep(pts, q)
+        assert result.found
+        assert result.distance == pytest.approx(math.hypot(5, 5))
+
+    def test_infeasible_n(self):
+        pts = make_points([(5, 5), (500, 500)])
+        assert not nwc_sweep(pts, NWCQuery(0, 0, 10, 10, 2)).found
+
+    def test_group_fits_reported_window(self):
+        pts = make_clustered_points(150, clusters=2, seed=37)
+        q = NWCQuery(300, 300, 60, 60, 4)
+        result = nwc_sweep(pts, q)
+        if result.found:
+            for p in result.objects:
+                assert result.group.window.contains_object(p)
+
+    def test_lower_half_plane_generators(self):
+        # Exercise the descending partner branch explicitly.
+        pts = make_points([(10, -20), (12, -22), (14, -24), (11, -21)])
+        q = NWCQuery(0, 0, 10, 10, 3)
+        result = nwc_sweep(pts, q)
+        bf = nwc_bruteforce(pts, q)
+        assert _close(result.distance, bf.distance)

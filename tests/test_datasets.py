@@ -1,0 +1,165 @@
+"""Unit tests for dataset generation and IO."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    CA_CARDINALITY,
+    Dataset,
+    NY_CARDINALITY,
+    PAPER_EXTENT,
+    ca_like,
+    clustered,
+    from_coordinates,
+    gaussian,
+    gaussian_family,
+    load_csv,
+    ny_like,
+    save_csv,
+    uniform,
+)
+from repro.geometry import Rect
+
+
+class TestDataset:
+    def test_wrapper_properties(self):
+        ds = from_coordinates("demo", [(1, 2), (3, 4)])
+        assert ds.cardinality == 2
+        assert len(ds) == 2
+        assert ds.density == pytest.approx(2 / PAPER_EXTENT.area)
+        assert ds.coordinates().shape == (2, 2)
+
+    def test_clamping(self):
+        ds = from_coordinates("demo", [(-5, 20_000)])
+        assert ds.points[0].x == 0.0
+        assert ds.points[0].y == 10_000.0
+
+    def test_subsample(self):
+        ds = uniform(2000, seed=1)
+        sub = ds.subsample(0.25, seed=2)
+        assert 300 < len(sub) < 700
+        assert [p.oid for p in sub.points] == list(range(len(sub)))
+        assert ds.subsample(1.0) is ds
+        with pytest.raises(ValueError):
+            ds.subsample(0.0)
+
+    def test_subsample_deterministic(self):
+        ds = uniform(500, seed=1)
+        a = ds.subsample(0.5, seed=9)
+        b = ds.subsample(0.5, seed=9)
+        assert [p.as_tuple() for p in a.points] == [p.as_tuple() for p in b.points]
+
+
+class TestGenerators:
+    def test_gaussian_statistics(self):
+        ds = gaussian(cardinality=20_000, seed=3)
+        coords = ds.coordinates()
+        assert abs(coords.mean() - 5000) < 60
+        assert abs(coords.std() - 2000) < 120
+
+    def test_gaussian_family_stds_decrease(self):
+        family = gaussian_family(stds=(2000.0, 1000.0), cardinality=5000)
+        spread = [ds.coordinates().std() for ds in family]
+        assert spread[0] > spread[1]
+
+    def test_gaussian_deterministic(self):
+        a = gaussian(cardinality=100, seed=5)
+        b = gaussian(cardinality=100, seed=5)
+        assert [p.as_tuple() for p in a.points] == [p.as_tuple() for p in b.points]
+
+    def test_uniform_fills_extent(self):
+        ds = uniform(20_000, seed=4)
+        coords = ds.coordinates()
+        assert coords.min() < 100 and coords.max() > 9_900
+
+    def test_clustered_is_more_concentrated_than_uniform(self):
+        flat = uniform(5000, seed=1)
+        lumpy = clustered(5000, centers=[(2000, 2000), (8000, 8000)],
+                          spreads=[100.0, 100.0], background_fraction=0.0, seed=1)
+        # Compare mean nearest-cluster-center distance.
+        centers = np.array([[2000, 2000], [8000, 8000]])
+
+        def mean_center_dist(ds):
+            coords = ds.coordinates()
+            d = np.linalg.norm(coords[:, None, :] - centers[None], axis=2).min(axis=1)
+            return d.mean()
+
+        assert mean_center_dist(lumpy) < mean_center_dist(flat) / 5
+
+    def test_clustered_validation(self):
+        with pytest.raises(ValueError):
+            clustered(10, centers=[], spreads=[])
+        with pytest.raises(ValueError):
+            clustered(10, centers=[(0, 0)], spreads=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            clustered(10, centers=[(0, 0)], spreads=[1.0], background_fraction=1.0)
+        with pytest.raises(ValueError):
+            clustered(10, centers=[(0, 0)], spreads=[1.0], weights=[0.0])
+
+    def test_generators_reject_nonpositive_cardinality(self):
+        with pytest.raises(ValueError):
+            gaussian(cardinality=0)
+        with pytest.raises(ValueError):
+            uniform(0)
+
+
+class TestRealLike:
+    def test_default_cardinalities_match_table2(self):
+        # Cheap check via small versions plus the module constants.
+        assert CA_CARDINALITY == 62_556
+        assert NY_CARDINALITY == 255_259
+
+    def test_ca_like_shape(self):
+        ds = ca_like(5000)
+        assert ds.name == "CA-like"
+        assert len(ds) == 5000
+        assert all(PAPER_EXTENT.contains_object(p) for p in ds.points)
+
+    def test_ny_like_is_more_clustered_than_ca_like(self):
+        # The paper's key structural fact.  Measure mean nearest-neighbor
+        # distance on equal-size samples: more clustered -> smaller.
+        ca = ca_like(4000)
+        ny = ny_like(4000)
+
+        def mean_nn(ds):
+            coords = ds.coordinates()
+            d = np.linalg.norm(coords[:, None, :] - coords[None], axis=2)
+            np.fill_diagonal(d, np.inf)
+            return d.min(axis=1).mean()
+
+        assert mean_nn(ny) < mean_nn(ca)
+
+    def test_deterministic(self):
+        a = ca_like(1000)
+        b = ca_like(1000)
+        assert [p.as_tuple() for p in a.points] == [p.as_tuple() for p in b.points]
+
+
+class TestCsvIO:
+    def test_roundtrip(self, tmp_path):
+        ds = uniform(200, seed=6)
+        path = tmp_path / "points.csv"
+        save_csv(ds, path)
+        loaded = load_csv(path, name="Uniform")
+        assert [p.as_tuple() for p in loaded.points] == [p.as_tuple() for p in ds.points]
+
+    def test_default_name_from_filename(self, tmp_path):
+        ds = uniform(10, seed=6)
+        path = tmp_path / "my_points.csv"
+        save_csv(ds, path)
+        assert load_csv(path).name == "my_points"
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValueError):
+            load_csv(path)
+
+    def test_malformed_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("oid,x,y\n1,2\n")
+        with pytest.raises(ValueError):
+            load_csv(path)
+        path.write_text("oid,x,y\n1,two,3\n")
+        with pytest.raises(ValueError):
+            load_csv(path)

@@ -1,0 +1,55 @@
+"""Extra reporting coverage: pivots without a dataset column, mixed
+cell types, and experiment-registry integrity."""
+
+import pytest
+
+from repro.eval import EXPERIMENTS, ExperimentResult, format_table, pivot_by_scheme
+
+
+class TestPivotWithoutDataset:
+    def _fig10_style(self):
+        rows = []
+        for std in (2000.0, 1000.0):
+            for scheme, io in (("NWC", 100.0), ("NWC*", 4.0)):
+                rows.append({"std": std, "scheme": scheme, "node_accesses": io})
+        return ExperimentResult("fig10", "Distribution", ["std", "scheme", "node_accesses"],
+                                rows=rows)
+
+    def test_pivot_renders_one_row_per_x(self):
+        text = pivot_by_scheme(self._fig10_style(), "std")
+        data_lines = [l for l in text.splitlines()[3:] if l.strip()]
+        assert len(data_lines) == 2
+        assert all("100.0" in l and "4.0" in l for l in data_lines)
+
+    def test_pivot_missing_cell_rendered_as_dash(self):
+        result = self._fig10_style()
+        result.rows.pop()  # drop NWC* at std=1000
+        text = pivot_by_scheme(result, "std")
+        assert "-" in text.splitlines()[-1]
+
+
+class TestFormatTableEdgeCases:
+    def test_empty_rows(self):
+        result = ExperimentResult("empty", "Empty", ["a", "b"])
+        text = format_table(result)
+        assert "Empty" in text and "a" in text
+
+    def test_mixed_types(self):
+        result = ExperimentResult(
+            "mix", "Mix", ["name", "value"],
+            rows=[{"name": "x", "value": 1}, {"name": "y", "value": 2.5}],
+        )
+        text = format_table(result)
+        assert "2.5" in text and "1" in text
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {
+            "table2", "table3", "fig9", "fig10", "fig11", "fig12",
+            "fig13", "fig14", "storage", "costmodel",
+        }
+
+    def test_registry_entries_callable(self):
+        for runner in EXPERIMENTS.values():
+            assert callable(runner)

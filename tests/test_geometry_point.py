@@ -1,0 +1,61 @@
+"""Unit tests for repro.geometry.point."""
+
+import math
+
+import pytest
+
+from repro.geometry import (
+    PointObject,
+    euclidean,
+    iter_nearest,
+    make_points,
+    squared_euclidean,
+)
+
+
+class TestPointObject:
+    def test_distance_to_self_is_zero(self):
+        p = PointObject(0, 3.0, 4.0)
+        assert p.distance_to(3.0, 4.0) == 0.0
+
+    def test_distance_pythagorean(self):
+        p = PointObject(0, 0.0, 0.0)
+        assert p.distance_to(3.0, 4.0) == pytest.approx(5.0)
+
+    def test_as_tuple(self):
+        assert PointObject(7, 1.5, -2.0).as_tuple() == (7, 1.5, -2.0)
+
+    def test_is_hashable_and_eq(self):
+        a = PointObject(1, 2.0, 3.0)
+        b = PointObject(1, 2.0, 3.0)
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_is_frozen(self):
+        p = PointObject(0, 0.0, 0.0)
+        with pytest.raises(AttributeError):
+            p.x = 1.0  # type: ignore[misc]
+
+
+class TestHelpers:
+    def test_make_points_assigns_sequential_ids(self):
+        pts = make_points([(1, 2), (3, 4), (5, 6)])
+        assert [p.oid for p in pts] == [0, 1, 2]
+        assert pts[1].x == 3.0 and pts[1].y == 4.0
+
+    def test_make_points_empty(self):
+        assert make_points([]) == []
+
+    def test_euclidean_matches_hypot(self):
+        assert euclidean(0, 0, 1, 1) == pytest.approx(math.sqrt(2))
+
+    def test_squared_euclidean(self):
+        assert squared_euclidean(0, 0, 3, 4) == 25.0
+
+    def test_iter_nearest_orders_by_distance(self):
+        pts = make_points([(10, 0), (1, 0), (5, 0)])
+        ordered = list(iter_nearest(pts, 0.0, 0.0))
+        assert [p.x for p in ordered] == [1.0, 5.0, 10.0]
+
+    def test_iter_nearest_empty(self):
+        assert list(iter_nearest([], 0.0, 0.0)) == []

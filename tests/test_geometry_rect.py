@@ -1,0 +1,141 @@
+"""Unit tests for repro.geometry.rect."""
+
+import math
+
+import pytest
+
+from repro.geometry import PointObject, Rect, make_points, union_all
+
+
+class TestConstruction:
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            Rect(1.0, 0.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            Rect(0.0, 1.0, 1.0, 0.0)
+
+    def test_zero_area_point_rect_is_legal(self):
+        r = Rect.from_point(2.0, 3.0)
+        assert r.area == 0.0
+        assert r.contains_point(2.0, 3.0)
+
+    def test_window_with_right_top(self):
+        win = Rect.window_with_right_top(10.0, 20.0, 4.0, 6.0)
+        assert win == Rect(6.0, 14.0, 10.0, 20.0)
+
+
+class TestProperties:
+    def test_dimensions(self):
+        r = Rect(1.0, 2.0, 4.0, 8.0)
+        assert r.width == 3.0
+        assert r.height == 6.0
+        assert r.area == 18.0
+        assert r.margin == 9.0
+        assert r.center == (2.5, 5.0)
+
+
+class TestPredicates:
+    def test_boundary_points_are_inside(self):
+        r = Rect(0.0, 0.0, 10.0, 10.0)
+        for x, y in [(0, 0), (10, 10), (0, 10), (5, 0)]:
+            assert r.contains_point(x, y)
+
+    def test_outside_point(self):
+        assert not Rect(0, 0, 1, 1).contains_point(1.0001, 0.5)
+
+    def test_contains_object(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.contains_object(PointObject(0, 5, 5))
+        assert not r.contains_object(PointObject(0, 15, 5))
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains_rect(Rect(2, 2, 8, 8))
+        assert outer.contains_rect(outer)
+        assert not outer.contains_rect(Rect(2, 2, 12, 8))
+
+    def test_intersects_edge_touch(self):
+        a = Rect(0, 0, 5, 5)
+        b = Rect(5, 5, 10, 10)  # shares exactly one corner
+        assert a.intersects(b)
+
+    def test_disjoint(self):
+        assert not Rect(0, 0, 1, 1).intersects(Rect(2, 2, 3, 3))
+
+
+class TestCombinators:
+    def test_union(self):
+        assert Rect(0, 0, 1, 1).union(Rect(2, 3, 4, 5)) == Rect(0, 0, 4, 5)
+
+    def test_intersection(self):
+        assert Rect(0, 0, 5, 5).intersection(Rect(3, 3, 8, 8)) == Rect(3, 3, 5, 5)
+        assert Rect(0, 0, 1, 1).intersection(Rect(2, 2, 3, 3)) is None
+
+    def test_overlap_area(self):
+        assert Rect(0, 0, 4, 4).overlap_area(Rect(2, 2, 6, 6)) == 4.0
+        assert Rect(0, 0, 1, 1).overlap_area(Rect(5, 5, 6, 6)) == 0.0
+
+    def test_expand(self):
+        assert Rect(2, 2, 4, 4).expand(1, 2, 3, 4) == Rect(1, 0, 7, 8)
+
+    def test_enlargement(self):
+        base = Rect(0, 0, 2, 2)
+        assert base.enlargement(Rect(0, 0, 1, 1)) == 0.0
+        assert base.enlargement(Rect(0, 0, 4, 2)) == 4.0
+
+
+class TestDistances:
+    def test_mindist_inside_is_zero(self):
+        assert Rect(0, 0, 10, 10).mindist(5, 5) == 0.0
+
+    def test_mindist_axis(self):
+        assert Rect(0, 0, 10, 10).mindist(15, 5) == 5.0
+        assert Rect(0, 0, 10, 10).mindist(5, -3) == 3.0
+
+    def test_mindist_corner(self):
+        assert Rect(0, 0, 10, 10).mindist(13, 14) == pytest.approx(5.0)
+
+    def test_mindist_sq_consistent(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.mindist_sq(13, 14) == pytest.approx(r.mindist(13, 14) ** 2)
+
+    def test_maxdist(self):
+        assert Rect(0, 0, 3, 4).maxdist(0, 0) == pytest.approx(5.0)
+        assert Rect(0, 0, 2, 2).maxdist(1, 1) == pytest.approx(math.sqrt(2))
+
+
+class TestWindowHelpers:
+    def test_bounding(self):
+        pts = make_points([(1, 5), (3, 2), (2, 9)])
+        assert Rect.bounding(pts) == Rect(1, 2, 3, 9)
+
+    def test_bounding_empty_raises(self):
+        with pytest.raises(ValueError):
+            Rect.bounding([])
+
+    def test_fits_window(self):
+        pts = make_points([(0, 0), (3, 4)])
+        assert Rect.fits_window(pts, 3, 4)
+        assert not Rect.fits_window(pts, 2.9, 4)
+        assert Rect.fits_window([], 1, 1)
+
+    def test_nearest_window_distance_query_coverable(self):
+        # Both points fit a 10x10 window that also covers q -> distance 0.
+        pts = make_points([(5, 5), (8, 8)])
+        assert Rect.nearest_window_distance(pts, 6, 6, 10, 10) == 0.0
+
+    def test_nearest_window_distance_far_query(self):
+        pts = make_points([(100, 0), (104, 0)])
+        # Best window reaches left edge x = 94 at most (xmax - l = 94).
+        assert Rect.nearest_window_distance(pts, 0, 0, 10, 10) == pytest.approx(94.0)
+
+    def test_nearest_window_distance_unfit_raises(self):
+        pts = make_points([(0, 0), (50, 0)])
+        with pytest.raises(ValueError):
+            Rect.nearest_window_distance(pts, 0, 0, 10, 10)
+
+    def test_union_all(self):
+        rects = [Rect(0, 0, 1, 1), Rect(5, 5, 6, 7), Rect(-2, 3, 0, 4)]
+        assert union_all(rects) == Rect(-2, 0, 6, 7)
+        with pytest.raises(ValueError):
+            union_all([])

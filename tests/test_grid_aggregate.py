@@ -1,0 +1,94 @@
+"""Tests for the subtree-count pruning index (DEP alternative)."""
+
+import random
+
+import pytest
+
+from repro.core import NWCEngine, NWCQuery, OptimizationFlags, Scheme
+from repro.geometry import Rect
+from repro.grid import DensityGrid, SubtreeCountIndex
+from repro.index import RStarTree
+from tests.conftest import make_clustered_points, make_uniform_points
+
+
+class TestSubtreeCountIndex:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        points = make_uniform_points(1200, seed=83)
+        tree = RStarTree.bulk_load(points, max_entries=16)
+        return points, tree, SubtreeCountIndex(tree)
+
+    def test_total(self, setup):
+        points, _, index = setup
+        assert index.total == len(points)
+
+    def test_counts_are_exact(self, setup):
+        points, tree, index = setup
+        rng = random.Random(11)
+        for _ in range(60):
+            x, y = rng.uniform(-50, 1000), rng.uniform(-50, 1000)
+            rect = Rect(x, y, x + rng.uniform(1, 300), y + rng.uniform(1, 300))
+            exact = sum(1 for p in points if rect.contains_object(p))
+            assert index.upper_bound(rect) == exact
+
+    def test_stop_at_short_circuits(self, setup):
+        points, _, index = setup
+        rect = Rect(0, 0, 1000, 1000)
+        assert index.upper_bound(rect, stop_at=5) >= 5
+
+    def test_is_pruned(self, setup):
+        points, _, index = setup
+        assert index.is_pruned(Rect(2000, 2000, 2010, 2010), 1)
+        assert not index.is_pruned(Rect(0, 0, 1000, 1000), 10)
+
+    def test_tighter_than_grid(self, setup):
+        points, tree, index = setup
+        grid = DensityGrid.build(points, Rect(0, 0, 1000, 1000), 50.0)
+        rng = random.Random(13)
+        for _ in range(40):
+            x, y = rng.uniform(0, 900), rng.uniform(0, 900)
+            rect = Rect(x, y, x + 77, y + 63)
+            assert index.upper_bound(rect) <= grid.upper_bound(rect)
+
+    def test_rebuild_after_updates(self, setup):
+        points = make_uniform_points(300, seed=89)
+        tree = RStarTree.bulk_load(points[:250], max_entries=16)
+        index = SubtreeCountIndex(tree)
+        tree.extend(points[250:])
+        index.rebuild()
+        assert index.total == 300
+
+    def test_storage_overhead(self, setup):
+        _, tree, index = setup
+        assert index.storage_overhead_bytes() == 4 * tree.node_count()
+
+
+class TestAsDepReplacement:
+    def test_same_answers_as_grid_dep(self):
+        points = make_clustered_points(800, clusters=4, seed=91)
+        tree = RStarTree.bulk_load(points, max_entries=16)
+        grid_engine = NWCEngine(tree, Scheme.DEP, grid_cell_size=25.0)
+        count_engine = NWCEngine(
+            tree, OptimizationFlags(dep=True), grid=SubtreeCountIndex(tree)
+        )
+        rng = random.Random(15)
+        for _ in range(5):
+            query = NWCQuery(rng.uniform(0, 1000), rng.uniform(0, 1000), 40, 40, 6)
+            a = grid_engine.nwc(query)
+            b = count_engine.nwc(query)
+            assert a.distance == pytest.approx(b.distance) or (
+                a.distance == b.distance == float("inf")
+            )
+
+    def test_exact_counts_prune_at_least_as_much(self):
+        points = make_clustered_points(1500, clusters=5, seed=93)
+        tree = RStarTree.bulk_load(points, max_entries=16)
+        query = NWCQuery(500, 500, 30, 30, 8)
+        grid_engine = NWCEngine(tree, Scheme.DEP, grid_cell_size=50.0)
+        io_grid = grid_engine.nwc(query).node_accesses
+        count_engine = NWCEngine(
+            tree, OptimizationFlags(dep=True), grid=SubtreeCountIndex(tree)
+        )
+        io_count = count_engine.nwc(query).node_accesses
+        # Exact counts never prune less than a coarse grid's bound.
+        assert io_count <= io_grid

@@ -1,0 +1,107 @@
+"""Unit tests for the density grid (repro.grid)."""
+
+import random
+
+import pytest
+
+from repro.geometry import Rect, make_points
+from repro.grid import DensityGrid, PrefixSumDensityGrid
+from tests.conftest import make_uniform_points
+
+
+EXTENT = Rect(0.0, 0.0, 1000.0, 1000.0)
+
+
+class TestConstruction:
+    def test_cell_count_matches_paper(self):
+        # Paper: cell size 25 over a 10,000-wide space -> 160,000 cells.
+        grid = DensityGrid(Rect(0, 0, 10_000, 10_000), 25.0)
+        assert grid.cell_count == 160_000
+        assert grid.storage_overhead_bytes() == 320_000  # 2 B per cell
+
+    def test_rejects_nonpositive_cell(self):
+        with pytest.raises(ValueError):
+            DensityGrid(EXTENT, 0.0)
+
+    def test_non_divisible_extent_rounds_up(self):
+        grid = DensityGrid(Rect(0, 0, 10, 10), 3.0)
+        assert grid.cols == 4 and grid.rows == 4
+
+
+class TestCounts:
+    def test_build_totals(self, uniform_points):
+        grid = DensityGrid.build(uniform_points, EXTENT, 25.0)
+        assert grid.total == len(uniform_points)
+        assert sum(grid.cell_counts()) == len(uniform_points)
+
+    def test_add_remove(self):
+        grid = DensityGrid(EXTENT, 10.0)
+        grid.add(5, 5)
+        grid.add(5, 5)
+        grid.remove(5, 5)
+        assert grid.total == 1
+        with pytest.raises(ValueError):
+            grid.remove(500, 500)  # empty cell
+
+    def test_out_of_extent_points_clamp(self):
+        grid = DensityGrid(EXTENT, 10.0)
+        grid.add(-5, 2000)
+        assert grid.total == 1
+        assert grid.upper_bound(Rect(0, 990, 10, 1000)) == 1
+
+
+class TestUpperBound:
+    def test_is_a_true_upper_bound(self, uniform_points):
+        grid = DensityGrid.build(uniform_points, EXTENT, 25.0)
+        rng = random.Random(8)
+        for _ in range(100):
+            x, y = rng.uniform(-50, 1000), rng.uniform(-50, 1000)
+            rect = Rect(x, y, x + rng.uniform(1, 200), y + rng.uniform(1, 200))
+            actual = sum(1 for p in uniform_points if rect.contains_object(p))
+            assert grid.upper_bound(rect) >= actual
+
+    def test_tightens_with_finer_cells(self, uniform_points):
+        rect = Rect(100, 100, 180, 140)
+        coarse = DensityGrid.build(uniform_points, EXTENT, 200.0)
+        fine = DensityGrid.build(uniform_points, EXTENT, 10.0)
+        assert fine.upper_bound(rect) <= coarse.upper_bound(rect)
+
+    def test_disjoint_rect_is_zero(self, uniform_points):
+        grid = DensityGrid.build(uniform_points, EXTENT, 25.0)
+        assert grid.upper_bound(Rect(5000, 5000, 5100, 5100)) == 0
+
+    def test_full_extent_counts_everything(self, uniform_points):
+        grid = DensityGrid.build(uniform_points, EXTENT, 25.0)
+        assert grid.upper_bound(EXTENT) == len(uniform_points)
+
+    def test_is_pruned(self):
+        pts = make_points([(5, 5), (6, 6)])
+        grid = DensityGrid.build(pts, EXTENT, 10.0)
+        region = Rect(0, 0, 10, 10)
+        assert not grid.is_pruned(region, 2)
+        assert grid.is_pruned(region, 3)
+
+
+class TestPrefixSumVariant:
+    def test_agrees_with_plain_grid(self, uniform_points):
+        plain = DensityGrid.build(uniform_points, EXTENT, 25.0)
+        prefix = PrefixSumDensityGrid.build(uniform_points, EXTENT, 25.0)
+        rng = random.Random(12)
+        for _ in range(200):
+            x, y = rng.uniform(-100, 1050), rng.uniform(-100, 1050)
+            rect = Rect(x, y, x + rng.uniform(0.5, 400), y + rng.uniform(0.5, 400))
+            assert prefix.upper_bound(rect) == plain.upper_bound(rect)
+
+    def test_frozen_grid_rejects_updates(self, uniform_points):
+        grid = PrefixSumDensityGrid.build(uniform_points, EXTENT, 25.0)
+        with pytest.raises(RuntimeError):
+            grid.add(1, 1)
+        with pytest.raises(RuntimeError):
+            grid.remove(1, 1)
+
+    def test_unfrozen_falls_back(self):
+        grid = PrefixSumDensityGrid(EXTENT, 10.0)
+        grid.add(5, 5)
+        assert grid.upper_bound(Rect(0, 0, 10, 10)) == 1
+        grid.freeze()
+        assert grid.upper_bound(Rect(0, 0, 10, 10)) == 1

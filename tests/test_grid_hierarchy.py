@@ -1,0 +1,72 @@
+"""Tests for the hierarchical density grid (DEP ablation variant)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import PointObject, Rect
+from repro.grid import DensityGrid, HierarchicalDensityGrid
+from tests.conftest import make_uniform_points
+
+EXTENT = Rect(0.0, 0.0, 1000.0, 1000.0)
+
+
+class TestHierarchicalGrid:
+    def test_agrees_with_plain_grid(self, uniform_points):
+        plain = DensityGrid.build(uniform_points, EXTENT, 25.0)
+        pyramid = HierarchicalDensityGrid.build(uniform_points, EXTENT, 25.0)
+        rng = random.Random(19)
+        for _ in range(300):
+            x, y = rng.uniform(-100, 1050), rng.uniform(-100, 1050)
+            rect = Rect(x, y, x + rng.uniform(0.5, 600), y + rng.uniform(0.5, 600))
+            assert pyramid.upper_bound(rect) == plain.upper_bound(rect)
+
+    def test_full_extent(self, uniform_points):
+        pyramid = HierarchicalDensityGrid.build(uniform_points, EXTENT, 25.0)
+        assert pyramid.upper_bound(EXTENT) == len(uniform_points)
+
+    def test_disjoint_rect(self, uniform_points):
+        pyramid = HierarchicalDensityGrid.build(uniform_points, EXTENT, 25.0)
+        assert pyramid.upper_bound(Rect(5000, 5000, 5100, 5100)) == 0
+
+    def test_frozen_rejects_updates(self, uniform_points):
+        pyramid = HierarchicalDensityGrid.build(uniform_points, EXTENT, 25.0)
+        with pytest.raises(RuntimeError):
+            pyramid.add(1, 1)
+        with pytest.raises(RuntimeError):
+            pyramid.remove(1, 1)
+
+    def test_unfrozen_falls_back(self):
+        grid = HierarchicalDensityGrid(EXTENT, 10.0)
+        grid.add(5, 5)
+        assert grid.upper_bound(Rect(0, 0, 10, 10)) == 1
+
+    def test_non_power_of_two_dimensions(self):
+        # 1000 / 30 -> 34 columns: the pyramid must handle odd sizes.
+        pts = make_uniform_points(500, seed=77)
+        plain = DensityGrid.build(pts, EXTENT, 30.0)
+        pyramid = HierarchicalDensityGrid.build(pts, EXTENT, 30.0)
+        rng = random.Random(21)
+        for _ in range(100):
+            x, y = rng.uniform(0, 1000), rng.uniform(0, 1000)
+            rect = Rect(x, y, x + 150, y + 150)
+            assert pyramid.upper_bound(rect) == plain.upper_bound(rect)
+
+    @given(
+        st.lists(st.tuples(st.floats(0, 1000, allow_nan=False),
+                           st.floats(0, 1000, allow_nan=False)), max_size=60),
+        st.floats(5.0, 120.0, allow_nan=False),
+        st.floats(-50, 1000, allow_nan=False),
+        st.floats(-50, 1000, allow_nan=False),
+        st.floats(0, 500, allow_nan=False),
+        st.floats(0, 500, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_equivalence(self, raw, cell, x, y, w, h):
+        points = [PointObject(i, a, b) for i, (a, b) in enumerate(raw)]
+        plain = DensityGrid.build(points, EXTENT, cell)
+        pyramid = HierarchicalDensityGrid.build(points, EXTENT, cell)
+        rect = Rect(x, y, x + w, y + h)
+        assert pyramid.upper_bound(rect) == plain.upper_bound(rect)

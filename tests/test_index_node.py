@@ -1,0 +1,77 @@
+"""Unit tests for the Node structure (repro.index.node)."""
+
+import pytest
+
+from repro.geometry import PointObject, Rect
+from repro.index import Node
+
+
+def leaf(points, node_id=-1):
+    node = Node(is_leaf=True, node_id=node_id)
+    for i, (x, y) in enumerate(points):
+        node.add_entry(PointObject(i, x, y))
+    return node
+
+
+class TestMBRMaintenance:
+    def test_empty_node_has_no_mbr(self):
+        assert Node(is_leaf=True).mbr is None
+
+    def test_add_entry_extends_mbr(self):
+        node = leaf([(0, 0)])
+        assert node.mbr == Rect(0, 0, 0, 0)
+        node.add_entry(PointObject(9, 5, -3))
+        assert node.mbr == Rect(0, -3, 5, 0)
+
+    def test_remove_entry_shrinks_mbr(self):
+        node = leaf([(0, 0), (10, 10), (5, 5)])
+        node.remove_entry(node.entries[1])
+        assert node.mbr == Rect(0, 0, 5, 5)
+
+    def test_refresh_mbr_on_empty(self):
+        node = leaf([(1, 1)])
+        node.entries.clear()
+        node.refresh_mbr()
+        assert node.mbr is None
+
+    def test_entry_mbr_for_point_and_node(self):
+        child = leaf([(2, 3), (4, 7)])
+        assert Node.entry_mbr(child) == Rect(2, 3, 4, 7)
+        assert Node.entry_mbr(PointObject(0, 1, 2)) == Rect(1, 2, 1, 2)
+
+
+class TestHierarchy:
+    def _two_level(self):
+        a = leaf([(0, 0), (1, 1)], node_id=1)
+        b = leaf([(10, 10), (11, 11)], node_id=2)
+        root = Node(is_leaf=False, node_id=0)
+        root.add_entry(a)
+        root.add_entry(b)
+        return root, a, b
+
+    def test_add_entry_sets_parent(self):
+        root, a, b = self._two_level()
+        assert a.parent is root and b.parent is root
+        assert root.mbr == Rect(0, 0, 11, 11)
+
+    def test_remove_entry_clears_parent(self):
+        root, a, b = self._two_level()
+        root.remove_entry(a)
+        assert a.parent is None
+        assert root.mbr == Rect(10, 10, 11, 11)
+
+    def test_depth_and_ancestors(self):
+        root, a, b = self._two_level()
+        assert root.depth_from_root() == 0
+        assert a.depth_from_root() == 1
+        assert list(a.ancestors()) == [root]
+
+    def test_iter_subtree_and_objects(self):
+        root, a, b = self._two_level()
+        assert {n.node_id for n in root.iter_subtree()} == {0, 1, 2}
+        assert sorted(p.x for p in root.iter_objects()) == [0, 1, 10, 11]
+
+    def test_len(self):
+        root, a, b = self._two_level()
+        assert len(root) == 2
+        assert len(a) == 2

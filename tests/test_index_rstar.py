@@ -1,0 +1,98 @@
+"""Unit tests for the R* insertion heuristics (repro.index.rstar)."""
+
+import pytest
+
+from repro.geometry import PointObject, Rect
+from repro.index import (
+    REINSERT_FRACTION,
+    Node,
+    choose_subtree,
+    pick_reinsert_entries,
+    split_node,
+)
+
+
+def _leaf_with(points) -> Node:
+    node = Node(is_leaf=True)
+    for i, (x, y) in enumerate(points):
+        node.add_entry(PointObject(i, x, y))
+    return node
+
+
+def _internal_with(rects) -> Node:
+    parent = Node(is_leaf=False)
+    for i, (x1, y1, x2, y2) in enumerate(rects):
+        child = Node(is_leaf=True, node_id=i)
+        child.mbr = Rect(x1, y1, x2, y2)
+        child.entries = [PointObject(i, x1, y1)]  # placeholder content
+        parent.add_entry(child)
+    return parent
+
+
+class TestChooseSubtree:
+    def test_prefers_zero_enlargement(self):
+        parent = Node(is_leaf=False)
+        a = Node(is_leaf=False)
+        a.mbr = Rect(0, 0, 10, 10)
+        a.entries = [Node(is_leaf=True)]
+        b = Node(is_leaf=False)
+        b.mbr = Rect(20, 20, 30, 30)
+        b.entries = [Node(is_leaf=True)]
+        parent.entries = [a, b]
+        chosen = choose_subtree(parent, Rect.from_point(5, 5))
+        assert chosen is a
+
+    def test_leaf_level_uses_overlap(self):
+        # Two leaf children overlap; inserting into the one that increases
+        # overlap least must win even if its area grows a bit more.
+        parent = _internal_with([(0, 0, 10, 10), (8, 0, 18, 10)])
+        left, right = parent.entries
+        chosen = choose_subtree(parent, Rect.from_point(17, 5))
+        assert chosen is right
+        chosen = choose_subtree(parent, Rect.from_point(1, 5))
+        assert chosen is left
+
+
+class TestSplitNode:
+    def test_split_separates_two_clusters(self):
+        points = [(x, y) for x in (0, 1, 2) for y in (0, 1)]
+        points += [(x + 100, y) for x in (0, 1, 2) for y in (0, 1)]
+        node = _leaf_with(points)
+        group1, group2 = split_node(node, min_entries=2)
+        xs1 = {p.x for p in group1}
+        xs2 = {p.x for p in group2}
+        assert (max(xs1) < 50) != (max(xs2) < 50)  # one group per cluster
+        assert len(group1) + len(group2) == len(points)
+
+    def test_split_respects_min_entries(self):
+        node = _leaf_with([(i, 0) for i in range(10)])
+        group1, group2 = split_node(node, min_entries=4)
+        assert len(group1) >= 4 and len(group2) >= 4
+
+    def test_split_partition_is_exact(self):
+        node = _leaf_with([(i, i % 3) for i in range(12)])
+        group1, group2 = split_node(node, min_entries=3)
+        together = sorted(p.oid for p in group1 + group2)
+        assert together == list(range(12))
+
+
+class TestPickReinsertEntries:
+    def test_count_is_thirty_percent(self):
+        node = _leaf_with([(i, 0) for i in range(10)])
+        picked = pick_reinsert_entries(node)
+        assert len(picked) == round(10 * REINSERT_FRACTION)
+
+    def test_picks_farthest_from_center(self):
+        # Center is at x=50; the extremes (0 and 100) must be picked.
+        node = _leaf_with([(0, 0), (45, 0), (50, 0), (55, 0), (49, 0),
+                           (51, 0), (100, 0), (48, 0), (52, 0), (47, 0)])
+        picked = pick_reinsert_entries(node)
+        xs = {p.x for p in picked}
+        assert 0.0 in xs and 100.0 in xs
+
+    def test_reinsert_order_is_closest_first(self):
+        node = _leaf_with([(0, 0), (100, 0)] + [(50 + i, 0) for i in range(8)])
+        picked = pick_reinsert_entries(node)
+        cx, cy = node.mbr.center
+        dists = [(p.x - cx) ** 2 for p in picked]
+        assert dists == sorted(dists)

@@ -1,0 +1,168 @@
+"""Unit tests for RStarTree construction, updates and invariants."""
+
+import pytest
+
+from repro.geometry import PointObject, Rect, make_points
+from repro.index import InvariantViolation, RStarTree, validate_tree
+from tests.conftest import make_clustered_points, make_uniform_points
+
+
+class TestConstruction:
+    def test_rejects_small_max_entries(self):
+        with pytest.raises(ValueError):
+            RStarTree(max_entries=3)
+
+    def test_rejects_bad_min_entries(self):
+        with pytest.raises(ValueError):
+            RStarTree(max_entries=10, min_entries=6)
+        with pytest.raises(ValueError):
+            RStarTree(max_entries=10, min_entries=1)
+
+    def test_default_min_entries_is_forty_percent(self):
+        assert RStarTree(max_entries=50).min_entries == 20
+
+    def test_empty_tree(self):
+        tree = RStarTree()
+        assert tree.size == 0
+        assert tree.height == 0
+        assert list(tree.iter_objects()) == []
+        validate_tree(tree)
+
+
+class TestInsert:
+    def test_insert_grows_and_validates(self):
+        tree = RStarTree(max_entries=8)
+        pts = make_uniform_points(500, seed=3)
+        for p in pts:
+            tree.insert(p)
+        assert tree.size == 500
+        assert tree.height >= 2
+        validate_tree(tree)
+        assert sorted(o.oid for o in tree.iter_objects()) == list(range(500))
+
+    def test_insert_duplicate_coordinates(self):
+        tree = RStarTree(max_entries=4)
+        for i in range(50):
+            tree.insert(PointObject(i, 5.0, 5.0))
+        validate_tree(tree)
+        assert tree.size == 50
+
+    def test_extend(self):
+        tree = RStarTree(max_entries=8)
+        tree.extend(make_uniform_points(100))
+        assert tree.size == 100
+        validate_tree(tree)
+
+    def test_clustered_inserts(self):
+        tree = RStarTree(max_entries=8)
+        tree.extend(make_clustered_points(400, seed=11))
+        validate_tree(tree)
+
+
+class TestDelete:
+    def test_delete_all(self):
+        pts = make_uniform_points(200, seed=5)
+        tree = RStarTree(max_entries=8)
+        tree.extend(pts)
+        for p in pts:
+            assert tree.delete(p)
+            validate_tree(tree)
+        assert tree.size == 0
+
+    def test_delete_missing_returns_false(self):
+        tree = RStarTree(max_entries=8)
+        tree.extend(make_uniform_points(50))
+        assert not tree.delete(PointObject(999, -1.0, -1.0))
+        assert tree.size == 50
+
+    def test_interleaved_insert_delete(self):
+        pts = make_uniform_points(300, seed=9)
+        tree = RStarTree(max_entries=8)
+        tree.extend(pts[:200])
+        for p in pts[:100]:
+            assert tree.delete(p)
+        tree.extend(pts[200:])
+        validate_tree(tree)
+        expect = sorted(p.oid for p in pts[100:])
+        assert sorted(o.oid for o in tree.iter_objects()) == expect
+
+    def test_root_shrinks_after_mass_delete(self):
+        pts = make_uniform_points(500, seed=2)
+        tree = RStarTree(max_entries=8)
+        tree.extend(pts)
+        tall = tree.height
+        for p in pts[:490]:
+            tree.delete(p)
+        validate_tree(tree)
+        assert tree.height < tall
+
+
+class TestBulkLoad:
+    @pytest.mark.parametrize("count", [0, 1, 2, 15, 16, 17, 100, 1000])
+    def test_various_sizes_validate(self, count):
+        pts = make_uniform_points(count, seed=count) if count else []
+        tree = RStarTree.bulk_load(pts, max_entries=16)
+        validate_tree(tree)
+        assert tree.size == count
+        assert sorted(o.oid for o in tree.iter_objects()) == list(range(count))
+
+    def test_fill_bounds(self):
+        with pytest.raises(ValueError):
+            RStarTree.bulk_load([], fill=0.05)
+        with pytest.raises(ValueError):
+            RStarTree.bulk_load([], fill=1.5)
+
+    def test_bulk_then_update(self):
+        pts = make_uniform_points(300, seed=8)
+        tree = RStarTree.bulk_load(pts[:250], max_entries=16)
+        tree.extend(pts[250:])
+        for p in pts[:50]:
+            assert tree.delete(p)
+        validate_tree(tree)
+
+    def test_paper_fanout(self):
+        pts = make_uniform_points(2000, seed=4)
+        tree = RStarTree.bulk_load(pts)  # default max_entries = 50
+        validate_tree(tree)
+        assert tree.max_entries == 50
+
+
+class TestIntrospection:
+    def test_node_count_and_levels(self, uniform_tree):
+        stats = uniform_tree.level_statistics()
+        assert sum(int(s["nodes"]) for s in stats) == uniform_tree.node_count()
+        assert stats[0]["nodes"] == 1  # the root level
+        assert len(stats) == uniform_tree.height + 1
+
+    def test_level_statistics_extents_positive(self, uniform_tree):
+        for level in uniform_tree.level_statistics()[:-1]:
+            assert level["avg_width"] > 0.0
+            assert level["avg_height"] > 0.0
+
+
+class TestValidator:
+    def test_detects_wrong_size(self, uniform_points):
+        tree = RStarTree.bulk_load(uniform_points[:100], max_entries=16)
+        tree.size = 99
+        with pytest.raises(InvariantViolation):
+            validate_tree(tree)
+
+    def test_detects_stale_mbr(self, uniform_points):
+        tree = RStarTree.bulk_load(uniform_points[:100], max_entries=16)
+        node = tree.root.entries[0]
+        node.mbr = node.mbr.expand(1.0, 0.0, 0.0, 0.0)
+        with pytest.raises(InvariantViolation):
+            validate_tree(tree)
+
+    def test_detects_underflow_only_when_enforced(self, uniform_points):
+        tree = RStarTree.bulk_load(uniform_points[:200], max_entries=16)
+        leaf = next(n for n in tree.iter_nodes() if n.is_leaf)
+        removed = leaf.entries[: len(leaf.entries) - 1]
+        del leaf.entries[: len(leaf.entries) - 1]
+        leaf.refresh_mbr()
+        for anc in leaf.ancestors():
+            anc.refresh_mbr()
+        tree.size -= len(removed)
+        with pytest.raises(InvariantViolation):
+            validate_tree(tree)
+        validate_tree(tree, enforce_min_fill=False)

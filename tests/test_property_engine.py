@@ -1,0 +1,162 @@
+"""Property-based tests: the engine agrees with brute force on random
+inputs, for every scheme and measure.
+
+Coordinates and window sizes are drawn from small integer grids so that
+window-boundary membership is exact in floating point; the paper's
+geometry places objects exactly on window edges by construction, and we
+want the engine and the (differently-computed) brute force to agree on
+those boundary cases rather than paper over them with tolerances.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ALL_SCHEMES,
+    DistanceMeasure,
+    KNWCQuery,
+    NWCEngine,
+    NWCQuery,
+    Scheme,
+    knwc_bruteforce,
+    nwc_bruteforce,
+    nwc_bruteforce_generated,
+)
+from repro.geometry import PointObject
+from repro.index import RStarTree
+
+coordinate = st.integers(0, 60)
+point_sets = st.lists(st.tuples(coordinate, coordinate), min_size=1, max_size=25)
+
+
+@st.composite
+def nwc_cases(draw):
+    raw = draw(point_sets)
+    points = [PointObject(i, float(x), float(y)) for i, (x, y) in enumerate(raw)]
+    query = NWCQuery(
+        qx=float(draw(st.integers(-10, 70))),
+        qy=float(draw(st.integers(-10, 70))),
+        length=float(draw(st.integers(1, 30))),
+        width=float(draw(st.integers(1, 30))),
+        n=draw(st.integers(1, 4)),
+        measure=draw(st.sampled_from(list(DistanceMeasure))),
+    )
+    return points, query
+
+
+@st.composite
+def knwc_cases(draw):
+    raw = draw(point_sets)
+    points = [PointObject(i, float(x), float(y)) for i, (x, y) in enumerate(raw)]
+    n = draw(st.integers(2, 3))
+    query = KNWCQuery.make(
+        qx=float(draw(st.integers(-10, 70))),
+        qy=float(draw(st.integers(-10, 70))),
+        length=float(draw(st.integers(2, 25))),
+        width=float(draw(st.integers(2, 25))),
+        n=n,
+        k=draw(st.integers(1, 3)),
+        m=draw(st.integers(0, n - 1)),
+    )
+    return points, query
+
+
+def _agree(result, reference) -> bool:
+    if reference.distance == float("inf"):
+        return not result.found
+    return result.found and math.isclose(
+        result.distance, reference.distance, rel_tol=1e-12, abs_tol=1e-12
+    )
+
+
+class TestNWCProperties:
+    @given(nwc_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_nwc_star_matches_bruteforce(self, case):
+        points, query = case
+        tree = RStarTree.bulk_load(points, max_entries=6)
+        engine = NWCEngine(tree, Scheme.NWC_STAR, grid_cell_size=8.0)
+        assert _agree(engine.nwc(query), nwc_bruteforce(points, query))
+
+    @given(nwc_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_all_schemes_agree_with_each_other(self, case):
+        points, query = case
+        tree = RStarTree.bulk_load(points, max_entries=6)
+        distances = set()
+        for scheme in ALL_SCHEMES:
+            engine = NWCEngine(tree, scheme, grid_cell_size=8.0)
+            distances.add(round(engine.nwc(query).distance, 9))
+        assert len(distances) == 1
+
+    @given(nwc_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_lemma1_generation_rule_lossless(self, case):
+        points, query = case
+        full = nwc_bruteforce(points, query)
+        restricted = nwc_bruteforce_generated(points, query)
+        assert math.isclose(full.distance, restricted.distance,
+                            rel_tol=1e-12, abs_tol=1e-12) or (
+            full.distance == restricted.distance == float("inf")
+        )
+
+    @given(nwc_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_answer_is_always_valid(self, case):
+        points, query = case
+        tree = RStarTree.bulk_load(points, max_entries=6)
+        engine = NWCEngine(tree, Scheme.NWC_PLUS)
+        result = engine.nwc(query)
+        if result.found:
+            assert len(result.objects) == query.n
+            assert len({p.oid for p in result.objects}) == query.n
+            win = result.group.window
+            assert all(win.contains_object(p) for p in result.objects)
+            assert win.width == pytest.approx(query.length)
+            assert win.height == pytest.approx(query.width)
+
+
+class TestKNWCProperties:
+    @given(knwc_cases())
+    @settings(max_examples=50, deadline=None)
+    def test_baseline_matches_bruteforce_exactly(self, case):
+        points, query = case
+        tree = RStarTree.bulk_load(points, max_entries=6)
+        engine = NWCEngine(tree, Scheme.NWC)
+        got = engine.knwc(query)
+        expect = knwc_bruteforce(points, query)
+        assert [sorted(g.oids) for g in got.groups] == [
+            sorted(g.oids) for g in expect.groups
+        ]
+
+    @given(knwc_cases())
+    @settings(max_examples=50, deadline=None)
+    def test_definition3_invariants(self, case):
+        points, query = case
+        tree = RStarTree.bulk_load(points, max_entries=6)
+        engine = NWCEngine(tree, Scheme.NWC_STAR, grid_cell_size=8.0)
+        result = engine.knwc(query)
+        assert len(result.groups) <= query.k
+        assert list(result.distances) == sorted(result.distances)
+        assert result.max_pairwise_overlap() <= query.m or len(result.groups) <= 1
+        for group in result.groups:
+            assert len(group.oids) == query.base.n
+            assert all(group.window.contains_object(p) for p in group.objects)
+
+    @given(knwc_cases())
+    @settings(max_examples=30, deadline=None)
+    def test_first_group_is_the_nwc_answer(self, case):
+        points, query = case
+        tree = RStarTree.bulk_load(points, max_entries=6)
+        engine = NWCEngine(tree, Scheme.NWC_PLUS)
+        knwc = engine.knwc(query)
+        nwc = engine.nwc(query.base)
+        if nwc.found:
+            assert knwc.groups
+            assert math.isclose(knwc.groups[0].distance, nwc.distance,
+                                rel_tol=1e-12, abs_tol=1e-12)
+        else:
+            assert not knwc.groups

@@ -1,0 +1,147 @@
+"""Property-based tests for the extension modules: slab sweep, MaxRS,
+group NWC, subtree-count index."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Aggregate,
+    DistanceMeasure,
+    GroupNWCQuery,
+    NWCQuery,
+    group_nwc,
+    group_nwc_bruteforce,
+    maxrs,
+    maxrs_bruteforce,
+    nwc_bruteforce,
+    nwc_sweep,
+)
+from repro.geometry import PointObject, Rect
+from repro.grid import SubtreeCountIndex
+from repro.index import RStarTree
+
+coordinate = st.integers(0, 60)
+point_sets = st.lists(st.tuples(coordinate, coordinate), min_size=1, max_size=22)
+
+
+def _points(raw):
+    return [PointObject(i, float(x), float(y)) for i, (x, y) in enumerate(raw)]
+
+
+class TestSweepProperties:
+    @given(point_sets, st.integers(-10, 70), st.integers(-10, 70),
+           st.integers(1, 30), st.integers(1, 30), st.integers(1, 4),
+           st.sampled_from(list(DistanceMeasure)))
+    @settings(max_examples=50, deadline=None)
+    def test_sweep_equals_bruteforce(self, raw, qx, qy, l, w, n, measure):
+        points = _points(raw)
+        query = NWCQuery(float(qx), float(qy), float(l), float(w), n, measure)
+        a = nwc_sweep(points, query).distance
+        b = nwc_bruteforce(points, query).distance
+        assert math.isclose(a, b, rel_tol=1e-12, abs_tol=1e-12) or (
+            a == b == float("inf")
+        )
+
+
+class TestMaxRSProperties:
+    @given(point_sets, st.integers(1, 30), st.integers(1, 30))
+    @settings(max_examples=50, deadline=None)
+    def test_maxrs_equals_bruteforce(self, raw, l, w):
+        points = _points(raw)
+        assert maxrs(points, float(l), float(w)).count == maxrs_bruteforce(
+            points, float(l), float(w)
+        )
+
+    @given(point_sets, st.integers(1, 20), st.integers(1, 20))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_window(self, raw, l, w):
+        points = _points(raw)
+        small = maxrs(points, float(l), float(w)).count
+        large = maxrs(points, float(l * 2), float(w * 2)).count
+        assert large >= small
+
+
+@st.composite
+def group_cases(draw):
+    points = _points(draw(point_sets))
+    q_count = draw(st.integers(1, 3))
+    query = GroupNWCQuery(
+        query_points=tuple(
+            (float(draw(coordinate)), float(draw(coordinate)))
+            for _ in range(q_count)
+        ),
+        length=float(draw(st.integers(2, 30))),
+        width=float(draw(st.integers(2, 30))),
+        n=draw(st.integers(1, 3)),
+        aggregate=draw(st.sampled_from(list(Aggregate))),
+        measure=draw(st.sampled_from(
+            [DistanceMeasure.MIN, DistanceMeasure.MAX, DistanceMeasure.AVG])),
+    )
+    return points, query
+
+
+class TestGroupNWCProperties:
+    @given(group_cases())
+    @settings(max_examples=50, deadline=None)
+    def test_engine_equals_bruteforce(self, case):
+        points, query = case
+        tree = RStarTree.bulk_load(points, max_entries=6)
+        a = group_nwc(tree, query).distance
+        b = group_nwc_bruteforce(points, query).distance
+        assert math.isclose(a, b, rel_tol=1e-12, abs_tol=1e-12) or (
+            a == b == float("inf")
+        )
+
+    @given(group_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_prune_invariance(self, case):
+        points, query = case
+        tree = RStarTree.bulk_load(points, max_entries=6)
+        a = group_nwc(tree, query, prune=True).distance
+        b = group_nwc(tree, query, prune=False).distance
+        assert math.isclose(a, b, rel_tol=1e-12, abs_tol=1e-12) or (
+            a == b == float("inf")
+        )
+
+
+class TestConstrainedProperties:
+    @given(point_sets,
+           st.integers(-10, 70), st.integers(-10, 70),
+           st.integers(1, 25), st.integers(1, 25), st.integers(1, 3),
+           st.integers(0, 40), st.integers(0, 40),
+           st.integers(5, 50), st.integers(5, 50))
+    @settings(max_examples=50, deadline=None)
+    def test_region_equals_filtered_bruteforce(self, raw, qx, qy, l, w, n,
+                                               rx, ry, rw, rh):
+        from repro.core import NWCEngine, Scheme
+
+        points = _points(raw)
+        region = Rect(float(rx), float(ry), float(rx + rw), float(ry + rh))
+        query = NWCQuery(float(qx), float(qy), float(l), float(w), n)
+        tree = RStarTree.bulk_load(points, max_entries=6)
+        engine = NWCEngine(tree, Scheme.NWC_PLUS)
+        got = engine.nwc(query, region=region).distance
+        inside = [p for p in points if region.contains_object(p)]
+        expect = nwc_bruteforce(inside, query).distance
+        assert math.isclose(got, expect, rel_tol=1e-12, abs_tol=1e-12) or (
+            got == expect == float("inf")
+        )
+
+
+class TestSubtreeCountProperties:
+    @given(point_sets,
+           st.integers(-10, 70), st.integers(-10, 70),
+           st.integers(0, 60), st.integers(0, 60))
+    @settings(max_examples=60, deadline=None)
+    def test_exact_rectangle_counts(self, raw, x, y, w, h):
+        points = _points(raw)
+        tree = RStarTree.bulk_load(points, max_entries=6)
+        index = SubtreeCountIndex(tree)
+        rect = Rect(float(x), float(y), float(x + w), float(y + h))
+        exact = sum(1 for p in points if rect.contains_object(p))
+        assert index.upper_bound(rect) == exact
+        assert index.is_pruned(rect, exact + 1)
+        if exact:
+            assert not index.is_pruned(rect, exact)

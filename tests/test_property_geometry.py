@@ -1,0 +1,103 @@
+"""Property-based tests for the geometry kernel."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import PointObject, Rect, make_points
+
+coords = st.floats(min_value=-1000.0, max_value=1000.0,
+                   allow_nan=False, allow_infinity=False)
+sizes = st.floats(min_value=0.0, max_value=500.0,
+                  allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def rects(draw):
+    x1 = draw(coords)
+    y1 = draw(coords)
+    return Rect(x1, y1, x1 + draw(sizes), y1 + draw(sizes))
+
+
+class TestRectProperties:
+    @given(rects(), rects())
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert u.contains_rect(a) and u.contains_rect(b)
+
+    @given(rects(), rects())
+    def test_union_commutative(self, a, b):
+        assert a.union(b) == b.union(a)
+
+    @given(rects(), rects())
+    def test_intersection_symmetric_and_contained(self, a, b):
+        inter = a.intersection(b)
+        assert (inter is None) == (b.intersection(a) is None)
+        if inter is not None:
+            assert a.contains_rect(inter) and b.contains_rect(inter)
+            assert inter == b.intersection(a)
+
+    @given(rects(), rects())
+    def test_intersects_iff_intersection_exists(self, a, b):
+        assert a.intersects(b) == (a.intersection(b) is not None)
+
+    @given(rects(), coords, coords)
+    def test_mindist_zero_iff_inside(self, r, x, y):
+        if r.contains_point(x, y):
+            assert r.mindist(x, y) == 0.0
+        else:
+            assert r.mindist(x, y) > 0.0
+
+    @given(rects(), coords, coords)
+    def test_mindist_le_maxdist(self, r, x, y):
+        assert r.mindist(x, y) <= r.maxdist(x, y) + 1e-9
+
+    @given(rects(), coords, coords)
+    def test_mindist_bounds_distance_to_any_corner(self, r, x, y):
+        corner = math.hypot(r.x1 - x, r.y1 - y)
+        assert r.mindist(x, y) <= corner + 1e-9
+        assert r.maxdist(x, y) >= corner - 1e-9
+
+    @given(rects(), sizes, sizes, sizes, sizes)
+    def test_expand_contains_original(self, r, a, b, c, d):
+        assert r.expand(a, b, c, d).contains_rect(r)
+
+    @given(rects(), rects())
+    def test_enlargement_non_negative(self, a, b):
+        assert a.enlargement(b) >= -1e-9
+
+
+points_lists = st.lists(
+    st.tuples(st.integers(0, 200), st.integers(0, 200)), min_size=1, max_size=12
+)
+
+
+class TestNearestWindowDistance:
+    @given(points_lists, st.integers(0, 200), st.integers(0, 200))
+    @settings(max_examples=60)
+    def test_lower_bounds_all_containing_windows(self, raw, qx, qy):
+        pts = make_points(raw)
+        mbr = Rect.bounding(pts)
+        length = mbr.width + 10.0
+        width = mbr.height + 10.0
+        best = Rect.nearest_window_distance(pts, qx, qy, length, width)
+        # Any snapped window containing all points is at least that far.
+        for p in pts:
+            for win in (
+                Rect(p.x - length, p.y - width, p.x, p.y),
+                Rect(p.x, p.y, p.x + length, p.y + width),
+            ):
+                if all(win.contains_object(o) for o in pts):
+                    assert win.mindist(qx, qy) >= best - 1e-9
+
+    @given(points_lists)
+    @settings(max_examples=60)
+    def test_zero_when_q_in_hull(self, raw):
+        pts = make_points(raw)
+        mbr = Rect.bounding(pts)
+        cx, cy = mbr.center
+        best = Rect.nearest_window_distance(
+            pts, cx, cy, mbr.width + 1.0, mbr.height + 1.0
+        )
+        assert best == 0.0

@@ -1,0 +1,125 @@
+"""Property-based tests for quadrant frames, search regions, SRR and DIP."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    QuadrantFrame,
+    generation_region,
+    search_region,
+    shrink_search_region,
+)
+from repro.geometry import PointObject, Rect
+
+coordinate = st.floats(-500.0, 500.0, allow_nan=False, allow_infinity=False)
+size = st.floats(0.5, 100.0, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def frames_and_regions(draw):
+    qx, qy = draw(coordinate), draw(coordinate)
+    p = PointObject(0, draw(coordinate), draw(coordinate))
+    frame = QuadrantFrame.for_object(qx, qy, p)
+    region = search_region(frame, p, draw(size), draw(size))
+    return qx, qy, p, frame, region
+
+
+class TestFrameProperties:
+    @given(frames_and_regions())
+    @settings(max_examples=100, deadline=None)
+    def test_object_in_first_quadrant_of_frame(self, case):
+        _, _, p, frame, _ = case
+        tx, ty = frame.to_frame(p.x, p.y)
+        assert tx >= 0.0 and ty >= 0.0
+
+    @given(frames_and_regions(), coordinate, coordinate)
+    @settings(max_examples=100, deadline=None)
+    def test_isometry(self, case, x, y):
+        qx, qy, _, frame, _ = case
+        tx, ty = frame.to_frame(x, y)
+        assert math.hypot(tx, ty) == math.hypot(x - qx, y - qy)
+
+
+class TestSearchRegionProperties:
+    @given(frames_and_regions())
+    @settings(max_examples=100, deadline=None)
+    def test_region_contains_generator(self, case):
+        _, _, p, frame, region = case
+        assert region.to_real(frame).contains_object(p)
+
+    @given(frames_and_regions())
+    @settings(max_examples=100, deadline=None)
+    def test_region_dimensions(self, case):
+        _, _, _, frame, region = case
+        real = region.to_real(frame)
+        assert math.isclose(real.width, region.length, rel_tol=1e-9, abs_tol=1e-9)
+        assert math.isclose(real.height, 2.0 * region.width, rel_tol=1e-9, abs_tol=1e-9)
+
+    @given(frames_and_regions())
+    @settings(max_examples=100, deadline=None)
+    def test_frame_mindist_matches_real(self, case):
+        qx, qy, _, frame, region = case
+        assert math.isclose(
+            region.mindist_origin(), region.to_real(frame).mindist(qx, qy),
+            rel_tol=1e-9, abs_tol=1e-9,
+        )
+
+
+class TestShrinkProperties:
+    @given(frames_and_regions(), st.floats(0.1, 400.0, allow_nan=False))
+    @settings(max_examples=150, deadline=None)
+    def test_shrunk_region_is_subset(self, case, bound):
+        qx, qy, _, frame, region = case
+        shrunk = shrink_search_region(region, bound)
+        if shrunk is not None:
+            assert region.to_real(frame).contains_rect(shrunk.to_real(frame))
+            assert 0.0 <= shrunk.upper <= region.width + 1e-12
+
+    @given(frames_and_regions(), st.floats(0.1, 400.0, allow_nan=False))
+    @settings(max_examples=150, deadline=None)
+    def test_skip_only_when_nothing_can_improve(self, case, bound):
+        qx, qy, _, frame, region = case
+        shrunk = shrink_search_region(region, bound)
+        if shrunk is None:
+            # Safe skip: even the closest generated window is >= bound.
+            assert region.mindist_origin() >= bound - 1e-9
+
+    @given(frames_and_regions(), st.floats(0.1, 400.0, allow_nan=False),
+           st.floats(0.0, 1.0))
+    @settings(max_examples=150, deadline=None)
+    def test_windows_cut_off_cannot_beat_bound(self, case, bound, t):
+        # A partner at relative height t of the *removed* upper band must
+        # generate a window at distance >= bound.
+        qx, qy, _, frame, region = case
+        shrunk = shrink_search_region(region, bound)
+        if shrunk is None or shrunk.upper >= region.width:
+            return
+        ty_partner = region.ty_p + shrunk.upper + t * (region.width - shrunk.upper)
+        if ty_partner <= region.ty_p + shrunk.upper:
+            return
+        dx = max(0.0, region.x1, -region.tx_p)
+        dy = max(0.0, ty_partner - region.width)
+        assert math.hypot(dx, dy) >= bound - 1e-6
+
+
+class TestGenerationRegionProperties:
+    @given(frames_and_regions())
+    @settings(max_examples=100, deadline=None)
+    def test_generation_region_covers_search_region(self, case):
+        qx, qy, p, frame, region = case
+        gen = generation_region(Rect.from_point(p.x, p.y), qx, qy,
+                                region.length, region.width)
+        assert gen.contains_rect(region.to_real(frame))
+
+    @given(st.tuples(coordinate, coordinate), st.tuples(coordinate, coordinate),
+           st.tuples(coordinate, coordinate), size, size)
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_rect(self, q, a, b, length, width):
+        qx, qy = q
+        small = Rect(min(a[0], b[0]), min(a[1], b[1]), max(a[0], b[0]), max(a[1], b[1]))
+        big = small.expand(5.0, 5.0, 5.0, 5.0)
+        gen_small = generation_region(small, qx, qy, length, width)
+        gen_big = generation_region(big, qx, qy, length, width)
+        assert gen_big.contains_rect(gen_small)

@@ -1,0 +1,197 @@
+"""Unit tests for repro.storage (stats, pages, buffer, serializer)."""
+
+import os
+
+import pytest
+
+from repro.geometry import PointObject, Rect
+from repro.storage import (
+    BufferPool,
+    IOStats,
+    PageError,
+    PageFile,
+    SerializationError,
+    StatsAggregator,
+    decode,
+    encode_internal,
+    encode_leaf,
+    max_internal_entries,
+    max_leaf_entries,
+)
+
+
+class TestIOStats:
+    def test_record_node(self):
+        stats = IOStats()
+        stats.record_node(is_leaf=True)
+        stats.record_node(is_leaf=False)
+        assert stats.node_accesses == 2
+        assert stats.leaf_accesses == 1
+
+    def test_reset(self):
+        stats = IOStats(node_accesses=5, window_queries=3)
+        stats.reset()
+        assert stats.node_accesses == 0
+        assert stats.window_queries == 0
+
+    def test_snapshot_roundtrip(self):
+        stats = IOStats(node_accesses=2, page_reads=7)
+        snap = stats.snapshot()
+        assert snap["node_accesses"] == 2
+        assert snap["page_reads"] == 7
+
+    def test_merged_with(self):
+        a = IOStats(node_accesses=2)
+        b = IOStats(node_accesses=3, leaf_accesses=1)
+        merged = a.merged_with(b)
+        assert merged.node_accesses == 5
+        assert merged.leaf_accesses == 1
+        assert a.node_accesses == 2  # unchanged
+
+    def test_aggregator_mean_total(self):
+        agg = StatsAggregator()
+        agg.add(IOStats(node_accesses=10))
+        agg.add(IOStats(node_accesses=20))
+        assert len(agg) == 2
+        assert agg.mean() == 15.0
+        assert agg.total() == 30
+        assert StatsAggregator().mean() == 0.0
+
+
+class TestPageFile:
+    def test_create_write_read(self, tmp_path):
+        path = tmp_path / "pages.db"
+        with PageFile(path, page_size=128, create=True) as file:
+            pid = file.allocate()
+            file.write_page(pid, b"hello")
+            assert file.read_page(pid).startswith(b"hello")
+            assert file.read_page(pid).endswith(b"\x00")
+
+    def test_persists_across_reopen(self, tmp_path):
+        path = tmp_path / "pages.db"
+        with PageFile(path, page_size=128, create=True) as file:
+            pid = file.allocate()
+            file.write_page(pid, b"data")
+            file.set_root_page(pid)
+        with PageFile(path, page_size=128) as file:
+            assert file.page_count == 1
+            assert file.root_page == pid
+            assert file.read_page(pid).startswith(b"data")
+
+    def test_page_size_mismatch(self, tmp_path):
+        path = tmp_path / "pages.db"
+        PageFile(path, page_size=128, create=True).close()
+        with pytest.raises(PageError):
+            PageFile(path, page_size=256)
+
+    def test_out_of_range_page(self, tmp_path):
+        with PageFile(tmp_path / "p.db", page_size=128, create=True) as file:
+            with pytest.raises(PageError):
+                file.read_page(1)
+            with pytest.raises(PageError):
+                file.write_page(0, b"")
+
+    def test_oversized_payload(self, tmp_path):
+        with PageFile(tmp_path / "p.db", page_size=64, create=True) as file:
+            pid = file.allocate()
+            with pytest.raises(PageError):
+                file.write_page(pid, b"x" * 65)
+
+    def test_not_a_page_file(self, tmp_path):
+        path = tmp_path / "junk.db"
+        path.write_bytes(b"not a page file at all" + b"\x00" * 200)
+        with pytest.raises(PageError):
+            PageFile(path, page_size=128)
+
+    def test_io_is_counted(self, tmp_path):
+        stats = IOStats()
+        with PageFile(tmp_path / "p.db", page_size=128, stats=stats, create=True) as f:
+            pid = f.allocate()
+            f.write_page(pid, b"a")
+            f.read_page(pid)
+        assert stats.page_writes == 1
+        assert stats.page_reads == 1
+
+    def test_tiny_page_size_rejected(self, tmp_path):
+        with pytest.raises(PageError):
+            PageFile(tmp_path / "p.db", page_size=8, create=True)
+
+
+class TestBufferPool:
+    def _file(self, tmp_path, pages=10):
+        file = PageFile(tmp_path / "buf.db", page_size=64, create=True)
+        for _ in range(pages):
+            pid = file.allocate()
+            file.write_page(pid, bytes([pid]) * 8)
+        return file
+
+    def test_read_through_and_hit(self, tmp_path):
+        file = self._file(tmp_path)
+        pool = BufferPool(file, capacity=4)
+        assert pool.get(1)[0] == 1
+        assert pool.get(1)[0] == 1
+        assert pool.hits == 1 and pool.misses == 1
+        assert pool.hit_ratio == 0.5
+
+    def test_lru_eviction(self, tmp_path):
+        file = self._file(tmp_path)
+        pool = BufferPool(file, capacity=2)
+        pool.get(1)
+        pool.get(2)
+        pool.get(3)  # evicts 1
+        assert len(pool) == 2
+        pool.get(1)  # miss again
+        assert pool.misses == 4
+
+    def test_write_back_on_eviction_and_flush(self, tmp_path):
+        file = self._file(tmp_path)
+        pool = BufferPool(file, capacity=2)
+        pool.put(1, b"AA")
+        pool.put(2, b"BB")
+        pool.put(3, b"CC")  # evicts dirty page 1 -> must write it back
+        assert file.read_page(1).startswith(b"AA")
+        pool.flush()
+        assert file.read_page(2).startswith(b"BB")
+        assert file.read_page(3).startswith(b"CC")
+
+    def test_zero_capacity_rejected(self, tmp_path):
+        file = self._file(tmp_path, pages=1)
+        with pytest.raises(ValueError):
+            BufferPool(file, capacity=0)
+
+
+class TestSerializer:
+    def test_leaf_roundtrip(self):
+        objs = [PointObject(i, i * 1.5, -i) for i in range(10)]
+        record = decode(encode_leaf(objs, 4096))
+        assert list(record.objects) == objs
+
+    def test_internal_roundtrip(self):
+        children = [(5, Rect(0, 0, 1, 1)), (9, Rect(2, 3, 4, 5))]
+        record = decode(encode_internal(children, 4096))
+        assert list(record.children) == children
+
+    def test_capacity_functions_positive(self):
+        assert max_leaf_entries(4096) >= 50
+        assert max_internal_entries(4096) >= 50
+
+    def test_paper_page_capacities(self):
+        # One 4096-byte page comfortably holds the paper's fanout of 50.
+        assert max_leaf_entries(4096) == (4096 - 3) // 24
+        assert max_internal_entries(4096) == (4096 - 3) // 40
+
+    def test_overflow_rejected(self):
+        objs = [PointObject(i, 0.0, 0.0) for i in range(max_leaf_entries(256) + 1)]
+        with pytest.raises(SerializationError):
+            encode_leaf(objs, 256)
+
+    def test_truncated_decode_rejected(self):
+        payload = encode_leaf([PointObject(0, 1.0, 2.0)], 4096)
+        with pytest.raises(SerializationError):
+            decode(payload[:10])
+        with pytest.raises(SerializationError):
+            decode(b"")
+
+    def test_empty_leaf_roundtrip(self):
+        record = decode(encode_leaf([], 4096))
+        assert record.objects == ()

@@ -1,0 +1,95 @@
+"""Unit tests for query workloads and parameter sweeps."""
+
+import pytest
+
+from repro.datasets import uniform
+from repro.geometry import Rect
+from repro.workloads import (
+    GRID_SIZES,
+    K_VALUES,
+    M_VALUES,
+    N_VALUES,
+    WINDOW_SIZES,
+    SweepPoint,
+    data_biased_query_points,
+    sweep_grid,
+    sweep_k,
+    sweep_m,
+    sweep_n,
+    sweep_window,
+    uniform_query_points,
+)
+
+
+EXTENT = Rect(0, 0, 1000, 1000)
+
+
+class TestQuerySamplers:
+    def test_uniform_inside_extent(self):
+        pts = uniform_query_points(100, EXTENT, seed=1)
+        assert len(pts) == 100
+        assert all(EXTENT.contains_point(x, y) for x, y in pts)
+
+    def test_uniform_deterministic(self):
+        assert uniform_query_points(10, EXTENT, seed=2) == uniform_query_points(
+            10, EXTENT, seed=2
+        )
+
+    def test_uniform_rejects_zero(self):
+        with pytest.raises(ValueError):
+            uniform_query_points(0, EXTENT)
+
+    def test_data_biased_near_objects(self):
+        ds = uniform(500, seed=3)
+        pts = data_biased_query_points(ds, 50, seed=4, jitter=50.0)
+        assert len(pts) == 50
+        coords = ds.coordinates()
+        for x, y in pts:
+            nearest = ((coords[:, 0] - x) ** 2 + (coords[:, 1] - y) ** 2).min() ** 0.5
+            assert nearest < 500.0  # overwhelmingly near an anchor
+
+    def test_data_biased_clamps_into_extent(self):
+        ds = uniform(100, seed=5)
+        pts = data_biased_query_points(ds, 200, seed=6, jitter=20_000.0)
+        assert all(ds.extent.contains_point(x, y) for x, y in pts)
+
+    def test_data_biased_rejects_empty_dataset(self):
+        from repro.datasets import Dataset
+
+        empty = Dataset("empty", ())
+        with pytest.raises(ValueError):
+            data_biased_query_points(empty, 5)
+
+
+class TestSweeps:
+    def test_paper_sweep_values(self):
+        assert N_VALUES == (8, 16, 32, 64, 128)
+        assert WINDOW_SIZES == (8.0, 16.0, 32.0, 64.0, 128.0)
+        assert GRID_SIZES == (25.0, 50.0, 100.0, 200.0, 400.0)
+        assert len(K_VALUES) == 5 and len(M_VALUES) == 5
+
+    def test_sweep_n(self):
+        points = list(sweep_n())
+        assert [p.n for p in points] == list(N_VALUES)
+        assert all(p.length == 8.0 and p.width == 8.0 for p in points)
+
+    def test_sweep_window_is_square(self):
+        points = list(sweep_window())
+        assert all(p.length == p.width for p in points)
+        assert [p.length for p in points] == list(WINDOW_SIZES)
+
+    def test_sweep_grid(self):
+        assert [p.grid_cell for p in sweep_grid()] == list(GRID_SIZES)
+
+    def test_sweep_k_and_m(self):
+        ks = list(sweep_k())
+        assert [p.k for p in ks] == list(K_VALUES)
+        assert all(p.m == 2 for p in ks)
+        ms = list(sweep_m())
+        assert [p.m for p in ms] == list(M_VALUES)
+        assert all(p.k == 4 for p in ms)
+
+    def test_scaled_window(self):
+        point = SweepPoint(length=8.0, width=8.0).scaled_window(2.0)
+        assert point.length == 16.0 and point.width == 16.0
+        assert point.n == SweepPoint().n  # untouched
