@@ -1,0 +1,106 @@
+"""Execution-mode micro-benchmarks: scalar vs numpy vs batched.
+
+The workload is the kernel-path stress case from the perf work: a
+uniform dataset dense enough that the paper-default 8 x 8 window holds
+thousands of objects, so nearly all query time is spent enumerating
+candidate windows and selecting top-``n`` groups — the code the numpy
+kernels replace.  At the default cardinality (50k objects, ~3.2k
+objects per window) the numpy path runs the NWC* scheme >= 3x faster
+than the scalar path; ``scripts/bench_report.py`` records the measured
+numbers in ``BENCH_nwc.json``.
+
+``REPRO_BENCH_CARD`` shrinks the dataset for quick smoke runs (the CI
+perf job uses 5000 with ``--benchmark-disable``); the extent scales
+with the square root of the cardinality so the object density — and
+with it the per-window workload shape — stays fixed.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+
+import pytest
+
+from repro.core import NWCEngine, NWCQuery, Scheme
+from repro.datasets import uniform
+from repro.geometry import Rect
+from repro.index import RStarTree
+from repro.workloads import DEFAULT_N, DEFAULT_WINDOW, data_biased_query_points
+
+#: Cardinality of the benchmark dataset (env-tunable for smoke runs).
+BENCH_CARD = int(os.environ.get("REPRO_BENCH_CARD", "50000"))
+#: Object density (objects per unit area) of the stress dataset.
+BENCH_DENSITY = 5.0
+BENCH_QUERIES = 3
+BENCH_SEED = 20260806
+
+
+@pytest.fixture(scope="module")
+def kernel_workload():
+    side = math.sqrt(BENCH_CARD / BENCH_DENSITY)
+    dataset = uniform(
+        BENCH_CARD,
+        seed=BENCH_SEED,
+        extent=Rect(0.0, 0.0, side, side),
+        name=f"Uniform-dense({BENCH_CARD})",
+    )
+    tree = RStarTree.bulk_load(dataset.points, max_entries=50)
+    queries = [
+        NWCQuery(x, y, DEFAULT_WINDOW, DEFAULT_WINDOW, DEFAULT_N)
+        for x, y in data_biased_query_points(dataset, BENCH_QUERIES, seed=1)
+    ]
+    return tree, queries
+
+
+def _run(tree, queries, execution):
+    engine = NWCEngine(tree, Scheme.NWC_STAR, execution=execution)
+    return [engine.nwc(q) for q in queries]
+
+
+@pytest.mark.benchmark(group="nwc-dense-uniform")
+def test_nwc_python_scalar(kernel_workload, benchmark):
+    tree, queries = kernel_workload
+    results = benchmark.pedantic(
+        _run, args=(tree, queries, "python"), rounds=1, iterations=1
+    )
+    assert all(r.found for r in results)
+
+
+@pytest.mark.benchmark(group="nwc-dense-uniform")
+def test_nwc_numpy_kernels(kernel_workload, benchmark):
+    tree, queries = kernel_workload
+    results = benchmark.pedantic(
+        _run, args=(tree, queries, "numpy"), rounds=1, iterations=1
+    )
+    assert all(r.found for r in results)
+
+
+@pytest.mark.benchmark(group="nwc-dense-uniform")
+def test_nwc_numpy_batch(kernel_workload, benchmark):
+    tree, queries = kernel_workload
+    engine = NWCEngine(tree, Scheme.NWC_STAR, execution="numpy")
+    # The workload repeats itself once, as a batch from a real client
+    # would: the repeated half hits the region LRU.  Each dense query
+    # touches a few hundred regions, so the cache must hold a full
+    # pass of the workload for the repeats to connect.
+    batch = benchmark.pedantic(
+        engine.nwc_batch,
+        args=(queries + queries,),
+        kwargs={"cache_size": 4096},
+        rounds=1,
+        iterations=1,
+    )
+    assert all(r.found for r in batch)
+    assert batch.stats.cache_hits > 0
+
+
+def test_modes_agree_on_bench_workload(kernel_workload):
+    """The timed paths must be answering the same question."""
+    tree, queries = kernel_workload
+    scalar = _run(tree, queries, "python")
+    vector = _run(tree, queries, "numpy")
+    for s, v in zip(scalar, vector):
+        assert s.distance == v.distance
+        assert [p.oid for p in s.objects] == [p.oid for p in v.objects]
+        assert s.stats == v.stats

@@ -1,0 +1,167 @@
+#!/usr/bin/env python
+"""Measure the execution modes and write ``BENCH_nwc.json``.
+
+Runs the same dense-uniform workload as ``benchmarks/test_perf_kernels.py``
+outside pytest — scalar vs numpy single queries, the batched numpy API,
+and a small parallel sweep at 1 and N workers — and records the timings,
+speedups and environment in a JSON report at the repo root.
+
+    PYTHONPATH=src python scripts/bench_report.py [--card 50000] [--repeats 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np
+
+from repro.core import NWCEngine, NWCQuery, Scheme
+from repro.datasets import uniform
+from repro.eval import DatasetSpec, ParallelSweepRunner, SweepTask
+from repro.geometry import Rect
+from repro.index import RStarTree
+from repro.workloads import (
+    DEFAULT_N,
+    DEFAULT_WINDOW,
+    SweepPoint,
+    data_biased_query_points,
+)
+
+DENSITY = 5.0  # objects per unit area; keeps the per-window load fixed
+
+
+def build_workload(card: int, queries: int):
+    side = math.sqrt(card / DENSITY)
+    dataset = uniform(
+        card, seed=20260806, extent=Rect(0.0, 0.0, side, side),
+        name=f"Uniform-dense({card})",
+    )
+    tree = RStarTree.bulk_load(dataset.points, max_entries=50)
+    qs = [
+        NWCQuery(x, y, DEFAULT_WINDOW, DEFAULT_WINDOW, DEFAULT_N)
+        for x, y in data_biased_query_points(dataset, queries, seed=1)
+    ]
+    return tree, qs
+
+
+def best_of(repeats: int, fn, *args):
+    times = []
+    value = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        value = fn(*args)
+        times.append(time.perf_counter() - t0)
+    return min(times), value
+
+
+def time_modes(tree, queries, repeats: int) -> dict:
+    timings = {}
+    checks = {}
+    for mode in ("python", "numpy"):
+        engine = NWCEngine(tree, Scheme.NWC_STAR, execution=mode)
+        elapsed, results = best_of(
+            repeats, lambda e=engine: [e.nwc(q) for q in queries]
+        )
+        timings[mode] = elapsed
+        checks[mode] = [round(r.distance, 12) for r in results if r.found]
+    assert checks["python"] == checks["numpy"], "execution modes disagree"
+
+    engine = NWCEngine(tree, Scheme.NWC_STAR, execution="numpy")
+    batch_queries = queries + queries  # repeated half exercises the LRU
+    elapsed, batch = best_of(
+        repeats, lambda: engine.nwc_batch(batch_queries, cache_size=4096)
+    )
+    timings["numpy_batch_2x"] = elapsed
+    return {
+        "single_query_s": {
+            "python": round(timings["python"], 4),
+            "numpy": round(timings["numpy"], 4),
+        },
+        "batch_2x_workload_s": round(timings["numpy_batch_2x"], 4),
+        "speedup_numpy_vs_python": round(timings["python"] / timings["numpy"], 2),
+        "batch_vs_2x_single_numpy": round(
+            (2 * timings["numpy"]) / timings["numpy_batch_2x"], 2
+        ),
+        "batch_cache_hit_rate": round(batch.stats.cache_hit_rate, 3),
+        "queries": len(queries),
+        "found": sum(1 for r in batch if r.found),
+    }
+
+
+def time_parallel_sweep(jobs: int, repeats: int) -> dict:
+    spec = DatasetSpec("uniform", 4000, seed=3)
+    tasks = [
+        SweepTask(
+            spec, scheme, SweepPoint(n=n, length=600.0, width=600.0), queries=3,
+            labels=(("scheme", scheme.value), ("n", n)),
+        )
+        for scheme in (Scheme.NWC_PLUS, Scheme.NWC_STAR)
+        for n in (8, 16, 32)
+    ]
+    serial_t, serial_rows = best_of(repeats, ParallelSweepRunner(jobs=1).run, tasks)
+    par_t, par_rows = best_of(repeats, ParallelSweepRunner(jobs=jobs).run, tasks)
+    assert serial_rows == par_rows, "parallel sweep is not deterministic"
+    return {
+        "tasks": len(tasks),
+        "jobs": jobs,
+        "serial_s": round(serial_t, 4),
+        "parallel_s": round(par_t, 4),
+        "speedup": round(serial_t / par_t, 2),
+        "rows_identical": True,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--card", type=int, default=50_000)
+    parser.add_argument("--queries", type=int, default=3)
+    parser.add_argument("--repeats", type=int, default=3)
+    # At least 2 so the worker-pool path is exercised even on one core
+    # (the speedup is then honest-but-boring; rows_identical is the point).
+    parser.add_argument(
+        "--jobs", type=int, default=max(2, min(4, os.cpu_count() or 1))
+    )
+    parser.add_argument(
+        "--output",
+        default=os.path.join(os.path.dirname(__file__), "..", "BENCH_nwc.json"),
+    )
+    args = parser.parse_args(argv)
+
+    tree, queries = build_workload(args.card, args.queries)
+    report = {
+        "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "workload": {
+            "dataset": f"uniform, {args.card} objects, density {DENSITY}/unit^2",
+            "scheme": Scheme.NWC_STAR.value,
+            "window": [DEFAULT_WINDOW, DEFAULT_WINDOW],
+            "n": DEFAULT_N,
+            "repeats": args.repeats,
+            "timing": "best of repeats",
+        },
+        "nwc_execution_modes": time_modes(tree, queries, args.repeats),
+        "parallel_sweep": time_parallel_sweep(args.jobs, args.repeats),
+    }
+    out = os.path.abspath(args.output)
+    with open(out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {out}", file=sys.stderr)
+    speedup = report["nwc_execution_modes"]["speedup_numpy_vs_python"]
+    return 0 if speedup >= 1.0 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

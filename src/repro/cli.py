@@ -16,7 +16,14 @@ import sys
 
 from .core import KNWCQuery, NWCEngine, NWCQuery, Scheme
 from .datasets import ca_like, gaussian, ny_like
-from .eval import EXPERIMENTS, format_table, pivot_by_scheme, save_csv
+from .eval import (
+    EXPERIMENTS,
+    PARALLEL_EXPERIMENTS,
+    format_table,
+    parallel_experiment,
+    pivot_by_scheme,
+    save_csv,
+)
 from .index import RStarTree
 
 _DATASETS = {
@@ -37,7 +44,14 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         kwargs["scale"] = args.scale
     if args.queries is not None:
         kwargs["queries"] = args.queries
-    result = runner(**kwargs)
+    jobs = args.jobs if args.jobs >= 1 else None  # None = one per CPU
+    if jobs != 1 and args.id in PARALLEL_EXPERIMENTS:
+        result = parallel_experiment(args.id, jobs=jobs, **kwargs)
+    else:
+        if jobs != 1:
+            print(f"note: {args.id!r} has no parallel driver; running serially",
+                  file=sys.stderr)
+        result = runner(**kwargs)
     x_column = {
         "fig9": "grid_size", "fig10": "std", "fig11": "n",
         "fig12": "window", "fig13": "k", "fig14": "m",
@@ -90,6 +104,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="dataset scale (default from REPRO_SCALE or 0.05)")
     exp.add_argument("--queries", type=int, default=None,
                      help="queries per setting (paper: 25)")
+    exp.add_argument("--jobs", type=int, default=1,
+                     help="worker processes for figure sweeps "
+                          "(1 = serial; 0 or negative = one per CPU)")
     exp.add_argument("--csv", help="also write rows to this CSV file")
     exp.set_defaults(func=_cmd_experiment)
 

@@ -6,8 +6,14 @@ from .bruteforce import (
     nwc_bruteforce_generated,
     qualified_window_exists,
 )
-from .engine import DEFAULT_GRID_CELL_SIZE, NWCEngine
+from .engine import (
+    DEFAULT_EXECUTION,
+    DEFAULT_GRID_CELL_SIZE,
+    EXECUTION_MODES,
+    NWCEngine,
+)
 from .group import Aggregate, GroupNWCQuery, group_knwc, group_nwc, group_nwc_bruteforce
+from .kernels import RegionCache, RegionSnapshot
 from .knwc import ExactGroupBuffer, PaperGroupList, make_policy
 from .maxrs import MaxRSResult, maxrs, maxrs_bruteforce
 from .measures import (
@@ -27,25 +33,39 @@ from .regions import (
     search_region,
     shrink_search_region,
 )
-from .results import KNWCResult, NWCResult, ObjectGroup
+from .results import (
+    BatchStats,
+    KNWCBatchResult,
+    KNWCResult,
+    NWCBatchResult,
+    NWCResult,
+    ObjectGroup,
+)
 from .schemes import ALL_SCHEMES, OptimizationFlags, Scheme
 from .sweep import knwc_sweep, nwc_sweep
 
 __all__ = [
     "ALL_SCHEMES",
     "Aggregate",
+    "BatchStats",
+    "DEFAULT_EXECUTION",
     "DEFAULT_GRID_CELL_SIZE",
     "DistanceMeasure",
+    "EXECUTION_MODES",
     "ExactGroupBuffer",
     "GroupNWCQuery",
     "MaxRSResult",
     "FrameRegion",
+    "KNWCBatchResult",
     "KNWCQuery",
     "KNWCResult",
+    "NWCBatchResult",
     "NWCEngine",
     "NWCQuery",
     "NWCResult",
     "ObjectGroup",
+    "RegionCache",
+    "RegionSnapshot",
     "OptimizationFlags",
     "PaperGroupList",
     "QuadrantFrame",

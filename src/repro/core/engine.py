@@ -26,11 +26,12 @@ from __future__ import annotations
 import heapq
 import math
 from bisect import bisect_left, bisect_right
-from typing import Sequence
+from typing import Iterable, Sequence
 
 from ..geometry import PointObject, Rect
 from ..grid import DensityGrid
 from ..index import IWPIndex, RStarTree
+from . import kernels
 from .knwc import _rank_key, make_policy
 from .measures import DistanceMeasure
 from .query import KNWCQuery, NWCQuery
@@ -40,11 +41,26 @@ from .regions import (
     search_region,
     shrink_search_region,
 )
-from .results import KNWCResult, NWCResult, ObjectGroup
+from .results import (
+    BatchStats,
+    KNWCBatchResult,
+    KNWCResult,
+    NWCBatchResult,
+    NWCResult,
+    ObjectGroup,
+)
 from .schemes import OptimizationFlags, Scheme
 
 #: Paper default: "The grid cell size is set to 25" (Section 5).
 DEFAULT_GRID_CELL_SIZE = 25.0
+
+#: Engine execution modes: the original scalar path and the numpy
+#: kernel path (see :mod:`repro.core.kernels`); both return bit-identical
+#: answers and counters.
+EXECUTION_MODES = ("python", "numpy")
+
+#: Default execution mode.
+DEFAULT_EXECUTION = "numpy"
 
 
 class _BestGroup:
@@ -75,6 +91,7 @@ class NWCEngine:
         grid_cell_size: float = DEFAULT_GRID_CELL_SIZE,
         iwp: IWPIndex | None = None,
         extent: Rect | None = None,
+        execution: str = DEFAULT_EXECUTION,
     ) -> None:
         """Args:
             tree: The R*-tree indexing the object set ``P``.
@@ -84,15 +101,29 @@ class NWCEngine:
             iwp: Pre-built pointer index (IWP); built on demand otherwise.
             extent: Data-space rectangle for the auto-built grid; defaults
                 to the root MBR.
+            execution: ``"numpy"`` (array kernels, the default) or
+                ``"python"`` (the original scalar path); the two return
+                bit-identical results and counters.
         """
+        if execution not in EXECUTION_MODES:
+            raise ValueError(
+                f"execution must be one of {EXECUTION_MODES}, got {execution!r}"
+            )
         self.tree = tree
         self.scheme = scheme if isinstance(scheme, Scheme) else None
         self.flags = scheme.flags if isinstance(scheme, Scheme) else scheme
         self.grid = grid
         self.iwp = iwp
-        self._grid_cell_size = grid_cell_size
+        self.execution = execution
+        # A pre-built grid may use a different cell size than the default
+        # argument; remember the real one so lazy rebuilds preserve it.
+        # (Duck-typed DEP replacements without a cell size keep the default.)
+        self._grid_cell_size = getattr(grid, "cell_size", grid_cell_size)
         self._iwp_dirty = False
         self._grid_dirty = False
+        self._region_cache: kernels.RegionCache | None = None
+        self._last_cache_hits = 0
+        self._last_cache_misses = 0
         if self.flags.dep and self.grid is None:
             grid_extent = extent if extent is not None else tree.root.mbr
             if grid_extent is None:
@@ -207,6 +238,71 @@ class NWCEngine:
         return KNWCResult(groups=policy.finalize(), stats=self.tree.stats.snapshot())
 
     # ------------------------------------------------------------------
+    # Batched execution
+    # ------------------------------------------------------------------
+    def nwc_batch(
+        self,
+        queries: Iterable[NWCQuery],
+        region: Rect | None = None,
+        cache_size: int = kernels.DEFAULT_CACHE_SIZE,
+    ) -> NWCBatchResult:
+        """Answer many NWC queries with shared region state.
+
+        Per-query answers are identical to calling :meth:`nwc` in a
+        loop; the batch shares one structure-refresh and an LRU of
+        window-query results keyed on the search-region rectangle, so
+        queries that regenerate the same region skip the tree descent
+        (and, in numpy mode, the y-sort).  Aggregate counters and cache
+        effectiveness are reported in the result's ``stats``.
+        """
+        results = []
+        for query, _cache in self._batched(queries, cache_size):
+            results.append(self.nwc(query, region=region))
+        return NWCBatchResult(
+            results=tuple(results),
+            stats=BatchStats.collect(
+                [r.stats for r in results], self._last_cache_hits,
+                self._last_cache_misses,
+            ),
+        )
+
+    def knwc_batch(
+        self,
+        queries: Iterable[KNWCQuery],
+        maintenance: str = "exact",
+        region: Rect | None = None,
+        cache_size: int = kernels.DEFAULT_CACHE_SIZE,
+    ) -> KNWCBatchResult:
+        """Batched :meth:`knwc`; see :meth:`nwc_batch` for semantics."""
+        results = []
+        for query, _cache in self._batched(queries, cache_size):
+            results.append(self.knwc(query, maintenance=maintenance, region=region))
+        return KNWCBatchResult(
+            results=tuple(results),
+            stats=BatchStats.collect(
+                [r.stats for r in results], self._last_cache_hits,
+                self._last_cache_misses,
+            ),
+        )
+
+    def _batched(self, queries: Iterable, cache_size: int):
+        """Iterate ``queries`` with the region LRU installed."""
+        if self._region_cache is not None:
+            raise RuntimeError("batch execution cannot be nested")
+        self._refresh_structures()
+        cache = kernels.RegionCache(cache_size)
+        self._region_cache = cache
+        self._last_cache_hits = 0
+        self._last_cache_misses = 0
+        try:
+            for query in queries:
+                yield query, cache
+        finally:
+            self._last_cache_hits = cache.hits
+            self._last_cache_misses = cache.misses
+            self._region_cache = None
+
+    # ------------------------------------------------------------------
     # Core search (Algorithm 1)
     # ------------------------------------------------------------------
     def _search(self, q: NWCQuery, policy, prune_windows: bool,
@@ -254,13 +350,29 @@ class NWCEngine:
                 stats.window_queries_cancelled += 1
                 continue
             stats.window_queries += 1
-            if flags.iwp:
-                members = self.iwp.window_query(leaf, real_sr)
+            cache = self._region_cache
+            cache_key = None
+
+            def fetch_members(leaf=leaf, real_sr=real_sr):
+                if flags.iwp:
+                    found = self.iwp.window_query(leaf, real_sr)
+                else:
+                    found = tree.window_query(real_sr)
+                if region is not None:
+                    found = [m for m in found if region.contains_object(m)]
+                return found
+
+            if cache is not None:
+                cache_key = (real_sr.x1, real_sr.y1, real_sr.x2, real_sr.y2)
+                members = cache.members(cache_key, fetch_members)
             else:
-                members = tree.window_query(real_sr)
-            if region is not None:
-                members = [m for m in members if region.contains_object(m)]
-            self._enumerate_windows(q, frame, sr, members, policy, prune_windows)
+                members = fetch_members()
+            if self.execution == "numpy":
+                self._enumerate_windows_numpy(
+                    q, frame, sr, members, policy, prune_windows, cache_key
+                )
+            else:
+                self._enumerate_windows(q, frame, sr, members, policy, prune_windows)
 
     def _enumerate_windows(
         self,
@@ -277,14 +389,18 @@ class NWCEngine:
         n = q.n
         width = q.width
         qx, qy = q.qx, q.qy
+        sy = frame.sy
         # Frame-space view of the search-region contents, sorted by frame y.
         entries = []
         for obj in members:
-            tx, ty = frame.to_frame(obj.x, obj.y)
-            dsq = (obj.x - qx) ** 2 + (obj.y - qy) ** 2
-            entries.append((ty, dsq, obj))
+            dxq = obj.x - qx
+            dyq = obj.y - qy
+            entries.append((sy * dyq, dxq * dxq + dyq * dyq, obj))
         entries.sort(key=lambda e: e[0])
         tys = [e[0] for e in entries]
+        # Selection keys (distance, oid), built once per region on first
+        # use instead of once per qualified window.
+        keys: list[tuple[float, int]] | None = None
         # Horizontal MINDIST component shared by every window of p.
         dx = max(0.0, sr.x1)
         dx_sq = dx * dx
@@ -305,26 +421,102 @@ class NWCEngine:
             mindist = math.sqrt(dx_sq + dy * dy)
             if prune_windows and mindist >= policy.bound():
                 continue
+            if keys is None:
+                keys = [(e[1], e[2].oid) for e in entries]
             # Tie-break equal distances on the object id so the selected
             # group is deterministic (duplicate coordinates are legal).
-            chosen = heapq.nsmallest(n, entries[lo:hi],
-                                     key=lambda e: (e[1], e[2].oid))
-            chosen.sort(key=lambda e: (e[1], e[2].oid))
-            objects = tuple(e[2] for e in chosen)
-            distance = self._measure(q, objects, chosen)
+            # Selecting indices avoids copying the entry slice; an exactly
+            # full window needs no heap at all.
+            if hi - lo == n:
+                sel = sorted(range(lo, hi), key=keys.__getitem__)
+            else:
+                sel = heapq.nsmallest(n, range(lo, hi), key=keys.__getitem__)
+            objects = tuple(entries[i][2] for i in sel)
+            distance = self._measure(q, objects, [entries[i][1] for i in sel])
             if prune_windows and distance >= policy.bound():
                 continue
             window = sr.window_rect(frame, entries[j][2].y)
             policy.offer(ObjectGroup(objects, distance, window))
 
+    def _enumerate_windows_numpy(
+        self,
+        q: NWCQuery,
+        frame: QuadrantFrame,
+        sr,
+        members: Sequence[PointObject],
+        policy,
+        prune_windows: bool,
+        cache_key: tuple | None = None,
+    ) -> None:
+        """Array-kernel version of :meth:`_enumerate_windows`.
+
+        Same windows, same groups, same counters (see
+        :mod:`repro.core.kernels` for the bit-identity argument); only
+        the per-window top-``n`` selections remain per-window work, and
+        those run as ``argpartition`` over array slices.
+        """
+        if not members:
+            return
+        stats = self.tree.stats
+        n = q.n
+        sy = frame.sy
+        cache = self._region_cache
+        if cache is not None and cache_key is not None:
+            snap = cache.snapshot(cache_key, sy, members)
+        else:
+            snap = kernels.RegionSnapshot.build(members, sy)
+        tys, dsq = snap.frame_arrays(q.qx, q.qy, sy)
+        start, tops, los, his = kernels.window_spans(tys, sr.ty_p, q.width)
+        examined = len(tops)
+        if examined == 0:
+            return
+        stats.objects_examined += examined
+        stats.windows_evaluated += examined
+        qualified = (his - los) >= n
+        stats.qualified_windows += int(qualified.sum())
+        if not qualified.any():
+            return
+        mindists = kernels.window_mindists(tops, q.width, max(0.0, sr.x1))
+        objects_sorted = snap.objects
+        # The (distance, oid) selection order is shared by every window
+        # of the region; built lazily on the first unpruned window.
+        rank = None
+        # Group objects are only needed up front by the window-based
+        # measure; the point measures derive the distance from dsq alone,
+        # so the tuple can wait until the group survives the bound check.
+        lazy_objects = q.measure is not DistanceMeasure.NEAREST_WINDOW
+        for jj in qualified.nonzero()[0].tolist():
+            if prune_windows and mindists[jj] >= policy.bound():
+                continue
+            if rank is None:
+                rank = kernels.rank_by_key(dsq, snap.oids)
+            sel = kernels.select_ranked(rank, int(los[jj]), int(his[jj]), n)
+            dsqs = dsq[sel].tolist()
+            if lazy_objects:
+                distance = self._measure(q, (), dsqs)
+                if prune_windows and distance >= policy.bound():
+                    continue
+                objects = tuple(objects_sorted[i] for i in sel.tolist())
+            else:
+                objects = tuple(objects_sorted[i] for i in sel.tolist())
+                distance = self._measure(q, objects, dsqs)
+                if prune_windows and distance >= policy.bound():
+                    continue
+            window = sr.window_rect(frame, objects_sorted[start + jj].y)
+            policy.offer(ObjectGroup(objects, distance, window))
+
     @staticmethod
-    def _measure(q: NWCQuery, objects: tuple[PointObject, ...], chosen) -> float:
-        """Cluster distance of the chosen group (distances precomputed)."""
+    def _measure(
+        q: NWCQuery, objects: tuple[PointObject, ...], dsqs: Sequence[float]
+    ) -> float:
+        """Cluster distance of a group; ``dsqs`` are the squared
+        distances to ``q``, ascending (tie-broken by oid like
+        ``objects``)."""
         measure = q.measure
         if measure is DistanceMeasure.MAX:
-            return math.sqrt(chosen[-1][1])
+            return math.sqrt(dsqs[-1])
         if measure is DistanceMeasure.MIN:
-            return math.sqrt(chosen[0][1])
+            return math.sqrt(dsqs[0])
         if measure is DistanceMeasure.AVG:
-            return sum(math.sqrt(e[1]) for e in chosen) / len(chosen)
+            return sum(math.sqrt(d) for d in dsqs) / len(dsqs)
         return Rect.nearest_window_distance(objects, q.qx, q.qy, q.length, q.width)

@@ -1,0 +1,334 @@
+"""Parallel sweep execution for the Section 5 experiments.
+
+The serial drivers in :mod:`repro.eval.experiments` walk every
+(dataset, scheme, parameter) cell of a figure one after another.  This
+module fans those cells out over a ``ProcessPoolExecutor``:
+
+* :class:`DatasetSpec` — a picklable recipe from which a worker rebuilds
+  the dataset (and then the :class:`~repro.eval.runner.BenchContext`)
+  deterministically; the heavyweight tree/grid/IWP structures never
+  cross the process boundary.
+* :class:`SweepTask` — one measured cell: spec + scheme + sweep point +
+  query workload.  Running a task is a pure function of its fields, so
+  the produced rows are identical for any worker count (``jobs=1``
+  short-circuits the pool entirely and runs inline).
+* :class:`ParallelSweepRunner` — order-preserving ``map`` of tasks over
+  the pool; workers memoize contexts per spec so a figure's cells that
+  share a dataset rebuild it once per worker, not once per cell.
+* :func:`parallel_experiment` — the figure drivers (``fig9`` ..
+  ``fig14``) re-expressed as task lists, producing the same
+  :class:`~repro.eval.experiments.ExperimentResult` rows as the serial
+  versions.  Wired to ``nwc-repro experiment --jobs N``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core import ALL_SCHEMES, Scheme
+from ..datasets import (
+    CA_CARDINALITY,
+    GAUSSIAN_CARDINALITY,
+    GAUSSIAN_STD,
+    NY_CARDINALITY,
+    Dataset,
+    ca_like,
+    gaussian,
+    ny_like,
+    uniform,
+)
+from ..workloads import (
+    GAUSSIAN_STDS,
+    GRID_SIZES,
+    K_VALUES,
+    M_VALUES,
+    N_VALUES,
+    WINDOW_SIZES,
+    SweepPoint,
+    data_biased_query_points,
+)
+from .experiments import KNWC_SCHEMES, ExperimentResult
+from .runner import (
+    BenchContext,
+    experiment_query_count,
+    experiment_scale,
+    run_knwc_setting,
+    run_nwc_setting,
+    window_scale_factor,
+)
+
+#: Query-point seed used by the serial experiment drivers.
+DEFAULT_QUERY_SEED = 42
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Picklable recipe for rebuilding one dataset inside a worker.
+
+    Attributes:
+        kind: ``"ca"``, ``"ny"``, ``"gaussian"`` or ``"uniform"``.
+        cardinality: Number of objects to generate.
+        std: Gaussian standard deviation (``gaussian`` only; the
+            generator default when ``None``).
+        seed: Generator seed (the generator default when ``None``).
+        max_entries: R*-tree fanout used when building the context.
+    """
+
+    kind: str
+    cardinality: int
+    std: float | None = None
+    seed: int | None = None
+    max_entries: int = 50
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("ca", "ny", "gaussian", "uniform"):
+            raise ValueError(f"unknown dataset kind {self.kind!r}")
+        if self.cardinality <= 0:
+            raise ValueError("cardinality must be positive")
+
+    def build(self) -> Dataset:
+        """Generate the dataset (deterministic in the spec fields)."""
+        kwargs = {} if self.seed is None else {"seed": self.seed}
+        if self.kind == "ca":
+            return ca_like(self.cardinality, **kwargs)
+        if self.kind == "ny":
+            return ny_like(self.cardinality, **kwargs)
+        if self.kind == "uniform":
+            return uniform(self.cardinality, **kwargs)
+        if self.std is not None:
+            kwargs["std"] = self.std
+        return gaussian(self.cardinality, **kwargs)
+
+    @property
+    def display_name(self) -> str:
+        """The name the generated dataset will carry (used for row
+        labels without building the dataset in the parent process)."""
+        if self.kind == "ca":
+            return "CA-like"
+        if self.kind == "ny":
+            return "NY-like"
+        if self.kind == "uniform":
+            return "Uniform"
+        std = GAUSSIAN_STD if self.std is None else self.std
+        return f"Gaussian(std={std:g})"
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One measured cell of a sweep.
+
+    ``labels`` are merged into the produced row (e.g. ``dataset`` /
+    ``n`` / ``scheme`` columns); the metric columns come from the
+    runner.
+    """
+
+    spec: DatasetSpec
+    scheme: Scheme
+    point: SweepPoint
+    queries: int
+    query_seed: int = DEFAULT_QUERY_SEED
+    kind: str = "nwc"
+    maintenance: str = "exact"
+    labels: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("nwc", "knwc"):
+            raise ValueError(f"unknown task kind {self.kind!r}")
+        if self.queries <= 0:
+            raise ValueError("queries must be positive")
+
+
+#: Per-worker context memo (a worker serves many cells of one figure).
+_CONTEXTS: dict[DatasetSpec, BenchContext] = {}
+
+
+def _context_for(spec: DatasetSpec) -> BenchContext:
+    context = _CONTEXTS.get(spec)
+    if context is None:
+        context = BenchContext.build(spec.build(), max_entries=spec.max_entries)
+        _CONTEXTS[spec] = context
+    return context
+
+
+def run_sweep_task(task: SweepTask) -> dict:
+    """Execute one cell and return its row (labels + metrics)."""
+    context = _context_for(task.spec)
+    query_points = data_biased_query_points(
+        context.dataset, task.queries, seed=task.query_seed
+    )
+    if task.kind == "knwc":
+        metrics = run_knwc_setting(
+            context, task.scheme, task.point, query_points,
+            maintenance=task.maintenance,
+        )
+    else:
+        metrics = run_nwc_setting(context, task.scheme, task.point, query_points)
+    row = dict(task.labels)
+    row.update(metrics)
+    return row
+
+
+class ParallelSweepRunner:
+    """Order-preserving fan-out of :class:`SweepTask` lists.
+
+    ``jobs=1`` runs inline (no pool, no pickling); ``jobs=None`` uses
+    one worker per CPU.  Rows come back in task order and are identical
+    for every worker count because each task is self-contained.
+    """
+
+    def __init__(self, jobs: int | None = 1) -> None:
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        if jobs < 1:
+            raise ValueError("jobs must be positive (or None for cpu count)")
+        self.jobs = jobs
+
+    def run(self, tasks: Sequence[SweepTask]) -> list[dict]:
+        """Execute every task; one row per task, in order."""
+        tasks = list(tasks)
+        if self.jobs == 1 or len(tasks) <= 1:
+            return [run_sweep_task(task) for task in tasks]
+        workers = min(self.jobs, len(tasks))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(run_sweep_task, tasks))
+
+
+# ----------------------------------------------------------------------
+# Figure drivers as task lists
+# ----------------------------------------------------------------------
+def paper_specs(scale: float) -> list[DatasetSpec]:
+    """Specs of the three paper datasets at ``scale``."""
+    return [
+        DatasetSpec("ca", max(1, int(CA_CARDINALITY * scale))),
+        DatasetSpec("ny", max(1, int(NY_CARDINALITY * scale))),
+        DatasetSpec("gaussian", max(1, int(GAUSSIAN_CARDINALITY * scale))),
+    ]
+
+
+def _fig9_tasks(scale: float, queries: int, wf: float):
+    tasks = []
+    for spec in paper_specs(scale):
+        for cell in GRID_SIZES:
+            tasks.append(SweepTask(
+                spec, Scheme.DEP, SweepPoint(grid_cell=cell).scaled_window(wf),
+                queries,
+                labels=(("dataset", spec.display_name), ("grid_size", cell)),
+            ))
+    return ["dataset", "grid_size", "node_accesses"], tasks
+
+
+def _fig10_tasks(scale: float, queries: int, wf: float):
+    cardinality = max(1, int(GAUSSIAN_CARDINALITY * scale))
+    tasks = []
+    for std in GAUSSIAN_STDS:
+        spec = DatasetSpec("gaussian", cardinality, std=std)
+        for scheme in ALL_SCHEMES:
+            tasks.append(SweepTask(
+                spec, scheme, SweepPoint().scaled_window(wf), queries,
+                labels=(("std", std), ("scheme", scheme.value)),
+            ))
+    return ["std", "scheme", "node_accesses"], tasks
+
+
+def _fig11_tasks(scale: float, queries: int, wf: float):
+    tasks = []
+    for spec in paper_specs(scale):
+        for n in N_VALUES:
+            for scheme in ALL_SCHEMES:
+                tasks.append(SweepTask(
+                    spec, scheme, SweepPoint(n=n).scaled_window(wf), queries,
+                    labels=(("dataset", spec.display_name), ("n", n),
+                            ("scheme", scheme.value)),
+                ))
+    return ["dataset", "n", "scheme", "node_accesses"], tasks
+
+
+def _fig12_tasks(scale: float, queries: int, wf: float):
+    tasks = []
+    for spec in paper_specs(scale):
+        for size in WINDOW_SIZES:
+            for scheme in ALL_SCHEMES:
+                tasks.append(SweepTask(
+                    spec, scheme,
+                    SweepPoint(length=size, width=size).scaled_window(wf), queries,
+                    labels=(("dataset", spec.display_name), ("window", size),
+                            ("scheme", scheme.value)),
+                ))
+    return ["dataset", "window", "scheme", "node_accesses"], tasks
+
+
+def _fig13_tasks(scale: float, queries: int, wf: float):
+    tasks = []
+    for spec in paper_specs(scale)[:2]:  # CA-like, NY-like
+        for k in K_VALUES:
+            for scheme in KNWC_SCHEMES:
+                tasks.append(SweepTask(
+                    spec, scheme, SweepPoint(k=k, m=2).scaled_window(wf), queries,
+                    kind="knwc",
+                    labels=(("dataset", spec.display_name), ("k", k),
+                            ("scheme", "k" + scheme.value)),
+                ))
+    return ["dataset", "k", "scheme", "node_accesses"], tasks
+
+
+def _fig14_tasks(scale: float, queries: int, wf: float):
+    tasks = []
+    for spec in paper_specs(scale)[:2]:
+        for m in M_VALUES:
+            for scheme in KNWC_SCHEMES:
+                tasks.append(SweepTask(
+                    spec, scheme, SweepPoint(k=4, m=m).scaled_window(wf), queries,
+                    kind="knwc",
+                    labels=(("dataset", spec.display_name), ("m", m),
+                            ("scheme", "k" + scheme.value)),
+                ))
+    return ["dataset", "m", "scheme", "node_accesses"], tasks
+
+
+_FIGURE_TASKS = {
+    "fig9": ("Effect of grid size (scheme DEP)", _fig9_tasks),
+    "fig10": ("Effect of object distribution (Gaussian std)", _fig10_tasks),
+    "fig11": ("Effect of the number of searched objects n", _fig11_tasks),
+    "fig12": ("Effect of the window size", _fig12_tasks),
+    "fig13": ("Effect of k (kNWC+ vs kNWC*)", _fig13_tasks),
+    "fig14": ("Effect of m (kNWC+ vs kNWC*)", _fig14_tasks),
+}
+
+#: Experiment ids :func:`parallel_experiment` can run.
+PARALLEL_EXPERIMENTS = tuple(sorted(_FIGURE_TASKS))
+
+
+def parallel_experiment(
+    name: str,
+    scale: float | None = None,
+    queries: int | None = None,
+    jobs: int | None = 1,
+) -> ExperimentResult:
+    """Run one figure experiment with ``jobs`` worker processes.
+
+    Produces the same rows (same values, same order) as the serial
+    driver of the same name in :mod:`repro.eval.experiments`.
+    """
+    if name not in _FIGURE_TASKS:
+        raise ValueError(
+            f"experiment {name!r} has no parallel driver; "
+            f"choose from {', '.join(PARALLEL_EXPERIMENTS)}"
+        )
+    scale = experiment_scale() if scale is None else scale
+    queries = experiment_query_count() if queries is None else queries
+    wf = window_scale_factor(scale)
+    title, builder = _FIGURE_TASKS[name]
+    columns, tasks = builder(scale, queries, wf)
+    runner = ParallelSweepRunner(jobs)
+    rows = runner.run(tasks)
+    result = ExperimentResult(
+        name, title, columns,
+        meta={"scale": scale, "queries": queries, "window_factor": wf,
+              "jobs": runner.jobs},
+    )
+    for row in rows:
+        result.rows.append({col: row[col] for col in columns})
+    return result

@@ -1,0 +1,109 @@
+"""Batched query execution: per-query equivalence, cache behaviour and
+the pre-built-grid cell-size fix."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    KNWCQuery,
+    NWCEngine,
+    NWCQuery,
+    OptimizationFlags,
+    Scheme,
+)
+from repro.geometry import PointObject, Rect
+from repro.grid import DensityGrid
+from repro.index import RStarTree
+
+from .conftest import make_clustered_points
+
+
+@pytest.fixture(scope="module")
+def batch_tree():
+    return RStarTree.bulk_load(make_clustered_points(600, seed=23), max_entries=16)
+
+
+def _queries(count=12, seed=0):
+    import random
+    rng = random.Random(seed)
+    qs = [NWCQuery(rng.uniform(0, 1000), rng.uniform(0, 1000), 60, 60, 3)
+          for _ in range(count)]
+    return qs + qs[: count // 2]  # repeats exercise the region LRU
+
+
+@pytest.mark.parametrize("execution", ["python", "numpy"])
+@pytest.mark.parametrize("scheme", [Scheme.NWC, Scheme.NWC_PLUS, Scheme.NWC_STAR])
+def test_nwc_batch_matches_single_queries(batch_tree, execution, scheme):
+    engine = NWCEngine(batch_tree, scheme, execution=execution)
+    queries = _queries()
+    batch = engine.nwc_batch(queries)
+    assert len(batch) == len(queries)
+    for query, batched in zip(queries, batch):
+        single = engine.nwc(query)
+        assert batched.found == single.found
+        assert batched.distance == single.distance
+        assert [p.oid for p in batched.objects] == [p.oid for p in single.objects]
+    assert batch.stats.queries == len(queries)
+    assert batch.stats.total("window_queries") == sum(
+        r.stats["window_queries"] for r in batch.results
+    )
+
+
+@pytest.mark.parametrize("execution", ["python", "numpy"])
+def test_knwc_batch_matches_single_queries(batch_tree, execution):
+    engine = NWCEngine(batch_tree, Scheme.NWC_STAR, execution=execution)
+    queries = [KNWCQuery(q, 3, 1) for q in _queries(8, seed=4)]
+    batch = engine.knwc_batch(queries)
+    for query, batched in zip(queries, batch):
+        single = engine.knwc(query)
+        assert batched.distances == single.distances
+        assert [g.oids for g in batched.groups] == [g.oids for g in single.groups]
+    assert batch.total_groups == sum(len(r.groups) for r in batch.results)
+
+
+def test_batch_cache_hits_on_repeated_queries(batch_tree):
+    engine = NWCEngine(batch_tree, Scheme.NWC, execution="numpy")
+    queries = _queries(6, seed=9)
+    batch = engine.nwc_batch(queries)
+    # The repeated half of the workload regenerates identical search
+    # regions, so the LRU must see hits.
+    assert batch.stats.cache_hits > 0
+    assert 0.0 < batch.stats.cache_hit_rate < 1.0
+    # The cache is strictly batch-scoped.
+    assert engine._region_cache is None
+
+
+def test_batch_cannot_be_nested(batch_tree):
+    engine = NWCEngine(batch_tree, Scheme.NWC_PLUS)
+    queries = _queries(2, seed=1)
+    outer = engine._batched(queries, 16)
+    next(outer)  # outer batch now active
+    with pytest.raises(RuntimeError, match="nested"):
+        engine.nwc_batch(queries)
+    outer.close()  # reinstalls the single-query mode
+    assert engine.nwc_batch(queries).stats.queries == len(queries)
+
+
+def test_constrained_batch_filters_members(batch_tree):
+    engine = NWCEngine(batch_tree, Scheme.NWC)
+    region = Rect(0.0, 0.0, 500.0, 500.0)
+    queries = _queries(6, seed=2)
+    batch = engine.nwc_batch(queries, region=region)
+    for result in batch:
+        for obj in result.objects:
+            assert region.contains_object(obj)
+
+
+def test_prebuilt_grid_cell_size_survives_rebuild(batch_tree):
+    """A pre-built grid's cell size (not the constructor default) must be
+    used when updates force a lazy grid rebuild."""
+    grid = DensityGrid.build(batch_tree.iter_objects(), Rect(0, 0, 1100, 1100), 80.0)
+    engine = NWCEngine(batch_tree, OptimizationFlags(dep=True), grid=grid)
+    assert engine._grid_cell_size == 80.0
+    outsider = PointObject(999_999, 2000.0, 2000.0)
+    engine.insert(outsider)  # outside the grid extent -> dirty rebuild
+    engine.nwc(NWCQuery(500.0, 500.0, 60.0, 60.0, 3))
+    assert engine.grid.cell_size == 80.0
+    assert engine.grid is not grid  # actually rebuilt
+    assert engine.delete(outsider)
