@@ -17,6 +17,7 @@ import math
 import os
 import platform
 import sys
+import tempfile
 import time
 from datetime import datetime, timezone
 
@@ -28,7 +29,8 @@ from repro.core import NWCEngine, NWCQuery, Scheme
 from repro.datasets import uniform
 from repro.eval import DatasetSpec, ParallelSweepRunner, SweepTask
 from repro.geometry import Rect
-from repro.index import RStarTree
+from repro.index import RStarTree, load_tree, save_tree
+from repro.storage import DEFAULT_PAGE_SIZE, FORMAT_VERSION, LEGACY_VERSION
 from repro.workloads import (
     DEFAULT_N,
     DEFAULT_WINDOW,
@@ -120,6 +122,51 @@ def time_parallel_sweep(jobs: int, repeats: int) -> dict:
     }
 
 
+#: Accepted load-time cost of the checksummed format over the seed
+#: format: at most +5% (see DESIGN.md "Robustness").
+LOAD_OVERHEAD_BUDGET_PCT = 5.0
+
+
+def time_storage_formats(tree, repeats: int) -> dict:
+    """Save/load cost of the checksummed v2 format vs the v1 seed format.
+
+    The two formats' repeats are interleaved (v1, v2, v1, v2, ...) so a
+    load spike on the machine hits both sides instead of biasing the
+    ratio; each side reports its best repeat.
+    """
+    formats = (("v1_seed", LEGACY_VERSION), ("v2_checksummed", FORMAT_VERSION))
+    repeats = max(repeats, 5)
+    saves = {label: [] for label, _ in formats}
+    loads = {label: [] for label, _ in formats}
+    timings = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        paths = {label: os.path.join(tmp, f"tree_{label}.db")
+                 for label, _ in formats}
+        for _ in range(repeats):
+            for label, version in formats:
+                t0 = time.perf_counter()
+                save_tree(tree, paths[label], DEFAULT_PAGE_SIZE, version)
+                saves[label].append(time.perf_counter() - t0)
+            for label, _ in formats:
+                t0 = time.perf_counter()
+                loaded = load_tree(paths[label])
+                loads[label].append(time.perf_counter() - t0)
+                assert loaded.size == tree.size, "reloaded tree lost objects"
+        for label, _ in formats:
+            timings[label] = {
+                "save_s": round(min(saves[label]), 4),
+                "load_s": round(min(loads[label]), 4),
+                "file_bytes": os.path.getsize(paths[label]),
+            }
+    overhead = 100.0 * (
+        timings["v2_checksummed"]["load_s"] / timings["v1_seed"]["load_s"] - 1.0
+    )
+    timings["load_overhead_pct"] = round(overhead, 2)
+    timings["load_overhead_budget_pct"] = LOAD_OVERHEAD_BUDGET_PCT
+    timings["within_budget"] = overhead <= LOAD_OVERHEAD_BUDGET_PCT
+    return timings
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--card", type=int, default=50_000)
@@ -152,6 +199,7 @@ def main(argv=None) -> int:
         },
         "nwc_execution_modes": time_modes(tree, queries, args.repeats),
         "parallel_sweep": time_parallel_sweep(args.jobs, args.repeats),
+        "storage_formats": time_storage_formats(tree, args.repeats),
     }
     out = os.path.abspath(args.output)
     with open(out, "w") as handle:
@@ -160,7 +208,8 @@ def main(argv=None) -> int:
     print(json.dumps(report, indent=2))
     print(f"\nwrote {out}", file=sys.stderr)
     speedup = report["nwc_execution_modes"]["speedup_numpy_vs_python"]
-    return 0 if speedup >= 1.0 else 1
+    ok = speedup >= 1.0 and report["storage_formats"]["within_budget"]
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -14,7 +14,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .core import KNWCQuery, NWCEngine, NWCQuery, Scheme
+from .core import KNWCQuery, NWCEngine, NWCError, NWCQuery, Scheme
 from .datasets import ca_like, gaussian, ny_like
 from .eval import (
     EXPERIMENTS,
@@ -25,6 +25,7 @@ from .eval import (
     save_csv,
 )
 from .index import RStarTree
+from .storage import StorageError
 
 _DATASETS = {
     "ca": lambda size: ca_like(size),
@@ -45,9 +46,23 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.queries is not None:
         kwargs["queries"] = args.queries
     jobs = args.jobs if args.jobs >= 1 else None  # None = one per CPU
-    if jobs != 1 and args.id in PARALLEL_EXPERIMENTS:
-        result = parallel_experiment(args.id, jobs=jobs, **kwargs)
+    checkpoint = args.checkpoint
+    if args.resume and checkpoint is None:
+        checkpoint = f"{args.id}.sweep.jsonl"
+    wants_sweep_features = (
+        checkpoint is not None or args.timeout is not None or jobs != 1
+    )
+    if wants_sweep_features and args.id in PARALLEL_EXPERIMENTS:
+        result = parallel_experiment(
+            args.id, jobs=jobs, timeout=args.timeout, checkpoint=checkpoint,
+            **kwargs,
+        )
     else:
+        if checkpoint is not None or args.timeout is not None:
+            print(f"--resume/--timeout need a sweep experiment "
+                  f"({', '.join(PARALLEL_EXPERIMENTS)}); "
+                  f"{args.id!r} has no parallel driver", file=sys.stderr)
+            return 2
         if jobs != 1:
             print(f"note: {args.id!r} has no parallel driver; running serially",
                   file=sys.stderr)
@@ -63,6 +78,10 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.csv:
         save_csv(result, args.csv)
         print(f"\nrows written to {args.csv}")
+    if result.meta.get("checkpoint"):
+        print(f"checkpoint: {result.meta['checkpoint']} "
+              f"({result.meta.get('resumed_cells', 0)} cells resumed)",
+              file=sys.stderr)
     return 0
 
 
@@ -107,6 +126,15 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--jobs", type=int, default=1,
                      help="worker processes for figure sweeps "
                           "(1 = serial; 0 or negative = one per CPU)")
+    exp.add_argument("--resume", action="store_true",
+                     help="journal finished sweep cells and skip them on "
+                          "rerun (figure sweeps only)")
+    exp.add_argument("--checkpoint", default=None,
+                     help="checkpoint journal path (default with --resume: "
+                          "<id>.sweep.jsonl)")
+    exp.add_argument("--timeout", type=float, default=None,
+                     help="per-task timeout in seconds for parallel sweeps "
+                          "(hung workers are retried, then run inline)")
     exp.add_argument("--csv", help="also write rows to this CSV file")
     exp.set_defaults(func=_cmd_experiment)
 
@@ -128,9 +156,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Entry point."""
+    """Entry point.
+
+    Engine, storage and validation failures exit with code 2 and a
+    one-line message on stderr instead of a traceback; anything else is
+    a genuine bug and propagates.
+    """
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (NWCError, StorageError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

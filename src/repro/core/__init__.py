@@ -6,6 +6,12 @@ from .bruteforce import (
     nwc_bruteforce_generated,
     qualified_window_exists,
 )
+from .errors import (
+    BatchStateError,
+    EngineConfigError,
+    NWCError,
+    QueryParameterError,
+)
 from .engine import (
     DEFAULT_EXECUTION,
     DEFAULT_GRID_CELL_SIZE,
@@ -47,11 +53,13 @@ from .sweep import knwc_sweep, nwc_sweep
 __all__ = [
     "ALL_SCHEMES",
     "Aggregate",
+    "BatchStateError",
     "BatchStats",
     "DEFAULT_EXECUTION",
     "DEFAULT_GRID_CELL_SIZE",
     "DistanceMeasure",
     "EXECUTION_MODES",
+    "EngineConfigError",
     "ExactGroupBuffer",
     "GroupNWCQuery",
     "MaxRSResult",
@@ -61,6 +69,7 @@ __all__ = [
     "KNWCResult",
     "NWCBatchResult",
     "NWCEngine",
+    "NWCError",
     "NWCQuery",
     "NWCResult",
     "ObjectGroup",
@@ -69,6 +78,7 @@ __all__ = [
     "OptimizationFlags",
     "PaperGroupList",
     "QuadrantFrame",
+    "QueryParameterError",
     "Scheme",
     "average_distance",
     "cluster_distance",

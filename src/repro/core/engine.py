@@ -32,6 +32,7 @@ from ..geometry import PointObject, Rect
 from ..grid import DensityGrid
 from ..index import IWPIndex, RStarTree
 from . import kernels
+from .errors import BatchStateError, EngineConfigError
 from .knwc import _rank_key, make_policy
 from .measures import DistanceMeasure
 from .query import KNWCQuery, NWCQuery
@@ -106,7 +107,7 @@ class NWCEngine:
                 bit-identical results and counters.
         """
         if execution not in EXECUTION_MODES:
-            raise ValueError(
+            raise EngineConfigError(
                 f"execution must be one of {EXECUTION_MODES}, got {execution!r}"
             )
         self.tree = tree
@@ -127,7 +128,9 @@ class NWCEngine:
         if self.flags.dep and self.grid is None:
             grid_extent = extent if extent is not None else tree.root.mbr
             if grid_extent is None:
-                raise ValueError("cannot build a density grid over an empty tree")
+                raise EngineConfigError(
+                    "cannot build a density grid over an empty tree"
+                )
             self.grid = DensityGrid.build(tree.iter_objects(), grid_extent, grid_cell_size)
         if self.flags.iwp and self.iwp is None:
             self.iwp = IWPIndex(tree)
@@ -203,12 +206,37 @@ class NWCEngine:
                 semantics of Ferhatosmanoglu et al. [8], applied to
                 window clusters).  Index nodes disjoint from the region
                 are pruned for free.
+
+        A query that provably cannot be satisfied — ``n`` larger than
+        the dataset, or a constrained region containing no objects —
+        returns an explicit empty result (``found`` False) with its
+        ``reason`` set, without touching the index.
         """
         if reset_stats:
             self.tree.stats.reset()
+        reason = self._unsatisfiable(query, region)
+        if reason is not None:
+            return NWCResult(group=None, stats=self.tree.stats.snapshot(),
+                             reason=reason)
         policy = _BestGroup()
         self._search(query, policy, prune_windows=True, region=region)
         return NWCResult(group=policy.group, stats=self.tree.stats.snapshot())
+
+    def _unsatisfiable(self, query: NWCQuery, region: Rect | None) -> str | None:
+        """A cheap proof that no qualified window can exist, or ``None``.
+
+        Defined behavior for the degenerate cases the paper never
+        exercises: asking for more objects than the dataset holds, or
+        constraining the answer to a region the dataset does not touch,
+        yields an explicit empty result instead of a full index scan.
+        """
+        if query.n > self.tree.size:
+            return "n exceeds dataset size"
+        if region is not None:
+            mbr = self.tree.root.mbr
+            if mbr is None or not region.intersects(mbr):
+                return "constrained region contains no objects"
+        return None
 
     def knwc(
         self,
@@ -227,6 +255,10 @@ class NWCEngine:
         """
         if reset_stats:
             self.tree.stats.reset()
+        reason = self._unsatisfiable(query.base, region)
+        if reason is not None:
+            return KNWCResult(groups=(), stats=self.tree.stats.snapshot(),
+                              reason=reason)
         policy = make_policy(maintenance, query.k, query.m)
         # The baseline scheme drains every object anyway; evaluating every
         # qualified window makes the unoptimized kNWC answer exactly the
@@ -288,7 +320,7 @@ class NWCEngine:
     def _batched(self, queries: Iterable, cache_size: int):
         """Iterate ``queries`` with the region LRU installed."""
         if self._region_cache is not None:
-            raise RuntimeError("batch execution cannot be nested")
+            raise BatchStateError("batch execution cannot be nested")
         self._refresh_structures()
         cache = kernels.RegionCache(cache_size)
         self._region_cache = cache

@@ -5,6 +5,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from .errors import QueryParameterError
 from .measures import DistanceMeasure
 
 
@@ -30,11 +31,13 @@ class NWCQuery:
 
     def __post_init__(self) -> None:
         if not (math.isfinite(self.qx) and math.isfinite(self.qy)):
-            raise ValueError("query location must be finite")
+            raise QueryParameterError("query location must be finite")
+        if not (math.isfinite(self.length) and math.isfinite(self.width)):
+            raise QueryParameterError("window length and width must be finite")
         if self.length <= 0 or self.width <= 0:
-            raise ValueError("window length and width must be positive")
+            raise QueryParameterError("window length and width must be positive")
         if self.n <= 0:
-            raise ValueError("n must be positive")
+            raise QueryParameterError("n must be positive")
 
     @property
     def diagonal(self) -> float:
@@ -60,9 +63,9 @@ class KNWCQuery:
 
     def __post_init__(self) -> None:
         if self.k <= 0:
-            raise ValueError("k must be positive")
+            raise QueryParameterError("k must be positive")
         if not 0 <= self.m < self.base.n:
-            raise ValueError("m must satisfy 0 <= m < n")
+            raise QueryParameterError("m must satisfy 0 <= m < n")
 
     @staticmethod
     def make(

@@ -40,10 +40,16 @@ class NWCResult:
         group: The best group, or ``None`` when no qualified window
             exists anywhere in the dataset.
         stats: Snapshot of the I/O counters accumulated by the query.
+        reason: Why the engine answered empty without searching, when
+            it could prove the query unsatisfiable up front (``"n
+            exceeds dataset size"``, ``"constrained region contains no
+            objects"``); ``None`` for ordinary answers, including
+            empty ones produced by an exhaustive search.
     """
 
     group: ObjectGroup | None
     stats: dict[str, int] = field(default_factory=dict)
+    reason: str | None = None
 
     @property
     def found(self) -> bool:
@@ -68,10 +74,15 @@ class NWCResult:
 
 @dataclass(frozen=True, slots=True)
 class KNWCResult:
-    """Answer of one kNWC query: up to ``k`` groups, ascending distance."""
+    """Answer of one kNWC query: up to ``k`` groups, ascending distance.
+
+    ``reason`` mirrors :attr:`NWCResult.reason` — set only when the
+    engine proved the query unsatisfiable without searching.
+    """
 
     groups: tuple[ObjectGroup, ...]
     stats: dict[str, int] = field(default_factory=dict)
+    reason: str | None = None
 
     def __len__(self) -> int:
         return len(self.groups)

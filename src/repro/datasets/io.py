@@ -2,11 +2,18 @@
 
 Format: a header line ``oid,x,y`` followed by one row per object — easy
 to diff, easy to load into any external tool.
+
+Robustness: :func:`save_csv` writes atomically (temp file + rename), so
+a crash mid-save never leaves a half-written dataset behind;
+:func:`load_csv` rejects non-finite coordinates and duplicate object
+ids with line-numbered errors instead of silently building a dataset
+the engine cannot answer correctly over.
 """
 
 from __future__ import annotations
 
 import csv
+import math
 import os
 
 from ..geometry import PointObject, Rect
@@ -14,12 +21,29 @@ from .dataset import PAPER_EXTENT, Dataset
 
 
 def save_csv(dataset: Dataset, path: str | os.PathLike[str]) -> None:
-    """Write a dataset to ``path``."""
-    with open(path, "w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(["oid", "x", "y"])
-        for p in dataset.points:
-            writer.writerow([p.oid, repr(p.x), repr(p.y)])
+    """Write a dataset to ``path`` atomically.
+
+    The rows land in a same-directory temporary file that is fsynced
+    and renamed over ``path``; a crash at any point leaves either the
+    previous file or the complete new one.
+    """
+    path = os.fspath(path)
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp_path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["oid", "x", "y"])
+            for p in dataset.points:
+                writer.writerow([p.oid, repr(p.x), repr(p.y)])
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
 
 
 def load_csv(
@@ -35,9 +59,13 @@ def load_csv(
         extent: Data space to attach.
 
     Raises:
-        ValueError: On missing/invalid header or malformed rows.
+        ValueError: On missing/invalid header or malformed rows — a bad
+            field count, an unparsable number, a NaN/infinite
+            coordinate, or a duplicate ``oid``; every message carries
+            the offending ``path:line``.
     """
     points: list[PointObject] = []
+    seen_oids: dict[int, int] = {}
     with open(path, newline="") as handle:
         reader = csv.reader(handle)
         header = next(reader, None)
@@ -47,8 +75,21 @@ def load_csv(
             if len(row) != 3:
                 raise ValueError(f"{path}:{row_number}: expected 3 fields, got {len(row)}")
             try:
-                points.append(PointObject(int(row[0]), float(row[1]), float(row[2])))
+                oid, x, y = int(row[0]), float(row[1]), float(row[2])
             except ValueError as exc:
                 raise ValueError(f"{path}:{row_number}: {exc}") from exc
+            if not (math.isfinite(x) and math.isfinite(y)):
+                raise ValueError(
+                    f"{path}:{row_number}: non-finite coordinate "
+                    f"({row[1]!r}, {row[2]!r}) for oid {oid}"
+                )
+            first_seen = seen_oids.get(oid)
+            if first_seen is not None:
+                raise ValueError(
+                    f"{path}:{row_number}: duplicate oid {oid} "
+                    f"(first seen at line {first_seen})"
+                )
+            seen_oids[oid] = row_number
+            points.append(PointObject(oid, x, y))
     label = name if name is not None else os.path.splitext(os.path.basename(path))[0]
     return Dataset(label, tuple(points), extent)

@@ -12,23 +12,31 @@ module fans those cells out over a ``ProcessPoolExecutor``:
   query workload.  Running a task is a pure function of its fields, so
   the produced rows are identical for any worker count (``jobs=1``
   short-circuits the pool entirely and runs inline).
-* :class:`ParallelSweepRunner` — order-preserving ``map`` of tasks over
+* :class:`ParallelSweepRunner` — order-preserving fan-out of tasks over
   the pool; workers memoize contexts per spec so a figure's cells that
-  share a dataset rebuild it once per worker, not once per cell.
+  share a dataset rebuild it once per worker, not once per cell.  The
+  runner is **fault tolerant**: a crashed or timed-out worker task is
+  retried with exponential backoff and, as a last resort, re-executed
+  inline in the parent — one bad worker can never change the row set.
+  An optional :class:`~repro.eval.checkpoint.SweepCheckpoint` journals
+  each finished cell so a killed sweep resumes without recomputing.
 * :func:`parallel_experiment` — the figure drivers (``fig9`` ..
   ``fig14``) re-expressed as task lists, producing the same
   :class:`~repro.eval.experiments.ExperimentResult` rows as the serial
-  versions.  Wired to ``nwc-repro experiment --jobs N``.
+  versions.  Wired to ``nwc-repro experiment --jobs N [--resume]``.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import json
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence
 
-from ..core import ALL_SCHEMES, Scheme
+from ..core import ALL_SCHEMES, NWCError, Scheme
 from ..datasets import (
     CA_CARDINALITY,
     GAUSSIAN_CARDINALITY,
@@ -50,6 +58,7 @@ from ..workloads import (
     SweepPoint,
     data_biased_query_points,
 )
+from .checkpoint import SweepCheckpoint
 from .experiments import KNWC_SCHEMES, ExperimentResult
 from .runner import (
     BenchContext,
@@ -62,6 +71,10 @@ from .runner import (
 
 #: Query-point seed used by the serial experiment drivers.
 DEFAULT_QUERY_SEED = 42
+
+
+class SweepError(NWCError):
+    """A sweep task failed even after retries and inline re-execution."""
 
 
 @dataclass(frozen=True)
@@ -140,6 +153,24 @@ class SweepTask:
         if self.queries <= 0:
             raise ValueError("queries must be positive")
 
+    @property
+    def key(self) -> str:
+        """Stable fingerprint of this cell, used as the checkpoint-
+        journal key: two tasks share a key iff they are guaranteed to
+        produce the same row (every field that affects the computation
+        participates)."""
+        payload = {
+            "spec": dataclasses.asdict(self.spec),
+            "scheme": self.scheme.value,
+            "point": dataclasses.asdict(self.point),
+            "queries": self.queries,
+            "query_seed": self.query_seed,
+            "kind": self.kind,
+            "maintenance": self.maintenance,
+            "labels": [[name, value] for name, value in self.labels],
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
 
 #: Per-worker context memo (a worker serves many cells of one figure).
 _CONTEXTS: dict[DatasetSpec, BenchContext] = {}
@@ -172,28 +203,163 @@ def run_sweep_task(task: SweepTask) -> dict:
 
 
 class ParallelSweepRunner:
-    """Order-preserving fan-out of :class:`SweepTask` lists.
+    """Order-preserving, fault-tolerant fan-out of :class:`SweepTask` lists.
 
     ``jobs=1`` runs inline (no pool, no pickling); ``jobs=None`` uses
     one worker per CPU.  Rows come back in task order and are identical
     for every worker count because each task is self-contained.
+
+    Worker failures are survivable instead of sweep-fatal: a task whose
+    future raises (crashed worker, ``BrokenProcessPool``, pickling
+    trouble) or exceeds ``timeout`` seconds is resubmitted up to
+    ``retries`` times with exponential backoff, then — as the last
+    resort — re-executed inline in the parent process, so the produced
+    row set never depends on worker health.  Only a task that *also*
+    fails inline aborts the sweep, with a :class:`SweepError`.
+
+    A timed-out future is cancelled but its worker process cannot be
+    interrupted mid-task; the retry therefore runs alongside it and the
+    hung worker's slot frees up whenever the task eventually returns.
+
+    Args:
+        jobs: Worker processes (1 = inline serial execution).
+        timeout: Per-task seconds before a running future is treated as
+            failed (``None`` = wait forever; pool mode only).
+        retries: Worker resubmissions per task before falling back to
+            inline execution.
+        backoff: Base of the exponential retry delay, in seconds
+            (attempt ``i`` sleeps ``backoff * 2**(i-1)``).
     """
 
-    def __init__(self, jobs: int | None = 1) -> None:
+    def __init__(self, jobs: int | None = 1, timeout: float | None = None,
+                 retries: int = 2, backoff: float = 0.1) -> None:
         if jobs is None:
             jobs = os.cpu_count() or 1
         if jobs < 1:
             raise ValueError("jobs must be positive (or None for cpu count)")
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        if backoff < 0:
+            raise ValueError("backoff must be non-negative")
         self.jobs = jobs
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
 
-    def run(self, tasks: Sequence[SweepTask]) -> list[dict]:
-        """Execute every task; one row per task, in order."""
+    def run(
+        self,
+        tasks: Sequence[SweepTask],
+        task_fn: Callable[[SweepTask], dict] = run_sweep_task,
+        checkpoint: SweepCheckpoint | None = None,
+    ) -> list[dict]:
+        """Execute every task; one row per task, in order.
+
+        Args:
+            task_fn: The cell executor (overridable for fault-injection
+                tests; must be picklable when ``jobs > 1``).
+            checkpoint: Optional journal — tasks whose key it already
+                holds are skipped and their journaled row reused;
+                newly finished cells are appended as they complete.
+        """
         tasks = list(tasks)
-        if self.jobs == 1 or len(tasks) <= 1:
-            return [run_sweep_task(task) for task in tasks]
-        workers = min(self.jobs, len(tasks))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(run_sweep_task, tasks))
+        rows: list[dict | None] = [None] * len(tasks)
+        pending: list[int] = []
+        for index, task in enumerate(tasks):
+            cached = checkpoint.completed(task.key) if checkpoint else None
+            if cached is not None:
+                rows[index] = cached
+            else:
+                pending.append(index)
+        if not pending:
+            return rows  # type: ignore[return-value]
+
+        def finish(index: int, row: dict) -> None:
+            rows[index] = row
+            if checkpoint is not None:
+                checkpoint.record(tasks[index].key, row)
+
+        if self.jobs == 1 or len(pending) <= 1:
+            for index in pending:
+                finish(index, task_fn(tasks[index]))
+            return rows  # type: ignore[return-value]
+        self._run_pool(tasks, pending, task_fn, finish)
+        return rows  # type: ignore[return-value]
+
+    def _run_pool(
+        self,
+        tasks: list[SweepTask],
+        pending: list[int],
+        task_fn: Callable[[SweepTask], dict],
+        finish: Callable[[int, dict], None],
+    ) -> None:
+        workers = min(self.jobs, len(pending))
+        pool = ProcessPoolExecutor(max_workers=workers)
+        in_flight: dict[Future, int] = {}
+        deadlines: dict[Future, float] = {}
+        attempts: dict[int, int] = {index: 0 for index in pending}
+        rescue_inline: list[tuple[int, BaseException]] = []
+
+        def submit(index: int) -> None:
+            try:
+                future = pool.submit(task_fn, tasks[index])
+            except Exception as exc:  # broken/shut-down pool
+                rescue_inline.append((index, exc))
+                return
+            in_flight[future] = index
+            if self.timeout is not None:
+                deadlines[future] = time.monotonic() + self.timeout
+
+        def record_failure(index: int, error: BaseException) -> None:
+            attempts[index] += 1
+            if attempts[index] <= self.retries:
+                time.sleep(self.backoff * (2 ** (attempts[index] - 1)))
+                submit(index)
+            else:
+                rescue_inline.append((index, error))
+
+        try:
+            for index in pending:
+                submit(index)
+            while in_flight:
+                wait_for = None
+                if deadlines:
+                    wait_for = max(0.0, min(deadlines.values()) - time.monotonic())
+                done, _ = wait(set(in_flight), timeout=wait_for,
+                               return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = in_flight.pop(future)
+                    deadlines.pop(future, None)
+                    error = future.exception()
+                    if error is None:
+                        finish(index, future.result())
+                    else:
+                        record_failure(index, error)
+                if self.timeout is not None:
+                    now = time.monotonic()
+                    expired = [future for future, deadline in deadlines.items()
+                               if now >= deadline and future in in_flight]
+                    for future in expired:
+                        index = in_flight.pop(future)
+                        deadlines.pop(future, None)
+                        future.cancel()
+                        record_failure(index, TimeoutError(
+                            f"task exceeded {self.timeout:g}s in a worker"
+                        ))
+        finally:
+            # Don't block on stragglers (a hung worker is exactly the
+            # failure mode the timeout path guards against); inline
+            # rescue below proceeds regardless of worker health.
+            pool.shutdown(wait=False, cancel_futures=True)
+        for index, error in rescue_inline:
+            try:
+                finish(index, task_fn(tasks[index]))
+            except Exception as exc:
+                raise SweepError(
+                    f"sweep task {dict(tasks[index].labels)!r} failed in "
+                    f"workers ({error}) and inline ({exc})"
+                ) from exc
 
 
 # ----------------------------------------------------------------------
@@ -306,11 +472,23 @@ def parallel_experiment(
     scale: float | None = None,
     queries: int | None = None,
     jobs: int | None = 1,
+    timeout: float | None = None,
+    retries: int = 2,
+    checkpoint: str | os.PathLike[str] | None = None,
 ) -> ExperimentResult:
     """Run one figure experiment with ``jobs`` worker processes.
 
     Produces the same rows (same values, same order) as the serial
     driver of the same name in :mod:`repro.eval.experiments`.
+
+    Args:
+        timeout: Per-task seconds before a worker is considered hung
+            (retried, then run inline).
+        retries: Worker resubmissions per task before the inline
+            fallback.
+        checkpoint: Path of a JSONL journal; cells it already holds are
+            skipped (``--resume`` semantics) and new cells appended, so
+            a killed sweep continues where it stopped.
     """
     if name not in _FIGURE_TASKS:
         raise ValueError(
@@ -322,13 +500,18 @@ def parallel_experiment(
     wf = window_scale_factor(scale)
     title, builder = _FIGURE_TASKS[name]
     columns, tasks = builder(scale, queries, wf)
-    runner = ParallelSweepRunner(jobs)
-    rows = runner.run(tasks)
-    result = ExperimentResult(
-        name, title, columns,
-        meta={"scale": scale, "queries": queries, "window_factor": wf,
-              "jobs": runner.jobs},
-    )
+    runner = ParallelSweepRunner(jobs, timeout=timeout, retries=retries)
+    meta = {"scale": scale, "queries": queries, "window_factor": wf,
+            "jobs": runner.jobs}
+    if checkpoint is not None:
+        with SweepCheckpoint.load(checkpoint) as journal:
+            resumed = sum(1 for t in tasks if journal.completed(t.key) is not None)
+            rows = runner.run(tasks, checkpoint=journal)
+        meta["checkpoint"] = os.fspath(checkpoint)
+        meta["resumed_cells"] = resumed
+    else:
+        rows = runner.run(tasks)
+    result = ExperimentResult(name, title, columns, meta=meta)
     for row in rows:
         result.rows.append({col: row[col] for col in columns})
     return result

@@ -8,7 +8,7 @@ from .pointers import (
     backward_pointer_depths,
 )
 from .hilbert import hilbert_bulk_load, hilbert_d, hilbert_key
-from .persistence import load_tree, save_tree
+from .persistence import load_tree, repair_tree, save_tree
 from .rstar import REINSERT_FRACTION, choose_subtree, pick_reinsert_entries, split_node
 from .rtree import DEFAULT_MAX_ENTRIES, RStarTree
 from .splits import SPLIT_STRATEGIES, VariantRTree, linear_split, make_tree, quadratic_split
@@ -35,6 +35,7 @@ __all__ = [
     "make_tree",
     "pick_reinsert_entries",
     "quadratic_split",
+    "repair_tree",
     "save_tree",
     "split_node",
     "validate_tree",

@@ -1,11 +1,27 @@
 """Disk substrate: fixed-size pages, node serialization, buffering, I/O stats."""
 
 from .buffer import BufferPool
-from .pages import DEFAULT_PAGE_SIZE, PageError, PageFile, PageHeader
+from .errors import (
+    CorruptPageError,
+    FormatVersionError,
+    PageError,
+    RepairFailedError,
+    SerializationError,
+    StorageError,
+)
+from .pages import (
+    DEFAULT_PAGE_SIZE,
+    FORMAT_VERSION,
+    LEGACY_VERSION,
+    MAGIC,
+    PAGE_OVERHEAD,
+    PageFile,
+    PageHeader,
+    scan_pages,
+)
 from .serializer import (
     InternalRecord,
     LeafRecord,
-    SerializationError,
     decode,
     encode_internal,
     encode_leaf,
@@ -16,18 +32,27 @@ from .stats import IOStats, StatsAggregator
 
 __all__ = [
     "BufferPool",
+    "CorruptPageError",
     "DEFAULT_PAGE_SIZE",
+    "FORMAT_VERSION",
+    "FormatVersionError",
     "IOStats",
     "InternalRecord",
+    "LEGACY_VERSION",
     "LeafRecord",
+    "MAGIC",
+    "PAGE_OVERHEAD",
     "PageError",
     "PageFile",
     "PageHeader",
+    "RepairFailedError",
     "SerializationError",
     "StatsAggregator",
+    "StorageError",
     "decode",
     "encode_internal",
     "encode_leaf",
     "max_internal_entries",
     "max_leaf_entries",
+    "scan_pages",
 ]

@@ -1,0 +1,61 @@
+"""Typed error hierarchy of the storage layer.
+
+Every failure the disk substrate can detect maps to a subclass of
+:class:`StorageError`, so callers (the CLI, the eval harness, repair
+tooling) can distinguish "this file is damaged" from programming errors
+and react — retry, repair, or fail the job with a clean message —
+instead of crashing on a bare ``Exception``.
+
+Hierarchy::
+
+    StorageError
+    ├── PageError                # malformed page files / bad page ids
+    │   ├── CorruptPageError     # checksum mismatch, torn write, truncation
+    │   └── FormatVersionError   # unknown magic / unsupported version
+    ├── SerializationError       # node records that do not fit / decode
+    └── RepairFailedError        # salvage found nothing usable
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CorruptPageError",
+    "FormatVersionError",
+    "PageError",
+    "RepairFailedError",
+    "SerializationError",
+    "StorageError",
+]
+
+
+class StorageError(Exception):
+    """Base class of every storage-layer failure."""
+
+
+class PageError(StorageError):
+    """Raised on malformed page files or out-of-range page ids."""
+
+
+class CorruptPageError(PageError):
+    """A page (or the file header) failed its integrity checks.
+
+    Covers CRC mismatches, torn writes, truncated files and decodable-
+    but-inconsistent metadata.  ``page_id`` is the damaged page when it
+    is known (``None`` for file-level damage such as truncation).
+    """
+
+    def __init__(self, message: str, page_id: int | None = None) -> None:
+        super().__init__(message)
+        self.page_id = page_id
+
+
+class FormatVersionError(PageError):
+    """The file's magic or format version is not one we can read."""
+
+
+class SerializationError(StorageError):
+    """Raised on records that do not fit a page or fail to decode."""
+
+
+class RepairFailedError(StorageError):
+    """A ``repair=True`` load could not salvage anything usable."""

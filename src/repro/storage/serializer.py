@@ -17,16 +17,13 @@ import struct
 from dataclasses import dataclass
 
 from ..geometry import PointObject, Rect
+from .errors import SerializationError
 
 _HEADER = struct.Struct("<BH")
 _LEAF_ENTRY = struct.Struct("<qdd")
 _INTERNAL_ENTRY = struct.Struct("<qdddd")
 
 _FLAG_LEAF = 0x01
-
-
-class SerializationError(Exception):
-    """Raised on records that do not fit a page or fail to decode."""
 
 
 @dataclass(frozen=True, slots=True)

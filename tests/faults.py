@@ -1,0 +1,223 @@
+"""Fault-injection harness for the storage, index and sweep layers.
+
+Everything here *breaks things on purpose* so the test suite can prove
+the fault-tolerance layer detects — never silently survives — real
+failure modes:
+
+* file-level corruptors (:func:`flip_bit`, :func:`corrupt_random_bit`,
+  :func:`torn_write`, :func:`truncate_file`) that damage a saved page
+  file the way disks and crashes do;
+* :class:`FaultInjectingPageFile`, a drop-in :class:`PageFile` that
+  raises seeded transient ``OSError`` s and/or flips read bits in
+  flight, for exercising error propagation through higher layers;
+* picklable sweep-task wrappers (:func:`crash_in_worker`,
+  :func:`crash_once`, :func:`sleep_in_worker`) that make
+  ``ParallelSweepRunner`` workers crash deterministically, crash once,
+  or hang — in worker processes only, so the parent's inline fallback
+  stays healthy.
+
+The wrappers communicate with worker processes through ``os.environ``
+(inherited on fork and spawn) and sentinel files (atomically created
+with ``open(..., "x")``), because closures do not cross the process
+boundary.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+from repro.eval.parallel import SweepTask, run_sweep_task
+from repro.storage import PageFile
+from repro.storage.stats import IOStats
+
+#: Pid of the process that imported this module first — i.e. the test
+#: harness itself.  Forked pool workers inherit the value but have a
+#: different ``os.getpid()``, which is how the crash wrappers tell
+#: "worker" from "parent".
+HARNESS_PID = os.getpid()
+
+#: Env var naming a sentinel file for one-shot crashes (see
+#: :func:`crash_once`).
+CRASH_ONCE_SENTINEL = "REPRO_FAULT_CRASH_ONCE_SENTINEL"
+
+#: Env var holding the worker sleep seconds for :func:`sleep_in_worker`.
+WORKER_SLEEP_SECONDS = "REPRO_FAULT_WORKER_SLEEP"
+
+#: Env var selecting which task :func:`crash_on_label` kills, as
+#: ``"name=value"`` matched against the task's labels.
+CRASH_LABEL = "REPRO_FAULT_CRASH_LABEL"
+
+
+class InjectedWorkerCrash(RuntimeError):
+    """The failure the crashy sweep wrappers raise."""
+
+
+# ----------------------------------------------------------------------
+# File-level corruption
+# ----------------------------------------------------------------------
+def flip_bit(path: str | os.PathLike[str], byte_offset: int, bit: int) -> None:
+    """Flip one bit of the file in place."""
+    with open(path, "r+b") as handle:
+        handle.seek(byte_offset)
+        (value,) = handle.read(1)
+        handle.seek(byte_offset)
+        handle.write(bytes([value ^ (1 << bit)]))
+
+
+def corrupt_random_bit(
+    path: str | os.PathLike[str],
+    rng: random.Random,
+    page_size: int,
+    first_page: int = 1,
+) -> tuple[int, int, int]:
+    """Flip a seeded random bit inside a random page of the file.
+
+    Pages before ``first_page`` (default: the header page 0 is spared)
+    are never touched.  Returns ``(page_id, byte_offset, bit)`` for
+    diagnostics.
+    """
+    file_size = os.path.getsize(path)
+    page_count = file_size // page_size
+    if page_count <= first_page:
+        raise ValueError(f"file has no page >= {first_page} to corrupt")
+    page_id = rng.randrange(first_page, page_count)
+    offset = page_id * page_size + rng.randrange(page_size)
+    bit = rng.randrange(8)
+    flip_bit(path, offset, bit)
+    return page_id, offset, bit
+
+
+def torn_write(
+    path: str | os.PathLike[str],
+    page_id: int,
+    page_size: int,
+    rng: random.Random,
+) -> None:
+    """Simulate a torn (half-applied) write: the tail of the page is
+    replaced with garbage, as if power failed mid-sector-train."""
+    cut = page_size // 2 + rng.randrange(page_size // 4)
+    garbage = bytes(rng.randrange(256) for _ in range(page_size - cut))
+    with open(path, "r+b") as handle:
+        handle.seek(page_id * page_size + cut)
+        handle.write(garbage)
+
+
+def truncate_file(path: str | os.PathLike[str], keep_bytes: int) -> None:
+    """Cut the file short, as if a crash interrupted an append."""
+    with open(path, "r+b") as handle:
+        handle.truncate(keep_bytes)
+
+
+# ----------------------------------------------------------------------
+# Read-path fault injection
+# ----------------------------------------------------------------------
+class FaultInjectingPageFile(PageFile):
+    """A :class:`PageFile` that injects read-path faults.
+
+    Args:
+        transient_read_errors: Number of initial :meth:`read_page`
+            calls that raise ``OSError`` before reads start succeeding
+            (models a flaky device / NFS hiccup).
+        flip_read_bit_every: Flip one seeded bit of every Nth page
+            *as it is read* (the stored file stays pristine) — the
+            checksum layer must catch each one.
+        seed: RNG seed for the injected bit positions.
+    """
+
+    def __init__(self, path, page_size: int = 4096, stats: IOStats | None = None,
+                 create: bool = False, transient_read_errors: int = 0,
+                 flip_read_bit_every: int = 0, seed: int = 0) -> None:
+        super().__init__(path, page_size=page_size, stats=stats, create=create)
+        self.transient_read_errors = transient_read_errors
+        self.flip_read_bit_every = flip_read_bit_every
+        self._reads = 0
+        self._rng = random.Random(seed)
+
+    def read_page(self, page_id: int) -> bytes:
+        self._reads += 1
+        if self.transient_read_errors > 0:
+            self.transient_read_errors -= 1
+            raise OSError(f"injected transient I/O error on page {page_id}")
+        # Read the raw stored page, then corrupt it in flight so the
+        # integrity check (not the disk) is what the test exercises.
+        self._check_page_id(page_id)
+        self._file.seek(page_id * self.page_size)
+        raw = self._file.read(self.page_size)
+        if len(raw) != self.page_size:
+            return super().read_page(page_id)  # delegate the error path
+        self.stats.page_reads += 1
+        if self.flip_read_bit_every and self._reads % self.flip_read_bit_every == 0:
+            position = self._rng.randrange(len(raw))
+            bit = self._rng.randrange(8)
+            raw = (raw[:position] + bytes([raw[position] ^ (1 << bit)])
+                   + raw[position + 1:])
+        if self.format_version == 1:
+            return raw
+        return self._verify_page(raw, page_id)
+
+
+# ----------------------------------------------------------------------
+# Sweep-worker fault injection (picklable, env-configured)
+# ----------------------------------------------------------------------
+def crash_in_worker(task: SweepTask) -> dict:
+    """Deterministically crash in *every* pool worker, succeed inline.
+
+    With this as ``task_fn``, no worker can ever produce a row: the
+    runner must exhaust retries and fall back to inline re-execution
+    for the whole sweep — proving a bad worker cannot change the rows.
+    """
+    if os.getpid() != HARNESS_PID:
+        raise InjectedWorkerCrash(
+            f"injected crash in worker pid {os.getpid()}"
+        )
+    return run_sweep_task(task)
+
+
+def crash_once(task: SweepTask) -> dict:
+    """Crash exactly once across all processes, then behave.
+
+    The first execution (worker or parent) to atomically create the
+    sentinel file named by ``$REPRO_FAULT_CRASH_ONCE_SENTINEL`` raises;
+    every later execution runs normally — modelling a transient worker
+    failure that a single retry absorbs.
+    """
+    sentinel = os.environ.get(CRASH_ONCE_SENTINEL)
+    if sentinel:
+        try:
+            with open(sentinel, "x"):
+                pass
+        except FileExistsError:
+            pass
+        else:
+            raise InjectedWorkerCrash("injected one-shot crash")
+    return run_sweep_task(task)
+
+
+def crash_on_label(task: SweepTask) -> dict:
+    """Crash — in workers only — on the task whose labels match
+    ``$REPRO_FAULT_CRASH_LABEL`` (``"name=value"``); run every other
+    task normally.
+
+    The targeted task fails on every worker attempt (crash-on-Nth-task
+    semantics, with N picked by label), so the runner must exhaust its
+    retries and rescue exactly that cell inline.
+    """
+    target = os.environ.get(CRASH_LABEL)
+    if target and os.getpid() != HARNESS_PID:
+        name, _, value = target.partition("=")
+        if any(label == name and str(current) == value
+               for label, current in task.labels):
+            raise InjectedWorkerCrash(f"injected crash on task {target!r}")
+    return run_sweep_task(task)
+
+
+def sleep_in_worker(task: SweepTask) -> dict:
+    """Hang (sleep ``$REPRO_FAULT_WORKER_SLEEP`` seconds) in pool
+    workers; run normally inline — for exercising the per-task timeout
+    without an unkillable stuck process."""
+    import time
+
+    if os.getpid() != HARNESS_PID:
+        time.sleep(float(os.environ.get(WORKER_SLEEP_SECONDS, "5")))
+    return run_sweep_task(task)

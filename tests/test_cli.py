@@ -59,3 +59,49 @@ class TestMain:
         assert code == 0
         out = capsys.readouterr().out
         assert "group" in out
+
+
+class TestErrorExitCodes:
+    def test_invalid_query_parameters_exit_2(self, capsys):
+        code = main([
+            "query", "--dataset", "gaussian", "--size", "200", "-n", "0",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "\n" == err[err.index("\n"):]
+
+    def test_corrupt_value_errors_exit_2(self, capsys):
+        code = main([
+            "query", "--dataset", "gaussian", "--size", "200",
+            "--length", "-5",
+        ])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestResume:
+    def test_resume_creates_checkpoint_and_skips_on_rerun(self, tmp_path, capsys):
+        journal = tmp_path / "fig9.jsonl"
+        argv = ["experiment", "fig9", "--scale", "0.002", "--queries", "1",
+                "--resume", "--checkpoint", str(journal)]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert journal.exists()
+        assert "(0 cells resumed)" in first.err
+        cells = len(journal.read_text().splitlines())
+        assert cells > 0
+
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        assert f"({cells} cells resumed)" in second.err
+        # Resumed run prints the same table from journaled rows (only
+        # the meta line mentioning resumed_cells may differ).
+        def table(text):
+            return [line for line in text.splitlines()
+                    if "resumed_cells" not in line]
+
+        assert table(second.out) == table(first.out)
+
+    def test_resume_rejected_for_non_sweep_experiment(self, capsys):
+        assert main(["experiment", "table3", "--resume"]) == 2
+        assert "no parallel driver" in capsys.readouterr().err

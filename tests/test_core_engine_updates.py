@@ -5,7 +5,7 @@ import math
 
 import pytest
 
-from repro.core import NWCEngine, NWCQuery, Scheme, nwc_sweep
+from repro.core import KNWCQuery, NWCEngine, NWCQuery, Scheme, nwc_sweep
 from repro.geometry import PointObject
 from repro.index import RStarTree, validate_tree
 from tests.conftest import make_clustered_points, make_uniform_points
@@ -107,3 +107,110 @@ class TestIWPRebuild:
         engine.nwc(NWCQuery(100, 400, 40, 40, 2))
         assert engine.iwp is not old_iwp
         assert not engine._iwp_dirty
+
+
+class TestMutationEdges:
+    """Edge cases at the boundaries of the mutable engine: draining the
+    dataset, refilling it, and n at/over the dataset size."""
+
+    @pytest.mark.parametrize("scheme", [Scheme.DEP, Scheme.NWC_STAR],
+                             ids=lambda s: s.value)
+    def test_delete_last_object_then_query(self, scheme):
+        pts = make_uniform_points(6, seed=75)
+        engine = build_engine(scheme, pts)
+        for p in pts:
+            assert engine.delete(p)
+        assert engine.tree.size == 0
+        result = engine.nwc(NWCQuery(500, 500, 50, 50, 1))
+        assert not result.found
+        assert result.reason == "n exceeds dataset size"
+        assert result.node_accesses == 0
+
+    @pytest.mark.parametrize("scheme", [Scheme.DEP, Scheme.NWC_STAR],
+                             ids=lambda s: s.value)
+    def test_insert_after_draining_rebuilds_structures(self, scheme):
+        pts = make_uniform_points(40, seed=77)
+        engine = build_engine(scheme, pts)
+        for p in pts:
+            assert engine.delete(p)
+        fresh = [PointObject(50_000 + i, 480.0 + 5 * i, 510.0) for i in range(4)]
+        for p in fresh:
+            engine.insert(p)
+        query = NWCQuery(500, 500, 40, 40, 3)
+        result = engine.nwc(query)
+        assert result.found
+        assert result.reason is None
+        assert _close(result.distance, nwc_sweep(fresh, query).distance)
+        validate_tree(engine.tree)
+
+    @pytest.mark.parametrize("scheme", [Scheme.DEP, Scheme.NWC_STAR],
+                             ids=lambda s: s.value)
+    def test_insert_after_delete_stays_exact(self, scheme):
+        pts = make_clustered_points(120, clusters=3, seed=79)
+        engine = build_engine(scheme, pts)
+        removed = pts[:30]
+        for p in removed:
+            assert engine.delete(p)
+        added = [PointObject(60_000 + i, p.x + 3.0, p.y - 3.0)
+                 for i, p in enumerate(removed[:10])]
+        for p in added:
+            engine.insert(p)
+        current = [p for p in pts if p not in removed] + added
+        query = NWCQuery(450, 550, 70, 70, 4)
+        assert _close(engine.nwc(query).distance,
+                      nwc_sweep(current, query).distance)
+
+    @pytest.mark.parametrize("execution", ["python", "numpy"])
+    def test_n_equal_to_dataset_size(self, execution):
+        pts = make_uniform_points(8, seed=81)
+        tree = RStarTree.bulk_load(pts, max_entries=16)
+        engine = NWCEngine(tree, Scheme.NWC_STAR, grid_cell_size=50.0,
+                           execution=execution)
+        query = NWCQuery(500, 500, 1000, 1000, len(pts))
+        result = engine.nwc(query)
+        assert result.reason is None  # satisfiable: runs the real search
+        assert _close(result.distance, nwc_sweep(pts, query).distance)
+
+    @pytest.mark.parametrize("execution", ["python", "numpy"])
+    def test_n_exceeding_dataset_size_is_explicit_empty(self, execution):
+        pts = make_uniform_points(8, seed=83)
+        tree = RStarTree.bulk_load(pts, max_entries=16)
+        engine = NWCEngine(tree, Scheme.NWC_STAR, grid_cell_size=50.0,
+                           execution=execution)
+        query = NWCQuery(500, 500, 1000, 1000, len(pts) + 1)
+        result = engine.nwc(query)
+        assert not result.found
+        assert result.objects == ()
+        assert result.distance == float("inf")
+        assert result.reason == "n exceeds dataset size"
+        assert result.node_accesses == 0  # proved without touching the index
+        knwc = engine.knwc(KNWCQuery(query, k=2, m=1))
+        assert knwc.groups == ()
+        assert knwc.reason == "n exceeds dataset size"
+
+    def test_scalar_and_numpy_agree_on_edge_n(self):
+        pts = make_clustered_points(30, clusters=2, seed=85)
+        tree_a = RStarTree.bulk_load(pts, max_entries=16)
+        tree_b = RStarTree.bulk_load(pts, max_entries=16)
+        scalar = NWCEngine(tree_a, Scheme.NWC_STAR, grid_cell_size=50.0,
+                           execution="python")
+        vector = NWCEngine(tree_b, Scheme.NWC_STAR, grid_cell_size=50.0,
+                           execution="numpy")
+        for n in (len(pts) - 1, len(pts), len(pts) + 1, len(pts) + 10):
+            query = NWCQuery(500, 500, 1000, 1000, n)
+            a, b = scalar.nwc(query), vector.nwc(query)
+            assert a.found == b.found
+            assert a.reason == b.reason
+            assert _close(a.distance, b.distance)
+
+    def test_batch_reports_unsatisfiable_members(self):
+        pts = make_uniform_points(10, seed=87)
+        tree = RStarTree.bulk_load(pts, max_entries=16)
+        engine = NWCEngine(tree, Scheme.NWC_STAR, grid_cell_size=50.0)
+        queries = [
+            NWCQuery(500, 500, 1000, 1000, 2),
+            NWCQuery(500, 500, 1000, 1000, 11),
+        ]
+        batch = engine.nwc_batch(queries)
+        assert batch[0].found and batch[0].reason is None
+        assert not batch[1].found and batch[1].reason == "n exceeds dataset size"

@@ -163,3 +163,41 @@ class TestCsvIO:
         path.write_text("oid,x,y\n1,two,3\n")
         with pytest.raises(ValueError):
             load_csv(path)
+
+    def test_non_finite_coordinates_rejected_with_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        for value in ("nan", "inf", "-inf"):
+            path.write_text(f"oid,x,y\n1,10.0,20.0\n2,{value},30.0\n")
+            with pytest.raises(ValueError, match=r"bad\.csv:3: non-finite"):
+                load_csv(path)
+
+    def test_duplicate_oid_rejected_with_both_lines(self, tmp_path):
+        path = tmp_path / "dup.csv"
+        path.write_text("oid,x,y\n1,10.0,20.0\n2,30.0,40.0\n1,50.0,60.0\n")
+        with pytest.raises(ValueError,
+                           match=r"dup\.csv:4: duplicate oid 1 .*line 2"):
+            load_csv(path)
+
+    def test_save_is_atomic_no_tmp_left_behind(self, tmp_path):
+        ds = uniform(50, seed=6)
+        path = tmp_path / "points.csv"
+        save_csv(ds, path)
+        # Overwrite with a second save: still exactly one file, readable.
+        save_csv(ds, path)
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["points.csv"]
+        assert len(load_csv(path)) == 50
+
+    def test_failed_save_leaves_previous_file_intact(self, tmp_path):
+        ds = uniform(20, seed=6)
+        path = tmp_path / "points.csv"
+        save_csv(ds, path)
+        before = path.read_text()
+
+        class Exploding:
+            name = "boom"
+            points = property(lambda self: (_ for _ in ()).throw(RuntimeError))
+
+        with pytest.raises(RuntimeError):
+            save_csv(Exploding(), path)
+        assert path.read_text() == before
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["points.csv"]

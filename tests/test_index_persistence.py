@@ -80,11 +80,13 @@ class TestSaveLoad:
         validate_tree(loaded)
 
     def test_missing_root_rejected(self, tmp_path):
-        from repro.storage import PageFile
+        import struct
+
+        from repro.storage import CorruptPageError, PageFile
 
         path = tmp_path / "empty.db"
         with PageFile(path, create=True) as file:
             pid = file.allocate()
-            file.write_page(pid, b"\x00" * 24)
-        with pytest.raises(ValueError):
+            file.write_page(pid, struct.pack("<qqq", 8, 3, 0))
+        with pytest.raises(CorruptPageError):
             load_tree(path)

@@ -6,7 +6,12 @@ import pytest
 
 from repro.geometry import PointObject, Rect
 from repro.storage import (
+    FORMAT_VERSION,
+    LEGACY_VERSION,
+    PAGE_OVERHEAD,
     BufferPool,
+    CorruptPageError,
+    FormatVersionError,
     IOStats,
     PageError,
     PageFile,
@@ -17,6 +22,7 @@ from repro.storage import (
     encode_leaf,
     max_internal_entries,
     max_leaf_entries,
+    scan_pages,
 )
 
 
@@ -117,6 +123,93 @@ class TestPageFile:
             PageFile(tmp_path / "p.db", page_size=8, create=True)
 
 
+class TestPageFormat:
+    """The v2 checksummed format, the legacy v1 format, and the
+    boundary between them."""
+
+    def test_new_files_are_v2(self, tmp_path):
+        path = tmp_path / "p.db"
+        with PageFile(path, page_size=128, create=True) as file:
+            assert file.format_version == FORMAT_VERSION
+            assert file.payload_capacity == 128 - PAGE_OVERHEAD
+        with open(path, "rb") as handle:
+            assert handle.read(4) == b"NWCF"
+
+    def test_legacy_v1_create_and_reopen(self, tmp_path):
+        path = tmp_path / "legacy.db"
+        with PageFile(path, page_size=128, create=True,
+                      format_version=LEGACY_VERSION) as file:
+            assert file.payload_capacity == 128
+            pid = file.allocate()
+            file.write_page(pid, b"raw bytes, no checksum")
+        with open(path, "rb") as handle:
+            assert handle.read(4) == b"NWC1"
+        with PageFile(path, page_size=128) as file:  # auto-detected
+            assert file.format_version == LEGACY_VERSION
+            assert file.read_page(pid).startswith(b"raw bytes")
+
+    def test_requested_version_must_match_file(self, tmp_path):
+        path = tmp_path / "p.db"
+        PageFile(path, page_size=128, create=True).close()
+        with pytest.raises(FormatVersionError):
+            PageFile(path, page_size=128, format_version=LEGACY_VERSION)
+        with pytest.raises(FormatVersionError):
+            PageFile(path, page_size=128, create=True, format_version=7)
+
+    def test_payload_capacity_boundary(self, tmp_path):
+        with PageFile(tmp_path / "p.db", page_size=64, create=True) as file:
+            pid = file.allocate()
+            file.write_page(pid, b"x" * file.payload_capacity)  # exactly fits
+            assert file.read_page(pid) == b"x" * file.payload_capacity
+            with pytest.raises(PageError):
+                file.write_page(pid, b"x" * (file.payload_capacity + 1))
+
+    def test_corrupted_page_read_raises(self, tmp_path):
+        path = tmp_path / "p.db"
+        with PageFile(path, page_size=128, create=True) as file:
+            pid = file.allocate()
+            file.write_page(pid, b"precious")
+        with open(path, "r+b") as handle:
+            handle.seek(128 + 20)  # inside page 1's payload
+            handle.write(b"\xff")
+        with PageFile(path, page_size=128) as file:
+            with pytest.raises(CorruptPageError) as excinfo:
+                file.read_page(pid)
+            assert excinfo.value.page_id == pid
+
+    def test_truncated_file_rejected_on_open(self, tmp_path):
+        path = tmp_path / "p.db"
+        with PageFile(path, page_size=128, create=True) as file:
+            file.allocate()
+            file.write_page(1, b"data")
+        with open(path, "r+b") as handle:
+            handle.truncate(128 + 40)
+        with pytest.raises(CorruptPageError):
+            PageFile(path, page_size=128)
+
+    def test_corrupted_header_rejected_on_open(self, tmp_path):
+        path = tmp_path / "p.db"
+        PageFile(path, page_size=128, create=True).close()
+        with open(path, "r+b") as handle:
+            handle.seek(10)  # inside the CRC-protected header body
+            handle.write(b"\xaa")
+        with pytest.raises(CorruptPageError):
+            PageFile(path, page_size=128)
+
+    def test_scan_pages_skips_damaged_pages_only(self, tmp_path):
+        path = tmp_path / "p.db"
+        with PageFile(path, page_size=128, create=True) as file:
+            for i in range(4):
+                pid = file.allocate()
+                file.write_page(pid, bytes([65 + i]) * 8)
+        with open(path, "r+b") as handle:
+            handle.seek(2 * 128 + 30)  # damage page 2
+            handle.write(b"\xff\xff")
+        survivors = dict(scan_pages(path, page_size=128))
+        assert sorted(survivors) == [1, 3, 4]
+        assert survivors[3].startswith(b"C" * 8)
+
+
 class TestBufferPool:
     def _file(self, tmp_path, pages=10):
         file = PageFile(tmp_path / "buf.db", page_size=64, create=True)
@@ -126,38 +219,38 @@ class TestBufferPool:
         return file
 
     def test_read_through_and_hit(self, tmp_path):
-        file = self._file(tmp_path)
-        pool = BufferPool(file, capacity=4)
-        assert pool.get(1)[0] == 1
-        assert pool.get(1)[0] == 1
-        assert pool.hits == 1 and pool.misses == 1
-        assert pool.hit_ratio == 0.5
+        with self._file(tmp_path) as file:
+            pool = BufferPool(file, capacity=4)
+            assert pool.get(1)[0] == 1
+            assert pool.get(1)[0] == 1
+            assert pool.hits == 1 and pool.misses == 1
+            assert pool.hit_ratio == 0.5
 
     def test_lru_eviction(self, tmp_path):
-        file = self._file(tmp_path)
-        pool = BufferPool(file, capacity=2)
-        pool.get(1)
-        pool.get(2)
-        pool.get(3)  # evicts 1
-        assert len(pool) == 2
-        pool.get(1)  # miss again
-        assert pool.misses == 4
+        with self._file(tmp_path) as file:
+            pool = BufferPool(file, capacity=2)
+            pool.get(1)
+            pool.get(2)
+            pool.get(3)  # evicts 1
+            assert len(pool) == 2
+            pool.get(1)  # miss again
+            assert pool.misses == 4
 
     def test_write_back_on_eviction_and_flush(self, tmp_path):
-        file = self._file(tmp_path)
-        pool = BufferPool(file, capacity=2)
-        pool.put(1, b"AA")
-        pool.put(2, b"BB")
-        pool.put(3, b"CC")  # evicts dirty page 1 -> must write it back
-        assert file.read_page(1).startswith(b"AA")
-        pool.flush()
-        assert file.read_page(2).startswith(b"BB")
-        assert file.read_page(3).startswith(b"CC")
+        with self._file(tmp_path) as file:
+            pool = BufferPool(file, capacity=2)
+            pool.put(1, b"AA")
+            pool.put(2, b"BB")
+            pool.put(3, b"CC")  # evicts dirty page 1 -> must write it back
+            assert file.read_page(1).startswith(b"AA")
+            pool.flush()
+            assert file.read_page(2).startswith(b"BB")
+            assert file.read_page(3).startswith(b"CC")
 
     def test_zero_capacity_rejected(self, tmp_path):
-        file = self._file(tmp_path, pages=1)
-        with pytest.raises(ValueError):
-            BufferPool(file, capacity=0)
+        with self._file(tmp_path, pages=1) as file:
+            with pytest.raises(ValueError):
+                BufferPool(file, capacity=0)
 
 
 class TestSerializer:
