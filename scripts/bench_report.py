@@ -16,6 +16,7 @@ import json
 import math
 import os
 import platform
+import subprocess
 import sys
 import tempfile
 import time
@@ -26,6 +27,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 import numpy as np
 
 from repro.core import NWCEngine, NWCQuery, Scheme
+from repro.obs import MetricsRegistry, QueryTracer
 from repro.datasets import uniform
 from repro.eval import DatasetSpec, ParallelSweepRunner, SweepTask
 from repro.geometry import Rect
@@ -167,6 +169,104 @@ def time_storage_formats(tree, repeats: int) -> dict:
     return timings
 
 
+#: Accepted wall-clock cost of the *disabled* observability hooks on the
+#: numpy query path: at most +2% (see DESIGN.md "Observability").
+TRACING_OVERHEAD_BUDGET_PCT = 2.0
+
+#: Self-contained numpy-path workload used for A/B overhead runs.  It is
+#: executed as a subprocess against two source trees (a pre-observability
+#: baseline and the current tree) so both sides pay identical process
+#: start-up, import and cache-warming costs.
+_OVERHEAD_SNIPPET = """\
+import json, math, sys, time
+from repro.core import NWCEngine, NWCQuery, Scheme
+from repro.datasets import uniform
+from repro.geometry import Rect
+from repro.index import RStarTree
+from repro.workloads import DEFAULT_N, DEFAULT_WINDOW, data_biased_query_points
+
+card, n_queries, repeats = (int(a) for a in sys.argv[1:4])
+side = math.sqrt(card / 5.0)
+dataset = uniform(card, seed=20260806, extent=Rect(0.0, 0.0, side, side))
+tree = RStarTree.bulk_load(dataset.points, max_entries=50)
+queries = [NWCQuery(x, y, DEFAULT_WINDOW, DEFAULT_WINDOW, DEFAULT_N)
+           for x, y in data_biased_query_points(dataset, n_queries, seed=1)]
+engine = NWCEngine(tree, Scheme.NWC_STAR, execution="numpy")
+best = float("inf")
+for _ in range(repeats):
+    t0 = time.perf_counter()
+    for q in queries:
+        engine.nwc(q)
+    best = min(best, time.perf_counter() - t0)
+print(json.dumps({"best_s": best}))
+"""
+
+
+def _run_overhead_subprocess(src: str, card: int, queries: int,
+                             repeats: int) -> float:
+    env = dict(os.environ, PYTHONPATH=os.path.abspath(src))
+    output = subprocess.run(
+        [sys.executable, "-c", _OVERHEAD_SNIPPET,
+         str(card), str(queries), str(repeats)],
+        env=env, capture_output=True, text=True, check=True,
+    ).stdout
+    return float(json.loads(output.splitlines()[-1])["best_s"])
+
+
+def time_tracing_overhead(tree, queries, repeats: int,
+                          baseline_src: str | None = None,
+                          card: int = 0) -> dict:
+    """Cost of the observability hooks on the numpy query path.
+
+    Two measurements:
+
+    * ``enabled_overhead_pct`` — in-process: the default (disabled)
+      engine vs one wired to a live :class:`QueryTracer` and
+      :class:`MetricsRegistry`.  Informational; tracing is opt-in.
+    * ``disabled_overhead_pct`` — the guarded number: the current tree
+      vs a pre-observability checkout (``--baseline-src``), both run as
+      identical subprocesses.  The ≤2% budget applies here, because the
+      disabled hooks are what every un-instrumented query pays.
+    """
+    engine_off = NWCEngine(tree, Scheme.NWC_STAR, execution="numpy")
+    off_t, _ = best_of(repeats, lambda: [engine_off.nwc(q) for q in queries])
+    engine_on = NWCEngine(
+        tree, Scheme.NWC_STAR, execution="numpy",
+        tracer=QueryTracer(max_spans=100_000), metrics=MetricsRegistry(),
+    )
+    on_t, _ = best_of(repeats, lambda: [engine_on.nwc(q) for q in queries])
+    result = {
+        "disabled_s": round(off_t, 4),
+        "enabled_s": round(on_t, 4),
+        "enabled_overhead_pct": round(100.0 * (on_t / off_t - 1.0), 2),
+        "disabled_overhead_budget_pct": TRACING_OVERHEAD_BUDGET_PCT,
+    }
+    if baseline_src:
+        here = os.path.join(os.path.dirname(__file__), "..", "src")
+        # Interleave-by-halving: one warm-up-ish full run each, baseline
+        # first and current second, then the reverse order, best-of-all.
+        baseline_t = current_t = float("inf")
+        half = max(1, repeats // 2)
+        for order in ((baseline_src, here), (here, baseline_src)):
+            for src in order:
+                elapsed = _run_overhead_subprocess(
+                    src, card or tree.size, len(queries), half)
+                if os.path.abspath(src) == os.path.abspath(here):
+                    current_t = min(current_t, elapsed)
+                else:
+                    baseline_t = min(baseline_t, elapsed)
+        overhead = 100.0 * (current_t / baseline_t - 1.0)
+        result["baseline_src"] = os.path.abspath(baseline_src)
+        result["baseline_s"] = round(baseline_t, 4)
+        result["current_s"] = round(current_t, 4)
+        result["disabled_overhead_pct"] = round(overhead, 2)
+        result["within_budget"] = overhead <= TRACING_OVERHEAD_BUDGET_PCT
+    else:
+        result["disabled_overhead_pct"] = None
+        result["within_budget"] = None  # no baseline tree to compare against
+    return result
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--card", type=int, default=50_000)
@@ -180,6 +280,11 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--output",
         default=os.path.join(os.path.dirname(__file__), "..", "BENCH_nwc.json"),
+    )
+    parser.add_argument(
+        "--baseline-src", default=None,
+        help="path to a pre-observability src/ tree; enables the A/B "
+             "disabled-overhead guard (≤2%% budget)",
     )
     args = parser.parse_args(argv)
 
@@ -200,6 +305,10 @@ def main(argv=None) -> int:
         "nwc_execution_modes": time_modes(tree, queries, args.repeats),
         "parallel_sweep": time_parallel_sweep(args.jobs, args.repeats),
         "storage_formats": time_storage_formats(tree, args.repeats),
+        "tracing_overhead": time_tracing_overhead(
+            tree, queries, args.repeats,
+            baseline_src=args.baseline_src, card=args.card,
+        ),
     }
     out = os.path.abspath(args.output)
     with open(out, "w") as handle:
@@ -209,6 +318,9 @@ def main(argv=None) -> int:
     print(f"\nwrote {out}", file=sys.stderr)
     speedup = report["nwc_execution_modes"]["speedup_numpy_vs_python"]
     ok = speedup >= 1.0 and report["storage_formats"]["within_budget"]
+    # None means the A/B guard did not run (no --baseline-src); only an
+    # explicit budget violation fails the report.
+    ok = ok and report["tracing_overhead"]["within_budget"] is not False
     return 0 if ok else 1
 
 

@@ -20,7 +20,8 @@ Package map: :mod:`repro.core` (NWC/kNWC algorithms, Table-3 schemes),
 :mod:`repro.index` (R*-tree + IWP pointers), :mod:`repro.grid` (DEP
 density grid), :mod:`repro.storage` (pages, serialization, I/O stats),
 :mod:`repro.analysis` (Section 4 cost models), :mod:`repro.datasets` /
-:mod:`repro.workloads` / :mod:`repro.eval` (the Section 5 evaluation).
+:mod:`repro.workloads` / :mod:`repro.eval` (the Section 5 evaluation),
+:mod:`repro.obs` (metrics registry, query tracing, attribution).
 """
 
 from .core import (
@@ -39,6 +40,7 @@ from .datasets import Dataset
 from .geometry import PointObject, Rect
 from .grid import DensityGrid
 from .index import IWPIndex, RStarTree
+from .obs import MetricsRegistry, QueryTracer
 from .storage import IOStats
 
 __version__ = "1.0.0"
@@ -52,12 +54,14 @@ __all__ = [
     "IWPIndex",
     "KNWCQuery",
     "KNWCResult",
+    "MetricsRegistry",
     "NWCEngine",
     "NWCQuery",
     "NWCResult",
     "ObjectGroup",
     "OptimizationFlags",
     "PointObject",
+    "QueryTracer",
     "RStarTree",
     "Rect",
     "Scheme",

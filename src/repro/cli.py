@@ -4,18 +4,32 @@ Subcommands:
 
 * ``experiment <id>`` — run one of the Section 5 experiments (``fig9``
   .. ``fig14``, ``table2``, ``table3``, ``storage``, ``costmodel``) and
-  print the paper-style table; ``--csv`` also writes the raw rows.
+  print the paper-style table; ``--csv`` also writes the raw rows and
+  ``--metrics`` writes aggregate sweep metrics (JSON, or Prometheus
+  text for a ``.prom`` path).
 * ``query`` — answer a single NWC/kNWC query against a generated
   dataset (handy for exploration).
+* ``trace`` — run one query with the tracer attached and pretty-print
+  its span tree; ``--explain`` summarizes which optimizations fired,
+  ``--jsonl`` appends the structured trace to a sink file.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-from .core import KNWCQuery, NWCEngine, NWCError, NWCQuery, Scheme
-from .datasets import ca_like, gaussian, ny_like
+from .core import (
+    DEFAULT_EXECUTION,
+    EXECUTION_MODES,
+    KNWCQuery,
+    NWCEngine,
+    NWCError,
+    NWCQuery,
+    Scheme,
+)
+from .datasets import ca_like, gaussian, ny_like, uniform
 from .eval import (
     EXPERIMENTS,
     PARALLEL_EXPERIMENTS,
@@ -24,14 +38,99 @@ from .eval import (
     pivot_by_scheme,
     save_csv,
 )
-from .index import RStarTree
+from .grid import DensityGrid
+from .index import IWPIndex, RStarTree
+from .obs import (
+    DEFAULT_WORK_BUCKETS,
+    MetricsRegistry,
+    QueryTracer,
+    explain,
+    format_span_tree,
+    write_jsonl,
+)
 from .storage import StorageError
 
 _DATASETS = {
     "ca": lambda size: ca_like(size),
     "ny": lambda size: ny_like(size),
     "gaussian": lambda size: gaussian(size),
+    "uniform": lambda size: uniform(size),
 }
+
+
+def _make_engine(args: argparse.Namespace, *, tracer=None, metrics=None,
+                 execution: str = DEFAULT_EXECUTION) -> NWCEngine:
+    """Build an engine for ``args`` with the scheme's DEP/IWP structures.
+
+    Schemes whose flags ask for density-grid or pointer-index support get
+    those structures built here, so single-query commands exercise the
+    same optimizations as the experiment sweeps.
+    """
+    dataset = _DATASETS[args.dataset](args.size)
+    tree = RStarTree.bulk_load(dataset.points)
+    scheme = Scheme[args.scheme]
+    flags = scheme.flags
+    grid = None
+    if flags.dep:
+        grid = DensityGrid.build(dataset.points, dataset.extent, 25.0)
+    iwp = IWPIndex(tree) if flags.iwp else None
+    return NWCEngine(
+        tree, scheme, grid=grid, iwp=iwp, extent=dataset.extent,
+        execution=execution, tracer=tracer, metrics=metrics,
+    )
+
+
+def _run_query(engine: NWCEngine, args: argparse.Namespace) -> None:
+    """Run the query described by ``args`` and print its answer."""
+    if args.k > 1:
+        query = KNWCQuery.make(args.x, args.y, args.length, args.width,
+                               args.n, args.k, args.m)
+        result = engine.knwc(query)
+        print(f"{len(result.groups)} group(s); node accesses: {result.node_accesses}")
+        for rank, group in enumerate(result.groups, 1):
+            oids = ", ".join(str(o) for o in sorted(group.oids))
+            print(f"  #{rank}: dist={group.distance:.2f} objects=[{oids}]")
+    else:
+        result = engine.nwc(NWCQuery(args.x, args.y, args.length, args.width, args.n))
+        if result.found:
+            oids = ", ".join(str(p.oid) for p in result.objects)
+            print(f"dist={result.distance:.2f} objects=[{oids}] "
+                  f"window={result.group.window}")
+        else:
+            print("no qualified window exists")
+        print(f"node accesses: {result.node_accesses}")
+
+
+def _write_metrics(metrics: MetricsRegistry, path: str) -> None:
+    """Write ``metrics`` to ``path`` (JSON, or Prometheus text for .prom)."""
+    if path.endswith(".prom"):
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(metrics.dump_metrics())
+    else:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(metrics.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+
+def _aggregate_row_metrics(metrics: MetricsRegistry, result) -> None:
+    """Fold finished sweep rows into the registry.
+
+    Serial experiment drivers never see the registry, so the CLI derives
+    cell-level aggregates from the result rows after the fact; on the
+    parallel path these ride alongside the runner's own task metrics.
+    """
+    cells = metrics.counter("experiment_cells_total",
+                            "Finished sweep cells (rows)")
+    accesses = metrics.histogram(
+        "experiment_cell_node_accesses",
+        "Mean node accesses per finished cell",
+        buckets=DEFAULT_WORK_BUCKETS,
+    )
+    for row in result.rows:
+        cells.inc()
+        value = row.get("node_accesses")
+        if isinstance(value, (int, float)):
+            accesses.observe(float(value))
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -49,13 +148,14 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     checkpoint = args.checkpoint
     if args.resume and checkpoint is None:
         checkpoint = f"{args.id}.sweep.jsonl"
+    metrics = MetricsRegistry() if args.metrics else None
     wants_sweep_features = (
         checkpoint is not None or args.timeout is not None or jobs != 1
     )
     if wants_sweep_features and args.id in PARALLEL_EXPERIMENTS:
         result = parallel_experiment(
             args.id, jobs=jobs, timeout=args.timeout, checkpoint=checkpoint,
-            **kwargs,
+            metrics=metrics, **kwargs,
         )
     else:
         if checkpoint is not None or args.timeout is not None:
@@ -78,6 +178,10 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.csv:
         save_csv(result, args.csv)
         print(f"\nrows written to {args.csv}")
+    if metrics is not None:
+        _aggregate_row_metrics(metrics, result)
+        _write_metrics(metrics, args.metrics)
+        print(f"metrics written to {args.metrics}", file=sys.stderr)
     if result.meta.get("checkpoint"):
         print(f"checkpoint: {result.meta['checkpoint']} "
               f"({result.meta.get('resumed_cells', 0)} cells resumed)",
@@ -86,26 +190,35 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    dataset = _DATASETS[args.dataset](args.size)
-    tree = RStarTree.bulk_load(dataset.points)
-    engine = NWCEngine(tree, Scheme[args.scheme])
-    if args.k > 1:
-        query = KNWCQuery.make(args.x, args.y, args.length, args.width,
-                               args.n, args.k, args.m)
-        result = engine.knwc(query)
-        print(f"{len(result.groups)} group(s); node accesses: {result.node_accesses}")
-        for rank, group in enumerate(result.groups, 1):
-            oids = ", ".join(str(o) for o in sorted(group.oids))
-            print(f"  #{rank}: dist={group.distance:.2f} objects=[{oids}]")
-    else:
-        result = engine.nwc(NWCQuery(args.x, args.y, args.length, args.width, args.n))
-        if result.found:
-            oids = ", ".join(str(p.oid) for p in result.objects)
-            print(f"dist={result.distance:.2f} objects=[{oids}] "
-                  f"window={result.group.window}")
-        else:
-            print("no qualified window exists")
-        print(f"node accesses: {result.node_accesses}")
+    engine = _make_engine(args)
+    _run_query(engine, args)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    tracer = QueryTracer()
+    metrics = MetricsRegistry()
+    engine = _make_engine(args, tracer=tracer, metrics=metrics,
+                          execution=args.execution)
+    _run_query(engine, args)
+    root = tracer.last
+    if root is None:
+        print("error: no trace recorded", file=sys.stderr)
+        return 2
+    print()
+    print(format_span_tree(root))
+    if tracer.dropped_spans:
+        print(f"({tracer.dropped_spans} span(s) dropped: "
+              f"max_spans={tracer.max_spans})", file=sys.stderr)
+    if args.explain:
+        print()
+        print(explain(root))
+    if args.jsonl:
+        write_jsonl(tracer.roots, args.jsonl)
+        print(f"trace appended to {args.jsonl}", file=sys.stderr)
+    if args.metrics:
+        _write_metrics(metrics, args.metrics)
+        print(f"metrics written to {args.metrics}", file=sys.stderr)
     return 0
 
 
@@ -136,22 +249,44 @@ def build_parser() -> argparse.ArgumentParser:
                      help="per-task timeout in seconds for parallel sweeps "
                           "(hung workers are retried, then run inline)")
     exp.add_argument("--csv", help="also write rows to this CSV file")
+    exp.add_argument("--metrics", default=None,
+                     help="write aggregate sweep metrics to this file "
+                          "(JSON; a .prom suffix selects Prometheus text)")
     exp.set_defaults(func=_cmd_experiment)
 
+    def add_query_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--dataset", choices=sorted(_DATASETS), default="ca")
+        p.add_argument("--size", type=int, default=10_000,
+                       help="dataset cardinality")
+        p.add_argument("--scheme", choices=[s.name for s in Scheme],
+                       default="NWC_STAR")
+        p.add_argument("-x", type=float, default=5_000.0)
+        p.add_argument("-y", type=float, default=5_000.0)
+        p.add_argument("--length", type=float, default=100.0)
+        p.add_argument("--width", type=float, default=100.0)
+        p.add_argument("-n", type=int, default=8)
+        p.add_argument("-k", type=int, default=1)
+        p.add_argument("-m", type=int, default=0)
+
     qry = sub.add_parser("query", help="run a single NWC/kNWC query")
-    qry.add_argument("--dataset", choices=sorted(_DATASETS), default="ca")
-    qry.add_argument("--size", type=int, default=10_000,
-                     help="dataset cardinality")
-    qry.add_argument("--scheme", choices=[s.name for s in Scheme],
-                     default="NWC_STAR")
-    qry.add_argument("-x", type=float, default=5_000.0)
-    qry.add_argument("-y", type=float, default=5_000.0)
-    qry.add_argument("--length", type=float, default=100.0)
-    qry.add_argument("--width", type=float, default=100.0)
-    qry.add_argument("-n", type=int, default=8)
-    qry.add_argument("-k", type=int, default=1)
-    qry.add_argument("-m", type=int, default=0)
+    add_query_args(qry)
     qry.set_defaults(func=_cmd_query)
+
+    trc = sub.add_parser(
+        "trace", help="run one query with tracing and print its span tree")
+    add_query_args(trc)
+    trc.add_argument("--execution", choices=list(EXECUTION_MODES),
+                     default=DEFAULT_EXECUTION,
+                     help=f"engine execution mode (default: {DEFAULT_EXECUTION})")
+    trc.add_argument("--explain", action="store_true",
+                     help="summarize which optimizations fired and what "
+                          "they saved")
+    trc.add_argument("--jsonl", default=None,
+                     help="append the structured trace to this JSONL sink")
+    trc.add_argument("--metrics", default=None,
+                     help="write the query's metrics to this file "
+                          "(JSON; a .prom suffix selects Prometheus text)")
+    trc.set_defaults(func=_cmd_trace)
     return parser
 
 

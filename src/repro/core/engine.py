@@ -25,12 +25,15 @@ from __future__ import annotations
 
 import heapq
 import math
+import time
 from bisect import bisect_left, bisect_right
 from typing import Iterable, Sequence
 
 from ..geometry import PointObject, Rect
 from ..grid import DensityGrid
 from ..index import IWPIndex, RStarTree
+from ..obs.metrics import DEFAULT_WORK_BUCKETS, MetricsRegistry
+from ..obs.trace import ATTRIBUTION_KEYS, NULL_TRACER
 from . import kernels
 from .errors import BatchStateError, EngineConfigError
 from .knwc import _rank_key, make_policy
@@ -64,6 +67,26 @@ EXECUTION_MODES = ("python", "numpy")
 DEFAULT_EXECUTION = "numpy"
 
 
+class _Attribution:
+    """Per-query optimization event counts (see ATTRIBUTION_KEYS).
+
+    A plain slots bag rather than a dict so the hot-path increments are
+    single attribute bumps; created only when a tracer or a metrics
+    registry is attached, so the default configuration never pays for
+    it.
+    """
+
+    __slots__ = tuple(key for key, _ in ATTRIBUTION_KEYS)
+
+    def __init__(self) -> None:
+        for key in self.__slots__:
+            setattr(self, key, 0)
+
+    def nonzero(self) -> dict[str, int]:
+        return {key: value for key in self.__slots__
+                if (value := getattr(self, key))}
+
+
 class _BestGroup:
     """Result policy for plain NWC: keep the single best group."""
 
@@ -93,6 +116,8 @@ class NWCEngine:
         iwp: IWPIndex | None = None,
         extent: Rect | None = None,
         execution: str = DEFAULT_EXECUTION,
+        tracer=None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         """Args:
             tree: The R*-tree indexing the object set ``P``.
@@ -105,12 +130,49 @@ class NWCEngine:
             execution: ``"numpy"`` (array kernels, the default) or
                 ``"python"`` (the original scalar path); the two return
                 bit-identical results and counters.
+            tracer: A :class:`~repro.obs.trace.QueryTracer` to record a
+                span tree per query; the default no-op tracer costs one
+                flag check per query.  The engine binds the tracer's
+                ``stats`` to this tree's counters so spans capture I/O
+                deltas.
+            metrics: Shared :class:`~repro.obs.metrics.MetricsRegistry`
+                for query latency/work histograms and optimization
+                attribution counters; ``None`` disables recording.
         """
         if execution not in EXECUTION_MODES:
             raise EngineConfigError(
                 f"execution must be one of {EXECUTION_MODES}, got {execution!r}"
             )
         self.tree = tree
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        self.metrics = metrics
+        if metrics is not None:
+            self._m_seconds = {
+                kind: metrics.histogram(
+                    "nwc_query_seconds", "Wall-clock query latency",
+                    labels={"kind": kind},
+                )
+                for kind in ("nwc", "knwc")
+            }
+            self._m_queries = {
+                kind: metrics.counter(
+                    "nwc_queries_total", "Queries answered",
+                    labels={"kind": kind},
+                )
+                for kind in ("nwc", "knwc")
+            }
+            self._m_node_accesses = metrics.histogram(
+                "nwc_query_node_accesses",
+                "R*-tree node accesses per query (the paper's metric)",
+                buckets=DEFAULT_WORK_BUCKETS,
+            )
+            self._m_attribution = {
+                key: metrics.counter(
+                    "nwc_opt_events_total", "Optimization attribution events",
+                    labels={"event": key},
+                )
+                for key, _ in ATTRIBUTION_KEYS
+            }
         self.scheme = scheme if isinstance(scheme, Scheme) else None
         self.flags = scheme.flags if isinstance(scheme, Scheme) else scheme
         self.grid = grid
@@ -219,7 +281,8 @@ class NWCEngine:
             return NWCResult(group=None, stats=self.tree.stats.snapshot(),
                              reason=reason)
         policy = _BestGroup()
-        self._search(query, policy, prune_windows=True, region=region)
+        self._observed_search("nwc", query, policy, prune_windows=True,
+                              region=region)
         return NWCResult(group=policy.group, stats=self.tree.stats.snapshot())
 
     def _unsatisfiable(self, query: NWCQuery, region: Rect | None) -> str | None:
@@ -266,7 +329,8 @@ class NWCEngine:
         # the brute-force reference).  Optimized schemes apply the paper's
         # MINDIST-based skip.
         prune = self.flags.srr or self.flags.dip or self.flags.dep or self.flags.iwp
-        self._search(query.base, policy, prune_windows=prune, region=region)
+        self._observed_search("knwc", query.base, policy, prune_windows=prune,
+                              region=region, k=query.k, m=query.m)
         return KNWCResult(groups=policy.finalize(), stats=self.tree.stats.snapshot())
 
     # ------------------------------------------------------------------
@@ -337,8 +401,49 @@ class NWCEngine:
     # ------------------------------------------------------------------
     # Core search (Algorithm 1)
     # ------------------------------------------------------------------
+    def _observed_search(self, kind: str, q: NWCQuery, policy,
+                         prune_windows: bool, region: Rect | None = None,
+                         **extra_attrs) -> None:
+        """Run :meth:`_search` under the configured tracer/registry.
+
+        The fast path — no tracer, no registry — is a two-attribute
+        check and a plain ``_search`` call, which is what keeps the
+        disabled-instrumentation overhead inside the ≤2% budget.
+        """
+        tracer = self.tracer
+        metrics = self.metrics
+        if not tracer.enabled and metrics is None:
+            self._search(q, policy, prune_windows, region)
+            return
+        attr = _Attribution()
+        start = time.perf_counter()
+        if tracer.enabled:
+            if getattr(tracer, "stats", None) is None:
+                tracer.stats = self.tree.stats
+            attrs = {"scheme": self.scheme.value if self.scheme else "custom",
+                     "execution": self.execution,
+                     "qx": q.qx, "qy": q.qy, "length": q.length,
+                     "width": q.width, "n": q.n}
+            attrs.update(extra_attrs)
+            root = tracer.start_span(f"query:{kind}", attrs)
+            try:
+                self._search(q, policy, prune_windows, region, attr=attr)
+            finally:
+                if root is not None:
+                    root.counts.update(attr.nonzero())
+                tracer.end_span(root)
+        else:
+            self._search(q, policy, prune_windows, region, attr=attr)
+        if metrics is not None:
+            self._m_seconds[kind].observe(time.perf_counter() - start)
+            self._m_queries[kind].inc()
+            self._m_node_accesses.observe(self.tree.stats.node_accesses)
+            counters = self._m_attribution
+            for key, value in attr.nonzero().items():
+                counters[key].inc(value)
+
     def _search(self, q: NWCQuery, policy, prune_windows: bool,
-                region: Rect | None = None) -> None:
+                region: Rect | None = None, attr: _Attribution | None = None) -> None:
         self._refresh_structures()
         tree = self.tree
         stats = tree.stats
@@ -346,6 +451,8 @@ class NWCEngine:
         qx, qy, length, width, n = q.qx, q.qy, q.length, q.width, q.n
         diagonal = q.diagonal
         grid = self.grid
+        tracer = self.tracer
+        tracing = tracer.enabled
 
         def node_filter(node) -> bool:
             mbr = node.mbr
@@ -357,11 +464,30 @@ class NWCEngine:
                 return True
             gen = generation_region(mbr, qx, qy, length, width)
             if flags.dep and grid.is_pruned(gen, n):
+                if attr is not None:
+                    attr.dep_nodes_pruned += 1
                 return False
             if flags.dip and gen.mindist(qx, qy) >= policy.bound():
+                if attr is not None:
+                    attr.dip_nodes_pruned += 1
                 return False
             return True
 
+        search_span = tracer.start_span("search") if tracing else None
+        try:
+            self._search_loop(
+                q, policy, prune_windows, region, attr, node_filter,
+                tracing, stats, flags, grid, diagonal,
+            )
+        finally:
+            if tracing:
+                tracer.end_span(search_span)
+
+    def _search_loop(self, q, policy, prune_windows, region, attr,
+                     node_filter, tracing, stats, flags, grid, diagonal) -> None:
+        tree = self.tree
+        tracer = self.tracer
+        qx, qy, length, width, n = q.qx, q.qy, q.length, q.width, q.n
         for p, dist_p, leaf in tree.incremental_nearest(qx, qy, node_filter=node_filter):
             if region is not None and not region.contains_object(p):
                 continue
@@ -369,17 +495,25 @@ class NWCEngine:
             if flags.srr and dist_p >= bound + diagonal:
                 # No window generated by p (or by any farther object) can
                 # reach closer than dist(q, p) - diagonal.
+                if attr is not None:
+                    attr.srr_early_stop += 1
                 break
             frame = QuadrantFrame.for_object(qx, qy, p)
             sr = search_region(frame, p, length, width)
             if flags.srr:
                 shrunk = shrink_search_region(sr, bound)
                 if shrunk is None:
+                    if attr is not None:
+                        attr.srr_objects_skipped += 1
                     continue
+                if attr is not None and shrunk.upper < sr.upper:
+                    attr.srr_regions_shrunk += 1
                 sr = shrunk
             real_sr = sr.to_real(frame)
             if flags.dep and grid.is_pruned(real_sr, n):
                 stats.window_queries_cancelled += 1
+                if attr is not None:
+                    attr.dep_windows_cancelled += 1
                 continue
             stats.window_queries += 1
             cache = self._region_cache
@@ -387,24 +521,52 @@ class NWCEngine:
 
             def fetch_members(leaf=leaf, real_sr=real_sr):
                 if flags.iwp:
-                    found = self.iwp.window_query(leaf, real_sr)
+                    if attr is not None:
+                        starts = self.iwp.start_nodes(leaf, real_sr)
+                        if starts[0] is not tree.root:
+                            attr.iwp_root_descents_avoided += 1
+                        found = tree.window_query_from(starts, real_sr)
+                    else:
+                        found = self.iwp.window_query(leaf, real_sr)
                 else:
                     found = tree.window_query(real_sr)
                 if region is not None:
                     found = [m for m in found if region.contains_object(m)]
                 return found
 
-            if cache is not None:
-                cache_key = (real_sr.x1, real_sr.y1, real_sr.x2, real_sr.y2)
-                members = cache.members(cache_key, fetch_members)
-            else:
-                members = fetch_members()
-            if self.execution == "numpy":
-                self._enumerate_windows_numpy(
-                    q, frame, sr, members, policy, prune_windows, cache_key
+            wq_span = None
+            if tracing:
+                wq_span = tracer.start_span(
+                    "window_query", {"oid": p.oid, "dist": dist_p}
                 )
-            else:
-                self._enumerate_windows(q, frame, sr, members, policy, prune_windows)
+            try:
+                if cache is not None:
+                    cache_key = (real_sr.x1, real_sr.y1, real_sr.x2, real_sr.y2)
+                    members = cache.members(cache_key, fetch_members)
+                else:
+                    members = fetch_members()
+                enum_span = None
+                if tracing:
+                    enum_span = tracer.start_span(
+                        "enumerate", {"members": len(members)}
+                    )
+                try:
+                    if self.execution == "numpy":
+                        self._enumerate_windows_numpy(
+                            q, frame, sr, members, policy, prune_windows,
+                            cache_key, attr=attr, tspan=enum_span,
+                        )
+                    else:
+                        self._enumerate_windows(
+                            q, frame, sr, members, policy, prune_windows,
+                            attr=attr, tspan=enum_span,
+                        )
+                finally:
+                    if tracing:
+                        tracer.end_span(enum_span)
+            finally:
+                if tracing:
+                    tracer.end_span(wq_span)
 
     def _enumerate_windows(
         self,
@@ -414,6 +576,8 @@ class NWCEngine:
         members: Sequence[PointObject],
         policy,
         prune_windows: bool,
+        attr: _Attribution | None = None,
+        tspan=None,
     ) -> None:
         """Pair the search region's object with every partner (Algorithm 1
         lines 17-26) and offer each qualified window's best group."""
@@ -452,6 +616,8 @@ class NWCEngine:
             dy = bottom if bottom > 0.0 else 0.0
             mindist = math.sqrt(dx_sq + dy * dy)
             if prune_windows and mindist >= policy.bound():
+                if attr is not None:
+                    attr.windows_pruned_by_bound += 1
                 continue
             if keys is None:
                 keys = [(e[1], e[2].oid) for e in entries]
@@ -464,7 +630,13 @@ class NWCEngine:
             else:
                 sel = heapq.nsmallest(n, range(lo, hi), key=keys.__getitem__)
             objects = tuple(entries[i][2] for i in sel)
-            distance = self._measure(q, objects, [entries[i][1] for i in sel])
+            if tspan is not None:
+                t0 = time.perf_counter()
+                distance = self._measure(q, objects, [entries[i][1] for i in sel])
+                tspan.add_time("measure_s", time.perf_counter() - t0)
+                tspan.add_time("measure_calls", 1)
+            else:
+                distance = self._measure(q, objects, [entries[i][1] for i in sel])
             if prune_windows and distance >= policy.bound():
                 continue
             window = sr.window_rect(frame, entries[j][2].y)
@@ -479,6 +651,8 @@ class NWCEngine:
         policy,
         prune_windows: bool,
         cache_key: tuple | None = None,
+        attr: _Attribution | None = None,
+        tspan=None,
     ) -> None:
         """Array-kernel version of :meth:`_enumerate_windows`.
 
@@ -519,19 +693,33 @@ class NWCEngine:
         lazy_objects = q.measure is not DistanceMeasure.NEAREST_WINDOW
         for jj in qualified.nonzero()[0].tolist():
             if prune_windows and mindists[jj] >= policy.bound():
+                if attr is not None:
+                    attr.windows_pruned_by_bound += 1
                 continue
             if rank is None:
                 rank = kernels.rank_by_key(dsq, snap.oids)
             sel = kernels.select_ranked(rank, int(los[jj]), int(his[jj]), n)
             dsqs = dsq[sel].tolist()
             if lazy_objects:
-                distance = self._measure(q, (), dsqs)
+                if tspan is not None:
+                    t0 = time.perf_counter()
+                    distance = self._measure(q, (), dsqs)
+                    tspan.add_time("measure_s", time.perf_counter() - t0)
+                    tspan.add_time("measure_calls", 1)
+                else:
+                    distance = self._measure(q, (), dsqs)
                 if prune_windows and distance >= policy.bound():
                     continue
                 objects = tuple(objects_sorted[i] for i in sel.tolist())
             else:
                 objects = tuple(objects_sorted[i] for i in sel.tolist())
-                distance = self._measure(q, objects, dsqs)
+                if tspan is not None:
+                    t0 = time.perf_counter()
+                    distance = self._measure(q, objects, dsqs)
+                    tspan.add_time("measure_s", time.perf_counter() - t0)
+                    tspan.add_time("measure_calls", 1)
+                else:
+                    distance = self._measure(q, objects, dsqs)
                 if prune_windows and distance >= policy.bound():
                     continue
             window = sr.window_rect(frame, objects_sorted[start + jj].y)

@@ -229,10 +229,16 @@ class ParallelSweepRunner:
             inline execution.
         backoff: Base of the exponential retry delay, in seconds
             (attempt ``i`` sleeps ``backoff * 2**(i-1)``).
+        metrics: Optional :class:`~repro.obs.metrics.MetricsRegistry`;
+            when given, per-task wall time (submit-to-completion, so
+            queueing counts), retry/timeout/inline-rescue counts and
+            checkpoint skips are published under ``sweep_*``.  Metrics
+            never influence the produced rows.
     """
 
     def __init__(self, jobs: int | None = 1, timeout: float | None = None,
-                 retries: int = 2, backoff: float = 0.1) -> None:
+                 retries: int = 2, backoff: float = 0.1,
+                 metrics=None) -> None:
         if jobs is None:
             jobs = os.cpu_count() or 1
         if jobs < 1:
@@ -247,6 +253,25 @@ class ParallelSweepRunner:
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
+        if metrics is not None:
+            self._m_task_seconds = metrics.histogram(
+                "sweep_task_seconds",
+                "Sweep-cell wall time, submit to completion")
+            self._m_tasks = metrics.counter(
+                "sweep_tasks_total", "Sweep cells executed")
+            self._m_retries = metrics.counter(
+                "sweep_task_retries_total", "Worker resubmissions")
+            self._m_timeouts = metrics.counter(
+                "sweep_task_timeouts_total", "Tasks whose worker timed out")
+            self._m_rescues = metrics.counter(
+                "sweep_inline_rescues_total",
+                "Tasks re-executed inline after worker failures")
+            self._m_skips = metrics.counter(
+                "sweep_checkpoint_skips_total",
+                "Cells reused from the checkpoint journal")
+        else:
+            self._m_task_seconds = self._m_tasks = self._m_retries = None
+            self._m_timeouts = self._m_rescues = self._m_skips = None
 
     def run(
         self,
@@ -270,6 +295,8 @@ class ParallelSweepRunner:
             cached = checkpoint.completed(task.key) if checkpoint else None
             if cached is not None:
                 rows[index] = cached
+                if self._m_skips is not None:
+                    self._m_skips.inc()
             else:
                 pending.append(index)
         if not pending:
@@ -277,12 +304,20 @@ class ParallelSweepRunner:
 
         def finish(index: int, row: dict) -> None:
             rows[index] = row
+            if self._m_tasks is not None:
+                self._m_tasks.inc()
             if checkpoint is not None:
                 checkpoint.record(tasks[index].key, row)
 
         if self.jobs == 1 or len(pending) <= 1:
             for index in pending:
-                finish(index, task_fn(tasks[index]))
+                if self._m_task_seconds is not None:
+                    start = time.perf_counter()
+                    row = task_fn(tasks[index])
+                    self._m_task_seconds.observe(time.perf_counter() - start)
+                    finish(index, row)
+                else:
+                    finish(index, task_fn(tasks[index]))
             return rows  # type: ignore[return-value]
         self._run_pool(tasks, pending, task_fn, finish)
         return rows  # type: ignore[return-value]
@@ -298,6 +333,7 @@ class ParallelSweepRunner:
         pool = ProcessPoolExecutor(max_workers=workers)
         in_flight: dict[Future, int] = {}
         deadlines: dict[Future, float] = {}
+        submitted_at: dict[Future, float] = {}
         attempts: dict[int, int] = {index: 0 for index in pending}
         rescue_inline: list[tuple[int, BaseException]] = []
 
@@ -308,12 +344,18 @@ class ParallelSweepRunner:
                 rescue_inline.append((index, exc))
                 return
             in_flight[future] = index
+            if self._m_task_seconds is not None:
+                submitted_at[future] = time.perf_counter()
             if self.timeout is not None:
                 deadlines[future] = time.monotonic() + self.timeout
 
         def record_failure(index: int, error: BaseException) -> None:
             attempts[index] += 1
+            if isinstance(error, TimeoutError) and self._m_timeouts is not None:
+                self._m_timeouts.inc()
             if attempts[index] <= self.retries:
+                if self._m_retries is not None:
+                    self._m_retries.inc()
                 time.sleep(self.backoff * (2 ** (attempts[index] - 1)))
                 submit(index)
             else:
@@ -331,8 +373,13 @@ class ParallelSweepRunner:
                 for future in done:
                     index = in_flight.pop(future)
                     deadlines.pop(future, None)
+                    started = submitted_at.pop(future, None)
                     error = future.exception()
                     if error is None:
+                        if started is not None:
+                            self._m_task_seconds.observe(
+                                time.perf_counter() - started
+                            )
                         finish(index, future.result())
                     else:
                         record_failure(index, error)
@@ -343,6 +390,7 @@ class ParallelSweepRunner:
                     for future in expired:
                         index = in_flight.pop(future)
                         deadlines.pop(future, None)
+                        submitted_at.pop(future, None)
                         future.cancel()
                         record_failure(index, TimeoutError(
                             f"task exceeded {self.timeout:g}s in a worker"
@@ -353,8 +401,16 @@ class ParallelSweepRunner:
             # rescue below proceeds regardless of worker health.
             pool.shutdown(wait=False, cancel_futures=True)
         for index, error in rescue_inline:
+            if self._m_rescues is not None:
+                self._m_rescues.inc()
             try:
-                finish(index, task_fn(tasks[index]))
+                if self._m_task_seconds is not None:
+                    start = time.perf_counter()
+                    row = task_fn(tasks[index])
+                    self._m_task_seconds.observe(time.perf_counter() - start)
+                    finish(index, row)
+                else:
+                    finish(index, task_fn(tasks[index]))
             except Exception as exc:
                 raise SweepError(
                     f"sweep task {dict(tasks[index].labels)!r} failed in "
@@ -475,6 +531,7 @@ def parallel_experiment(
     timeout: float | None = None,
     retries: int = 2,
     checkpoint: str | os.PathLike[str] | None = None,
+    metrics=None,
 ) -> ExperimentResult:
     """Run one figure experiment with ``jobs`` worker processes.
 
@@ -489,6 +546,9 @@ def parallel_experiment(
         checkpoint: Path of a JSONL journal; cells it already holds are
             skipped (``--resume`` semantics) and new cells appended, so
             a killed sweep continues where it stopped.
+        metrics: Optional registry forwarded to the runner (task
+            timing, retries, timeouts; see
+            :class:`ParallelSweepRunner`).
     """
     if name not in _FIGURE_TASKS:
         raise ValueError(
@@ -500,7 +560,8 @@ def parallel_experiment(
     wf = window_scale_factor(scale)
     title, builder = _FIGURE_TASKS[name]
     columns, tasks = builder(scale, queries, wf)
-    runner = ParallelSweepRunner(jobs, timeout=timeout, retries=retries)
+    runner = ParallelSweepRunner(jobs, timeout=timeout, retries=retries,
+                                 metrics=metrics)
     meta = {"scale": scale, "queries": queries, "window_factor": wf,
             "jobs": runner.jobs}
     if checkpoint is not None:

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import csv
+import math
 import os
 from typing import Iterable
 
@@ -10,7 +11,18 @@ from .experiments import ExperimentResult
 
 
 def _format_cell(value: object) -> str:
+    """Render one table cell with stable float precision.
+
+    Floats get one decimal place, except small magnitudes (below 0.1)
+    which keep three significant digits so rates like ``0.05`` do not
+    collapse to ``0.1`` or ``0.0``; non-finite values pass through as
+    ``nan``/``inf``.
+    """
     if isinstance(value, float):
+        if not math.isfinite(value):
+            return str(value)
+        if value != 0.0 and abs(value) < 0.1:
+            return f"{value:.3g}"
         return f"{value:.1f}"
     return str(value)
 
@@ -63,7 +75,7 @@ def pivot_by_scheme(result: ExperimentResult, x_column: str,
         row_cells = ([str(group)] if group_col else []) + [str(x)]
         for scheme in schemes:
             value = cells.get((group, x, scheme))
-            row_cells.append(f"{value:.1f}" if value is not None else "-")
+            row_cells.append(_format_cell(value) if value is not None else "-")
         rows_txt.append(row_cells)
     widths = [max(len(r[i]) for r in rows_txt) for i in range(len(header))]
     for idx, row_cells in enumerate(rows_txt):

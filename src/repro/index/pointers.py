@@ -159,14 +159,15 @@ class IWPIndex:
     # ------------------------------------------------------------------
     # Algorithm 3: incremental window query processing
     # ------------------------------------------------------------------
-    def window_query(self, leaf: Node, rect: Rect, count_io: bool = True) -> list[PointObject]:
-        """Window query for ``rect`` issued while visiting an object of
-        ``leaf`` (Algorithm 3).
+    def start_nodes(self, leaf: Node, rect: Rect) -> list[Node]:
+        """Start set for a window query issued from ``leaf``.
 
         Picks the smallest ``i`` whose ``mbr_i^b`` fully covers ``rect``
-        (falling back to the root, which is always a correct start), adds
-        the start node's overlapping pointers that intersect ``rect``,
-        and runs the ordinary descent from those nodes.
+        (falling back to the root, which is always a correct start) and
+        adds the start node's overlapping pointers that intersect
+        ``rect``.  The first element is always the chosen backward-
+        pointer target, so callers can attribute an avoided root descent
+        by checking ``start_nodes(...)[0] is not tree.root``.
         """
         pointers = self._backward[leaf.node_id]
         start: Node | None = None
@@ -180,4 +181,12 @@ class IWPIndex:
         for other in self.overlapping_pointers(start):
             if other.mbr is not None and other.mbr.intersects(rect):
                 nodes.append(other)
+        return nodes
+
+    def window_query(self, leaf: Node, rect: Rect, count_io: bool = True) -> list[PointObject]:
+        """Window query for ``rect`` issued while visiting an object of
+        ``leaf`` (Algorithm 3): the ordinary descent run from
+        :meth:`start_nodes` instead of the root.
+        """
+        nodes = self.start_nodes(leaf, rect)
         return self.tree.window_query_from(nodes, rect, count_io=count_io)

@@ -1,0 +1,49 @@
+"""Observability: metrics registry, query tracing, attribution.
+
+``repro.obs`` is the telemetry layer of the reproduction-turned-system:
+:mod:`repro.obs.metrics` aggregates counters/gauges/latency histograms
+across components (Prometheus text + JSON export), and
+:mod:`repro.obs.trace` records per-query span trees with I/O deltas and
+per-optimization attribution (SRR/DIP/DEP/IWP).  Both are dependency-
+free and optional: every instrumented constructor defaults to
+:data:`~repro.obs.trace.NULL_TRACER` / ``metrics=None``, which keeps
+the hot paths at their un-instrumented cost.
+"""
+
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_WORK_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .trace import (
+    ATTRIBUTION_KEYS,
+    NULL_TRACER,
+    NullTracer,
+    QueryTracer,
+    Span,
+    explain,
+    format_span_tree,
+    span_to_dict,
+    write_jsonl,
+)
+
+__all__ = [
+    "ATTRIBUTION_KEYS",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_WORK_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "QueryTracer",
+    "Span",
+    "explain",
+    "format_span_tree",
+    "span_to_dict",
+    "write_jsonl",
+]

@@ -16,10 +16,14 @@ from .pages import PageFile
 class BufferPool:
     """Page cache with least-recently-used eviction and dirty tracking."""
 
-    def __init__(self, file: PageFile, capacity: int = 128) -> None:
+    def __init__(self, file: PageFile, capacity: int = 128,
+                 metrics=None) -> None:
         """Args:
             file: Underlying page file.
             capacity: Maximum number of cached pages (must be positive).
+            metrics: Optional :class:`~repro.obs.metrics.MetricsRegistry`;
+                when given, hit/miss/eviction/flush counters and the
+                cached-page gauge are published under ``buffer_pool_*``.
         """
         if capacity <= 0:
             raise ValueError("buffer pool capacity must be positive")
@@ -29,6 +33,21 @@ class BufferPool:
         self._dirty: set[int] = set()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        if metrics is not None:
+            self._m_hits = metrics.counter(
+                "buffer_pool_hits_total", "Reads served from the pool")
+            self._m_misses = metrics.counter(
+                "buffer_pool_misses_total", "Reads that went to the page file")
+            self._m_evictions = metrics.counter(
+                "buffer_pool_evictions_total", "Pages evicted (LRU)")
+            self._m_flushes = metrics.counter(
+                "buffer_pool_flushed_pages_total", "Dirty pages written back")
+            self._m_cached = metrics.gauge(
+                "buffer_pool_cached_pages", "Pages currently cached")
+        else:
+            self._m_hits = self._m_misses = self._m_evictions = None
+            self._m_flushes = self._m_cached = None
 
     def __len__(self) -> int:
         return len(self._frames)
@@ -37,9 +56,13 @@ class BufferPool:
         """Read a page through the cache."""
         if page_id in self._frames:
             self.hits += 1
+            if self._m_hits is not None:
+                self._m_hits.inc()
             self._frames.move_to_end(page_id)
             return self._frames[page_id]
         self.misses += 1
+        if self._m_misses is not None:
+            self._m_misses.inc()
         data = self.file.read_page(page_id)
         self._admit(page_id, data)
         return data
@@ -51,9 +74,13 @@ class BufferPool:
 
     def flush(self) -> None:
         """Write every dirty page back to the file."""
+        flushed = 0
         for page_id in sorted(self._dirty):
             if page_id in self._frames:
                 self.file.write_page(page_id, self._frames[page_id])
+                flushed += 1
+        if self._m_flushes is not None and flushed:
+            self._m_flushes.inc(flushed)
         self._dirty.clear()
         self.file.flush()
 
@@ -70,7 +97,12 @@ class BufferPool:
             return
         while len(self._frames) >= self.capacity:
             victim, victim_data = self._frames.popitem(last=False)
+            self.evictions += 1
+            if self._m_evictions is not None:
+                self._m_evictions.inc()
             if victim in self._dirty:
                 self.file.write_page(victim, victim_data)
                 self._dirty.discard(victim)
         self._frames[page_id] = data
+        if self._m_cached is not None:
+            self._m_cached.set(len(self._frames))

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import os
 import struct
+import time
 import zlib
 from dataclasses import dataclass
 from typing import Iterator
@@ -83,7 +84,7 @@ class PageFile:
 
     def __init__(self, path: str | os.PathLike[str], page_size: int = DEFAULT_PAGE_SIZE,
                  stats: IOStats | None = None, create: bool = False,
-                 format_version: int | None = None) -> None:
+                 format_version: int | None = None, metrics=None) -> None:
         """Open (or create) a page file.
 
         Args:
@@ -95,9 +96,21 @@ class PageFile:
                 current checksummed format).  When opening an existing
                 file the version is detected from the header; passing a
                 different one raises :class:`FormatVersionError`.
+            metrics: Optional :class:`~repro.obs.metrics.MetricsRegistry`;
+                when given, per-page read/write wall-clock latency is
+                observed into the ``page_read_seconds`` /
+                ``page_write_seconds`` histograms (p50/p95/p99 in their
+                summaries).  ``None`` keeps the I/O paths timer-free.
         """
         if page_size < _HEADER_V2.size + _HEADER_V2_CRC.size:
             raise PageError(f"page size too small: {page_size}")
+        if metrics is not None:
+            self._m_read_seconds = metrics.histogram(
+                "page_read_seconds", "Physical page read latency")
+            self._m_write_seconds = metrics.histogram(
+                "page_write_seconds", "Physical page write latency")
+        else:
+            self._m_read_seconds = self._m_write_seconds = None
         if format_version is not None and format_version not in SUPPORTED_VERSIONS:
             raise FormatVersionError(
                 f"unsupported format version {format_version}; "
@@ -239,8 +252,12 @@ class PageFile:
             body = struct.pack("<I", len(data)) + data
             body = body.ljust(self.page_size - _HEADER_V2_CRC.size, b"\x00")
             page = _HEADER_V2_CRC.pack(zlib.crc32(body)) + body
+        timed = self._m_write_seconds is not None
+        start = time.perf_counter() if timed else 0.0
         self._file.seek(page_id * self.page_size)
         self._file.write(page)
+        if timed:
+            self._m_write_seconds.observe(time.perf_counter() - start)
         self.stats.page_writes += 1
 
     def read_page(self, page_id: int) -> bytes:
@@ -254,8 +271,12 @@ class PageFile:
                 impossible payload length — the page cannot be trusted.
         """
         self._check_page_id(page_id)
+        timed = self._m_read_seconds is not None
+        start = time.perf_counter() if timed else 0.0
         self._file.seek(page_id * self.page_size)
         raw = self._file.read(self.page_size)
+        if timed:
+            self._m_read_seconds.observe(time.perf_counter() - start)
         if len(raw) != self.page_size:
             raise CorruptPageError(
                 f"short read on page {page_id}", page_id=page_id

@@ -8,6 +8,7 @@ instance attached to the tree, so experiments read a single counter.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 
@@ -52,11 +53,28 @@ class IOStats:
         """Copy the counters into a plain dict (for reports)."""
         return {name: getattr(self, name) for name in self.__dataclass_fields__}
 
-    def merged_with(self, other: "IOStats") -> "IOStats":
-        """Return a new instance with counter-wise sums."""
-        merged = IOStats()
+    def __iadd__(self, other: "IOStats") -> "IOStats":
+        """Accumulate ``other``'s counters into this instance."""
         for name in self.__dataclass_fields__:
-            setattr(merged, name, getattr(self, name) + getattr(other, name))
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        return self
+
+    def merged_with(self, other: "IOStats") -> "IOStats":
+        """Return a new instance with counter-wise sums.
+
+        .. deprecated:: use ``stats += other`` (:meth:`__iadd__`) to
+           accumulate in place, or ``IOStats() + both`` style copies via
+           an explicit fresh instance.
+        """
+        warnings.warn(
+            "IOStats.merged_with() is deprecated; use the in-place "
+            "'stats += other' operator instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        merged = IOStats()
+        merged += self
+        merged += other
         return merged
 
 

@@ -22,6 +22,12 @@ class TestParser:
         args = build_parser().parse_args(["query"])
         assert args.dataset == "ca" and args.scheme == "NWC_STAR"
 
+    def test_trace_args_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.dataset == "ca" and args.scheme == "NWC_STAR"
+        assert args.explain is False and args.jsonl is None
+        assert args.metrics is None
+
 
 class TestMain:
     def test_table3(self, capsys):
@@ -59,6 +65,62 @@ class TestMain:
         assert code == 0
         out = capsys.readouterr().out
         assert "group" in out
+
+
+class TestTrace:
+    ARGS = [
+        "trace", "--dataset", "uniform", "--size", "2000",
+        "-x", "5000", "-y", "5000", "--length", "500", "--width", "500",
+        "-n", "4",
+    ]
+
+    def test_trace_prints_span_tree(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "query:nwc" in out
+        assert "search" in out
+        assert "node_accesses=" in out
+
+    def test_trace_explain_and_sinks(self, tmp_path, capsys):
+        jsonl = tmp_path / "trace.jsonl"
+        prom = tmp_path / "metrics.prom"
+        code = main(self.ARGS + [
+            "--explain", "--jsonl", str(jsonl), "--metrics", str(prom),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "optimization attribution" in out
+        assert "srr_regions_shrunk" in out or "iwp_root_descents_avoided" in out
+        import json
+        record = json.loads(jsonl.read_text().splitlines()[0])
+        assert record["name"] == "query:nwc"
+        text = prom.read_text()
+        assert 'nwc_queries_total{kind="nwc"} 1' in text
+
+    def test_trace_metrics_json(self, tmp_path):
+        out_json = tmp_path / "metrics.json"
+        code = main(self.ARGS + ["--execution", "python",
+                                 "--metrics", str(out_json)])
+        assert code == 0
+        import json
+        data = json.loads(out_json.read_text())
+        assert data["nwc_query_node_accesses"]["values"][""]["count"] == 1.0
+
+    def test_trace_knwc(self, capsys):
+        code = main(self.ARGS + ["-k", "2"])
+        assert code == 0
+        assert "query:knwc" in capsys.readouterr().out
+
+
+class TestExperimentMetrics:
+    def test_serial_experiment_writes_metrics(self, tmp_path, capsys):
+        out_json = tmp_path / "exp.json"
+        code = main(["experiment", "table2", "--scale", "0.004",
+                     "--metrics", str(out_json)])
+        assert code == 0
+        import json
+        data = json.loads(out_json.read_text())
+        assert data["experiment_cells_total"]["values"][""] > 0
 
 
 class TestErrorExitCodes:

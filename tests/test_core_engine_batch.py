@@ -107,3 +107,22 @@ def test_prebuilt_grid_cell_size_survives_rebuild(batch_tree):
     assert engine.grid.cell_size == 80.0
     assert engine.grid is not grid  # actually rebuilt
     assert engine.delete(outsider)
+
+
+def test_empty_batch_stats_mean_is_zero():
+    """Regression: an empty batch must report mean 0.0, not divide by zero."""
+    from repro.core.results import BatchStats
+    stats = BatchStats.collect([])
+    assert stats.queries == 0
+    assert stats.mean() == 0.0
+    assert stats.mean("window_queries") == 0.0
+    assert stats.total() == 0
+    assert stats.cache_hit_rate == 0.0
+
+
+def test_empty_batch_execution(batch_tree):
+    """An engine fed zero queries returns an empty, well-formed result."""
+    engine = NWCEngine(batch_tree, Scheme.NWC_STAR)
+    batch = engine.nwc_batch([])
+    assert len(batch) == 0
+    assert batch.stats.mean() == 0.0

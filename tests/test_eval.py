@@ -142,3 +142,22 @@ class TestReporting:
     def test_reduction_rate(self):
         assert reduction_rate(100.0, 2.0) == pytest.approx(98.0)
         assert reduction_rate(0.0, 5.0) == 0.0
+
+    def test_reduction_rate_zero_and_negative_baseline(self):
+        """Regression: a degenerate baseline must yield 0.0, not ZeroDivisionError."""
+        assert reduction_rate(0.0, 0.0) == 0.0
+        assert reduction_rate(-1.0, 5.0) == 0.0
+
+    def test_format_cell_stable_precision(self):
+        from repro.eval.reporting import _format_cell
+        assert _format_cell(100.0) == "100.0"
+        assert _format_cell(123.456) == "123.5"
+        assert _format_cell(0.0) == "0.0"
+        # small magnitudes keep significant digits instead of rounding away
+        assert _format_cell(0.05) == "0.05"
+        assert _format_cell(-0.0125) == "-0.0125"
+        # non-floats and non-finite floats pass through
+        assert _format_cell(7) == "7"
+        assert _format_cell("x") == "x"
+        assert _format_cell(float("inf")) == "inf"
+        assert _format_cell(float("nan")) == "nan"

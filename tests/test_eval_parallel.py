@@ -98,3 +98,16 @@ def test_runner_validates_jobs():
     with pytest.raises(ValueError):
         ParallelSweepRunner(jobs=0)
     assert ParallelSweepRunner(jobs=None).jobs >= 1
+
+
+def test_runner_metrics_recorded_and_rows_unaffected():
+    """A metrics registry observes task timings without changing rows."""
+    from repro.obs import MetricsRegistry
+    tasks = _tiny_tasks()
+    plain_rows = ParallelSweepRunner(jobs=1).run(tasks)
+    registry = MetricsRegistry()
+    metered_rows = ParallelSweepRunner(jobs=2, metrics=registry).run(tasks)
+    assert metered_rows == plain_rows
+    data = registry.to_dict()
+    assert data["sweep_tasks_total"]["values"][""] == len(tasks)
+    assert data["sweep_task_seconds"]["values"][""]["count"] == len(tasks)

@@ -46,10 +46,19 @@ class TestIOStats:
         assert snap["node_accesses"] == 2
         assert snap["page_reads"] == 7
 
-    def test_merged_with(self):
+    def test_iadd_accumulates_in_place(self):
         a = IOStats(node_accesses=2)
         b = IOStats(node_accesses=3, leaf_accesses=1)
-        merged = a.merged_with(b)
+        a += b
+        assert a.node_accesses == 5
+        assert a.leaf_accesses == 1
+        assert b.node_accesses == 3  # unchanged
+
+    def test_merged_with_deprecated(self):
+        a = IOStats(node_accesses=2)
+        b = IOStats(node_accesses=3, leaf_accesses=1)
+        with pytest.deprecated_call():
+            merged = a.merged_with(b)
         assert merged.node_accesses == 5
         assert merged.leaf_accesses == 1
         assert a.node_accesses == 2  # unchanged
