@@ -267,6 +267,57 @@ def time_tracing_overhead(tree, queries, repeats: int,
     return result
 
 
+def time_serving(duration_s: float, workers: int = 4) -> dict:
+    """Served throughput/latency under a mixed read/update load.
+
+    Boots a :class:`ServerThread` on an ephemeral port over a fresh
+    uniform dataset, drives it with ``workers`` closed-loop clients
+    (mixed NWC/kNWC queries plus worker-0 updates) and reports sustained
+    qps, latency percentiles, and the cache hit/miss latency split.
+    Worker 0 also replays every operation on a twin engine, so the run
+    doubles as an online bit-identity check.
+    """
+    from repro.serve import LoadgenConfig, ServeConfig, ServerThread, run_loadgen
+
+    # The paper-extent uniform dataset (not the dense kernel workload):
+    # a 300-unit window holds ~2n objects, putting per-query work in the
+    # tens of milliseconds — the regime where concurrency and caching,
+    # not raw kernel time, dominate.
+    card = 15_000
+    dataset = uniform(card, seed=20260806)
+
+    def build_engine():
+        tree = RStarTree.bulk_load(dataset.points, max_entries=50)
+        return NWCEngine(tree, Scheme.NWC_STAR, execution="numpy")
+
+    with ServerThread(build_engine(),
+                      ServeConfig(port=0, max_inflight=workers)) as thread:
+        config = LoadgenConfig(
+            port=thread.port, workers=workers, duration_s=duration_s,
+            query_pool=16, length=300.0, width=300.0,
+            n=DEFAULT_N, k=4, m=1, seed=17,
+        )
+        report = run_loadgen(config, dataset, verify_engine=build_engine())
+    hit = report.latency_cache_hit
+    miss = report.latency_cache_miss
+    return {
+        "workers": workers,
+        "duration_s": round(report.wall_s, 2),
+        "requests": report.requests,
+        "sustained_qps": report.qps,
+        "latency_ms": report.latency,
+        "cache_hit_latency_ms": hit,
+        "cache_miss_latency_ms": miss,
+        "cache_hit_rate": round(report.cache_hit_rate, 3),
+        "cache_hit_faster": (report.cache_hits > 0
+                             and hit["p50_ms"] < miss["p50_ms"]),
+        "updates_applied": report.updates_applied,
+        "verified_responses": report.verified,
+        "mismatches": report.mismatches,
+        "errors": report.errors,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--card", type=int, default=50_000)
@@ -285,6 +336,10 @@ def main(argv=None) -> int:
         "--baseline-src", default=None,
         help="path to a pre-observability src/ tree; enables the A/B "
              "disabled-overhead guard (≤2%% budget)",
+    )
+    parser.add_argument(
+        "--serve-duration", type=float, default=3.0,
+        help="length of the serving load-test section in seconds",
     )
     args = parser.parse_args(argv)
 
@@ -309,6 +364,7 @@ def main(argv=None) -> int:
             tree, queries, args.repeats,
             baseline_src=args.baseline_src, card=args.card,
         ),
+        "serving": time_serving(args.serve_duration),
     }
     out = os.path.abspath(args.output)
     with open(out, "w") as handle:
@@ -321,6 +377,9 @@ def main(argv=None) -> int:
     # None means the A/B guard did not run (no --baseline-src); only an
     # explicit budget violation fails the report.
     ok = ok and report["tracing_overhead"]["within_budget"] is not False
+    serving = report["serving"]
+    ok = ok and serving["mismatches"] == 0 and serving["errors"] == 0
+    ok = ok and serving["cache_hit_faster"]
     return 0 if ok else 1
 
 

@@ -12,6 +12,11 @@ Subcommands:
 * ``trace`` — run one query with the tracer attached and pretty-print
   its span tree; ``--explain`` summarizes which optimizations fired,
   ``--jsonl`` appends the structured trace to a sink file.
+* ``serve`` — expose an engine over TCP (newline-delimited JSON) with
+  the update-aware result cache and admission control.
+* ``loadgen`` — drive a running server with closed-loop workers and
+  report throughput and latency percentiles; ``--verify`` replays every
+  operation on a twin engine and counts answer mismatches.
 """
 
 from __future__ import annotations
@@ -222,6 +227,62 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import QueryServer, ServeConfig
+
+    engine = _make_engine(args, execution=args.execution)
+    config = ServeConfig(
+        host=args.host, port=args.port,
+        max_inflight=args.max_inflight, max_queue=args.max_queue,
+        deadline_s=args.deadline, cache_entries=args.cache_entries,
+        cache_ttl_s=args.cache_ttl,
+    )
+    server = QueryServer(engine, config)
+
+    async def run() -> None:
+        await server.start()
+        print(f"serving {args.dataset}/{args.size} ({args.scheme}, "
+              f"{args.execution}) on {config.host}:{server.port}",
+              file=sys.stderr, flush=True)
+        await server.serve_forever()
+        print("drained, exiting", file=sys.stderr)
+
+    asyncio.run(run())
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from .serve import LoadgenConfig, LoadMix, run_loadgen
+
+    # The dataset seeds the query pool; with --verify it must describe
+    # the same points the server was started with (same --dataset,
+    # --size, --scheme and --execution), because the twin engine replays
+    # every operation locally and compares answers byte for byte.
+    dataset = _DATASETS[args.dataset](args.size)
+    twin = _make_engine(args, execution=args.execution) if args.verify else None
+    mix = LoadMix(nwc=args.mix_nwc, knwc=args.mix_knwc,
+                  insert=args.mix_insert, delete=args.mix_delete)
+    config = LoadgenConfig(
+        host=args.host, port=args.port, workers=args.workers,
+        duration_s=args.duration, requests_per_worker=args.requests,
+        mix=mix, query_pool=args.query_pool,
+        length=args.length, width=args.width, n=args.n, k=args.k, m=args.m,
+        seed=args.seed,
+    )
+    report = run_loadgen(config, dataset, verify_engine=twin)
+    print(report.format())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"report written to {args.json}", file=sys.stderr)
+    if report.mismatches or report.errors:
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -287,6 +348,68 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write the query's metrics to this file "
                           "(JSON; a .prom suffix selects Prometheus text)")
     trc.set_defaults(func=_cmd_trace)
+
+    def add_dataset_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--dataset", choices=sorted(_DATASETS), default="ca")
+        p.add_argument("--size", type=int, default=10_000,
+                       help="dataset cardinality")
+        p.add_argument("--scheme", choices=[s.name for s in Scheme],
+                       default="NWC_STAR")
+        p.add_argument("--execution", choices=list(EXECUTION_MODES),
+                       default=DEFAULT_EXECUTION,
+                       help=f"engine execution mode (default: {DEFAULT_EXECUTION})")
+
+    srv = sub.add_parser(
+        "serve", help="serve NWC/kNWC queries over TCP (NDJSON protocol)")
+    add_dataset_args(srv)
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=7654,
+                     help="bind port (0 = ephemeral)")
+    srv.add_argument("--max-inflight", type=int, default=4,
+                     help="concurrent engine operations")
+    srv.add_argument("--max-queue", type=int, default=64,
+                     help="requests allowed to wait beyond --max-inflight "
+                          "before the server answers 'overloaded'")
+    srv.add_argument("--deadline", type=float, default=10.0,
+                     help="default per-request deadline in seconds")
+    srv.add_argument("--cache-entries", type=int, default=1024,
+                     help="result-cache capacity (0 disables caching)")
+    srv.add_argument("--cache-ttl", type=float, default=None,
+                     help="result-cache TTL in seconds (default: no expiry)")
+    srv.set_defaults(func=_cmd_serve)
+
+    lg = sub.add_parser(
+        "loadgen",
+        help="drive a running server with closed-loop workers")
+    add_dataset_args(lg)
+    lg.add_argument("--host", default="127.0.0.1")
+    lg.add_argument("--port", type=int, default=7654)
+    lg.add_argument("--workers", type=int, default=4)
+    lg.add_argument("--duration", type=float, default=5.0,
+                    help="run length in seconds (ignored with --requests)")
+    lg.add_argument("--requests", type=int, default=None,
+                    help="fixed request count per worker (exact runs)")
+    lg.add_argument("--query-pool", type=int, default=32,
+                    help="distinct query locations per worker (smaller "
+                         "pools repeat more and hit the cache more)")
+    lg.add_argument("--mix-nwc", type=float, default=0.70)
+    lg.add_argument("--mix-knwc", type=float, default=0.15)
+    lg.add_argument("--mix-insert", type=float, default=0.10)
+    lg.add_argument("--mix-delete", type=float, default=0.05)
+    lg.add_argument("--length", type=float, default=100.0)
+    lg.add_argument("--width", type=float, default=100.0)
+    lg.add_argument("-n", type=int, default=8)
+    lg.add_argument("-k", type=int, default=4)
+    lg.add_argument("-m", type=int, default=1)
+    lg.add_argument("--seed", type=int, default=0)
+    lg.add_argument("--verify", action="store_true",
+                    help="replay every operation on a local twin engine "
+                         "and count answer mismatches (the server must "
+                         "have been started with the same dataset args); "
+                         "exits 1 on any mismatch or request error")
+    lg.add_argument("--json", default=None,
+                    help="also write the report to this JSON file")
+    lg.set_defaults(func=_cmd_loadgen)
     return parser
 
 

@@ -173,6 +173,14 @@ class NWCEngine:
                 )
                 for key, _ in ATTRIBUTION_KEYS
             }
+            self._m_batch_cache = {
+                outcome: metrics.counter(
+                    "nwc_cache_events_total",
+                    "Result/region cache events by layer",
+                    labels={"layer": "batch", "outcome": outcome},
+                )
+                for outcome in ("hit", "miss")
+            }
         self.scheme = scheme if isinstance(scheme, Scheme) else None
         self.flags = scheme.flags if isinstance(scheme, Scheme) else scheme
         self.grid = grid
@@ -208,7 +216,17 @@ class NWCEngine:
         a clamped edge cell would let DEP prune a region that actually
         holds the object).  The IWP pointer index is structural and is
         rebuilt lazily before the next query.
+
+        Raises :class:`BatchStateError` while a batch is in flight: the
+        batch's region LRU holds window contents computed against the
+        pre-update dataset, so a mutation mid-batch would silently serve
+        stale regions to the remaining queries.
         """
+        if self._region_cache is not None:
+            raise BatchStateError(
+                "cannot insert while a batch is in flight: the batch's "
+                "region cache would serve stale window contents"
+            )
         self.tree.insert(obj)
         if self.grid is not None:
             if self.grid.extent.contains_point(obj.x, obj.y):
@@ -222,7 +240,16 @@ class NWCEngine:
             self._iwp_dirty = True
 
     def delete(self, obj: PointObject) -> bool:
-        """Delete one object; returns False when it is not indexed."""
+        """Delete one object; returns False when it is not indexed.
+
+        Raises :class:`BatchStateError` while a batch is in flight, for
+        the same reason as :meth:`insert`.
+        """
+        if self._region_cache is not None:
+            raise BatchStateError(
+                "cannot delete while a batch is in flight: the batch's "
+                "region cache would serve stale window contents"
+            )
         if not self.tree.delete(obj):
             return False
         if self.grid is not None:
@@ -397,6 +424,11 @@ class NWCEngine:
             self._last_cache_hits = cache.hits
             self._last_cache_misses = cache.misses
             self._region_cache = None
+            if self.metrics is not None:
+                if cache.hits:
+                    self._m_batch_cache["hit"].inc(cache.hits)
+                if cache.misses:
+                    self._m_batch_cache["miss"].inc(cache.misses)
 
     # ------------------------------------------------------------------
     # Core search (Algorithm 1)

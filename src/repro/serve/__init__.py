@@ -1,0 +1,40 @@
+"""Concurrent query serving: TCP server, result cache, client, loadgen.
+
+The subsystem is dependency-free (stdlib ``asyncio`` + ``socket``) and
+wraps one :class:`~repro.core.engine.NWCEngine` behind a single-writer /
+many-reader scheduler, an update-aware semantic result cache, and
+admission control.  See ``DESIGN.md`` ("Serving architecture") for the
+concurrency model and the cache-invalidation correctness argument.
+"""
+
+from .cache import CacheStats, ResultCache
+from .client import (
+    DeadlineError,
+    DrainingError,
+    OverloadedError,
+    RemoteError,
+    ServeClient,
+    ServeClientError,
+    wait_until_healthy,
+)
+from .loadgen import LoadMix, LoadReport, LoadgenConfig, run_loadgen
+from .server import QueryServer, ServeConfig, ServerThread
+
+__all__ = [
+    "CacheStats",
+    "DeadlineError",
+    "DrainingError",
+    "LoadMix",
+    "LoadReport",
+    "LoadgenConfig",
+    "OverloadedError",
+    "QueryServer",
+    "RemoteError",
+    "ResultCache",
+    "ServeClient",
+    "ServeClientError",
+    "ServeConfig",
+    "ServerThread",
+    "run_loadgen",
+    "wait_until_healthy",
+]

@@ -1,0 +1,185 @@
+"""Blocking client for the query server.
+
+One :class:`ServeClient` wraps one TCP connection and issues one
+request at a time (the closed-loop shape the load generator and the
+tests want).  Server-side typed errors are raised as exceptions:
+``overloaded`` → :class:`OverloadedError`, ``deadline_exceeded`` →
+:class:`DeadlineError`, ``draining`` → :class:`DrainingError`,
+``bad_request``/``internal`` → :class:`RemoteError`.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any
+
+from . import protocol
+
+__all__ = [
+    "DeadlineError",
+    "DrainingError",
+    "OverloadedError",
+    "RemoteError",
+    "ServeClient",
+    "ServeClientError",
+    "wait_until_healthy",
+]
+
+
+class ServeClientError(Exception):
+    """Base class of client-side failures; carries the error ``code``."""
+
+    code = "client"
+
+    def __init__(self, message: str, code: str | None = None) -> None:
+        super().__init__(message)
+        if code is not None:
+            self.code = code
+
+
+class OverloadedError(ServeClientError):
+    """The server's admission control refused the request."""
+
+    code = "overloaded"
+
+
+class DeadlineError(ServeClientError):
+    """The request's deadline passed before the engine ran it."""
+
+    code = "deadline_exceeded"
+
+
+class DrainingError(ServeClientError):
+    """The server is shutting down gracefully."""
+
+    code = "draining"
+
+
+class RemoteError(ServeClientError):
+    """Any other server-reported failure (bad request, internal)."""
+
+
+_ERROR_TYPES = {
+    "overloaded": OverloadedError,
+    "deadline_exceeded": DeadlineError,
+    "draining": DrainingError,
+}
+
+
+class ServeClient:
+    """A blocking NDJSON client; usable as a context manager."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7654,
+                 timeout_s: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout_s)
+        self._file = self._sock.makefile("rwb")
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def call(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Send one request and return the (``ok: true``) response.
+
+        Raises the typed exception matching the server's error code on
+        ``ok: false``, and :class:`ServeClientError` when the
+        connection drops mid-request.
+        """
+        self._file.write(protocol.encode_line(payload))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServeClientError("connection closed by server")
+        response = protocol.decode_line(line)
+        if response.get("ok"):
+            return response
+        error = response.get("error") or {}
+        code = error.get("code", "internal")
+        message = error.get("message", "unknown server error")
+        raise _ERROR_TYPES.get(code, RemoteError)(message, code)
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Ops
+    # ------------------------------------------------------------------
+    def nwc(self, x: float, y: float, length: float, width: float, n: int,
+            measure: str | None = None,
+            deadline_ms: float | None = None) -> dict[str, Any]:
+        payload: dict[str, Any] = {"op": "nwc", "x": x, "y": y,
+                                   "length": length, "width": width, "n": n}
+        if measure is not None:
+            payload["measure"] = measure
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        return self.call(payload)
+
+    def knwc(self, x: float, y: float, length: float, width: float, n: int,
+             k: int, m: int = 0, maintenance: str = "exact",
+             measure: str | None = None,
+             deadline_ms: float | None = None) -> dict[str, Any]:
+        payload: dict[str, Any] = {"op": "knwc", "x": x, "y": y,
+                                   "length": length, "width": width,
+                                   "n": n, "k": k, "m": m,
+                                   "maintenance": maintenance}
+        if measure is not None:
+            payload["measure"] = measure
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        return self.call(payload)
+
+    def insert(self, oid: int, x: float, y: float,
+               deadline_ms: float | None = None) -> dict[str, Any]:
+        payload: dict[str, Any] = {"op": "insert", "oid": oid, "x": x, "y": y}
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        return self.call(payload)
+
+    def delete(self, oid: int, x: float, y: float,
+               deadline_ms: float | None = None) -> dict[str, Any]:
+        payload: dict[str, Any] = {"op": "delete", "oid": oid, "x": x, "y": y}
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        return self.call(payload)
+
+    def snapshot(self, path: str) -> dict[str, Any]:
+        return self.call({"op": "snapshot", "path": path})
+
+    def health(self) -> dict[str, Any]:
+        return self.call({"op": "health"})
+
+    def metrics(self, fmt: str = "json") -> dict[str, Any]:
+        return self.call({"op": "metrics", "format": fmt})
+
+
+def wait_until_healthy(host: str, port: int, timeout_s: float = 15.0,
+                       interval_s: float = 0.1) -> dict[str, Any]:
+    """Poll ``health`` until the server answers (or raise ``TimeoutError``).
+
+    Used by the load generator and CI to sequence "boot server, then
+    drive it" without sleeping a fixed amount.
+    """
+    give_up = time.monotonic() + timeout_s
+    last_error: Exception | None = None
+    while time.monotonic() < give_up:
+        try:
+            with ServeClient(host, port, timeout_s=interval_s + 2.0) as client:
+                return client.health()
+        except (OSError, ServeClientError) as exc:
+            last_error = exc
+            time.sleep(interval_s)
+    raise TimeoutError(
+        f"server at {host}:{port} not healthy after {timeout_s}s: {last_error}"
+    )

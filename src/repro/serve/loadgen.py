@@ -1,0 +1,416 @@
+"""Closed-loop multi-worker load generator for the query server.
+
+Each worker owns one connection and one RNG and loops: draw an
+operation from the configured mix, send it, wait for the answer, record
+the latency.  Query locations come from the same distributions the
+experiment harness uses (:mod:`repro.workloads`), drawn from a finite
+per-worker pool so repeated queries exercise the server's result cache.
+
+**Verification** (``verify_engine``): worker 0 keeps a *twin* engine —
+built exactly like the server's — and is the only worker that issues
+updates.  Because the client is closed-loop, worker 0's view of the
+dataset is sequentially consistent with the server's: it applies every
+update to the twin the moment the server acknowledges it, recomputes
+every one of its queries locally, and compares the serialized answers
+byte for byte.  Any divergence (including on cache hits, which is where
+an unsound invalidation rule would show) is counted as a mismatch.
+Other workers stay read-only in this mode so the twin never drifts.
+
+The report carries client-side throughput and latency percentiles
+(exact, from the raw samples) split by cache hit/miss, and optionally
+feeds a :class:`~repro.obs.metrics.MetricsRegistry` for uniform export
+alongside the server's own metrics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core import KNWCQuery, NWCEngine, NWCQuery
+from ..datasets import Dataset
+from ..geometry import PointObject
+from ..obs.metrics import MetricsRegistry
+from ..workloads import data_biased_query_points
+from . import protocol
+from .client import ServeClient, ServeClientError, wait_until_healthy
+
+__all__ = ["LoadMix", "LoadgenConfig", "LoadReport", "run_loadgen"]
+
+#: Object ids the load generator inserts start here, far above any
+#: dataset oid, so generated updates never collide with seed objects.
+LOADGEN_OID_BASE = 10_000_000
+
+
+@dataclass(frozen=True, slots=True)
+class LoadMix:
+    """Relative operation weights (normalized internally)."""
+
+    nwc: float = 0.70
+    knwc: float = 0.15
+    insert: float = 0.10
+    delete: float = 0.05
+
+    def __post_init__(self) -> None:
+        if min(self.nwc, self.knwc, self.insert, self.delete) < 0:
+            raise ValueError("mix weights must be non-negative")
+        if self.nwc + self.knwc + self.insert + self.delete <= 0:
+            raise ValueError("mix weights must not all be zero")
+
+    @property
+    def update_fraction(self) -> float:
+        total = self.nwc + self.knwc + self.insert + self.delete
+        return (self.insert + self.delete) / total
+
+
+@dataclass(frozen=True, slots=True)
+class LoadgenConfig:
+    """One load-generator run.
+
+    Attributes:
+        host, port: Server address.
+        workers: Concurrent closed-loop clients.
+        duration_s: Run length; ignored when ``requests_per_worker``
+            is set.
+        requests_per_worker: Fixed request count per worker (exact,
+            deterministic runs for tests/CI).
+        mix: Operation mix.  Updates are always issued by worker 0
+            only, so a verification twin can replay them.
+        query_pool: Distinct query locations per worker; smaller pools
+            repeat more and hit the cache more.
+        length, width, n, k, m: Query parameters.
+        seed: Base RNG seed (worker ``i`` uses ``seed + i``).
+        deadline_ms: Optional per-request deadline passed to the server.
+        connect_timeout_s: How long to wait for the server to answer
+            ``health`` before starting.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 7654
+    workers: int = 4
+    duration_s: float = 2.0
+    requests_per_worker: int | None = None
+    mix: LoadMix = field(default_factory=LoadMix)
+    query_pool: int = 32
+    length: float = 100.0
+    width: float = 100.0
+    n: int = 8
+    k: int = 4
+    m: int = 1
+    seed: int = 0
+    deadline_ms: float | None = None
+    connect_timeout_s: float = 15.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+        if self.requests_per_worker is None and self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if self.query_pool < 1:
+            raise ValueError("query_pool must be at least 1")
+
+
+def _percentiles(samples: list[float]) -> dict[str, float]:
+    """Exact p50/p95/p99 (nearest-rank) of raw latency samples, in ms."""
+    if not samples:
+        return {"p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0, "mean_ms": 0.0}
+    ordered = sorted(samples)
+    def rank(q: float) -> float:
+        index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[index] * 1000.0
+    return {
+        "p50_ms": round(rank(0.50), 4),
+        "p95_ms": round(rank(0.95), 4),
+        "p99_ms": round(rank(0.99), 4),
+        "mean_ms": round(sum(ordered) / len(ordered) * 1000.0, 4),
+    }
+
+
+@dataclass(slots=True)
+class LoadReport:
+    """Outcome of one load-generator run."""
+
+    workers: int
+    wall_s: float
+    requests: int
+    qps: float
+    by_op: dict[str, int]
+    errors: int
+    error_codes: dict[str, int]
+    latency: dict[str, float]
+    latency_cache_hit: dict[str, float]
+    latency_cache_miss: dict[str, float]
+    cache_hits: int
+    cache_misses: int
+    updates_applied: int
+    verified: int
+    mismatches: int
+    mismatch_examples: list[dict[str, Any]]
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        out = dataclasses.asdict(self)
+        out["cache_hit_rate"] = round(self.cache_hit_rate, 4)
+        return out
+
+    def format(self) -> str:
+        """Human-readable summary table."""
+        lines = [
+            f"workers: {self.workers}   wall: {self.wall_s:.2f}s   "
+            f"requests: {self.requests}   throughput: {self.qps:.1f} req/s",
+            f"ops: {self.by_op}   errors: {self.errors} {self.error_codes}",
+            f"latency (all): {self.latency}",
+            f"latency (cache hit):  {self.latency_cache_hit}",
+            f"latency (cache miss): {self.latency_cache_miss}",
+            f"cache: {self.cache_hits} hits / {self.cache_misses} misses "
+            f"(hit rate {self.cache_hit_rate:.2%})",
+            f"updates applied: {self.updates_applied}",
+        ]
+        if self.verified or self.mismatches:
+            lines.append(
+                f"verified: {self.verified} responses, "
+                f"{self.mismatches} mismatches"
+            )
+        return "\n".join(lines)
+
+
+class _Worker:
+    """One closed-loop client; worker 0 optionally verifies."""
+
+    def __init__(self, index: int, config: LoadgenConfig, dataset: Dataset,
+                 twin: NWCEngine | None, stop_at: float | None) -> None:
+        self.index = index
+        self.config = config
+        self.rng = random.Random(config.seed * 7919 + index)
+        # Jitter scaled to the query window so locations stay in-extent
+        # for any dataset size (the helper's default is tuned to the
+        # paper's 10,000-unit space).
+        self._jitter = max(config.length, config.width)
+        points = data_biased_query_points(
+            dataset, config.query_pool, seed=config.seed + index,
+            jitter=self._jitter,
+        )
+        self.query_points = points
+        self.twin = twin
+        self.stop_at = stop_at
+        self.samples: list[tuple[str, bool, float]] = []  # (op, cached, s)
+        self.by_op: dict[str, int] = {}
+        self.errors: dict[str, int] = {}
+        self.updates = 0
+        self.verified = 0
+        self.mismatches: list[dict[str, Any]] = []
+        self.inserted: list[PointObject] = []
+        self._next_oid = LOADGEN_OID_BASE + index * 1_000_000
+        self.failure: Exception | None = None
+
+    # Only worker 0 may update, so a single verification twin can
+    # replay the sequence of acknowledged updates deterministically.
+    @property
+    def may_update(self) -> bool:
+        return self.index == 0
+
+    def _pick_op(self) -> str:
+        mix = self.config.mix
+        weights = [mix.nwc, mix.knwc]
+        ops = ["nwc", "knwc"]
+        if self.may_update:
+            ops += ["insert", "delete"]
+            weights += [mix.insert, mix.delete]
+        return self.rng.choices(ops, weights=weights)[0]
+
+    def run(self) -> None:
+        try:
+            with ServeClient(self.config.host, self.config.port) as client:
+                count = 0
+                while True:
+                    if self.config.requests_per_worker is not None:
+                        if count >= self.config.requests_per_worker:
+                            break
+                    elif time.monotonic() >= self.stop_at:
+                        break
+                    self._one_request(client)
+                    count += 1
+        except Exception as exc:  # surfaced by run_loadgen
+            self.failure = exc
+
+    def _one_request(self, client: ServeClient) -> None:
+        op = self._pick_op()
+        if op == "delete" and not self.inserted:
+            op = "insert"  # nothing of ours to delete yet
+        self.by_op[op] = self.by_op.get(op, 0) + 1
+        start = time.perf_counter()
+        try:
+            response = getattr(self, "_op_" + op)(client)
+        except ServeClientError as exc:
+            self.errors[exc.code] = self.errors.get(exc.code, 0) + 1
+            return
+        elapsed = time.perf_counter() - start
+        cached = bool(response.get("cached")) if op in ("nwc", "knwc") else False
+        self.samples.append((op, cached, elapsed))
+
+    # -- operations ----------------------------------------------------
+    def _op_nwc(self, client: ServeClient) -> dict[str, Any]:
+        x, y = self.rng.choice(self.query_points)
+        c = self.config
+        response = client.nwc(x, y, c.length, c.width, c.n,
+                              deadline_ms=c.deadline_ms)
+        if self.twin is not None:
+            query = NWCQuery(x, y, c.length, c.width, c.n)
+            self._verify(response, protocol.serialize_nwc(self.twin.nwc(query)),
+                         {"op": "nwc", "x": x, "y": y})
+        return response
+
+    def _op_knwc(self, client: ServeClient) -> dict[str, Any]:
+        x, y = self.rng.choice(self.query_points)
+        c = self.config
+        response = client.knwc(x, y, c.length, c.width, c.n, c.k, c.m,
+                               deadline_ms=c.deadline_ms)
+        if self.twin is not None:
+            query = KNWCQuery.make(x, y, c.length, c.width, c.n, c.k, c.m)
+            self._verify(response,
+                         protocol.serialize_knwc(self.twin.knwc(query)),
+                         {"op": "knwc", "x": x, "y": y})
+        return response
+
+    def _op_insert(self, client: ServeClient) -> dict[str, Any]:
+        x, y = self.rng.choice(self.query_points)
+        # Jitter off the query pool so inserts land near (but not on)
+        # hot regions — the interesting case for cache invalidation.
+        obj = PointObject(self._next_oid,
+                          x + self.rng.uniform(-self._jitter, self._jitter),
+                          y + self.rng.uniform(-self._jitter, self._jitter))
+        self._next_oid += 1
+        response = client.insert(obj.oid, obj.x, obj.y,
+                                 deadline_ms=self.config.deadline_ms)
+        self.inserted.append(obj)
+        self.updates += 1
+        if self.twin is not None:
+            self.twin.insert(obj)
+        return response
+
+    def _op_delete(self, client: ServeClient) -> dict[str, Any]:
+        obj = self.inserted.pop(self.rng.randrange(len(self.inserted)))
+        response = client.delete(obj.oid, obj.x, obj.y,
+                                 deadline_ms=self.config.deadline_ms)
+        self.updates += 1
+        if self.twin is not None:
+            self.twin.delete(obj)
+            if not response.get("deleted"):
+                self.mismatches.append(
+                    {"op": "delete", "oid": obj.oid,
+                     "detail": "server did not find an object the twin holds"}
+                )
+        return response
+
+    def _verify(self, response: dict[str, Any], expected: dict[str, Any],
+                context: dict[str, Any]) -> None:
+        self.verified += 1
+        if response.get("result") != expected and len(self.mismatches) < 10:
+            self.mismatches.append(
+                context | {
+                    "cached": response.get("cached"),
+                    "version": response.get("version"),
+                    "served": response.get("result"),
+                    "expected": expected,
+                }
+            )
+
+
+def run_loadgen(
+    config: LoadgenConfig,
+    dataset: Dataset,
+    verify_engine: NWCEngine | None = None,
+    metrics: MetricsRegistry | None = None,
+) -> LoadReport:
+    """Drive the server with ``config.workers`` closed-loop clients.
+
+    Args:
+        config: Run shape; see :class:`LoadgenConfig`.
+        dataset: Source of query locations (must match the dataset the
+            server was started with for meaningful results).
+        verify_engine: Twin engine for worker-0 verification; must be
+            built identically to the server's engine (same points,
+            scheme, execution mode).  ``None`` disables verification
+            and keeps every worker read-write-mixed per the mix.
+        metrics: Optional registry to fold client-side latencies into
+            (``loadgen_request_seconds{op, source}``).
+
+    Returns:
+        The aggregated :class:`LoadReport`.
+    """
+    wait_until_healthy(config.host, config.port,
+                       timeout_s=config.connect_timeout_s)
+    stop_at = None
+    if config.requests_per_worker is None:
+        stop_at = time.monotonic() + config.duration_s
+    workers = [
+        _Worker(i, config, dataset,
+                twin=verify_engine if i == 0 else None, stop_at=stop_at)
+        for i in range(config.workers)
+    ]
+    threads = [
+        threading.Thread(target=w.run, name=f"loadgen-{w.index}", daemon=True)
+        for w in workers
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    for worker in workers:
+        if worker.failure is not None:
+            raise worker.failure
+
+    samples = [s for w in workers for s in w.samples]
+    if metrics is not None:
+        hists: dict[tuple[str, str], Any] = {}
+        for op, cached, elapsed in samples:
+            source = "cache" if cached else "engine"
+            hist = hists.get((op, source))
+            if hist is None:
+                hist = metrics.histogram(
+                    "loadgen_request_seconds",
+                    "Client-observed request latency",
+                    labels={"op": op, "source": source},
+                )
+                hists[(op, source)] = hist
+            hist.observe(elapsed)
+
+    by_op: dict[str, int] = {}
+    errors: dict[str, int] = {}
+    for worker in workers:
+        for op, count in worker.by_op.items():
+            by_op[op] = by_op.get(op, 0) + count
+        for code, count in worker.errors.items():
+            errors[code] = errors.get(code, 0) + count
+    query_samples = [s for s in samples if s[0] in ("nwc", "knwc")]
+    hit = [s[2] for s in query_samples if s[1]]
+    miss = [s[2] for s in query_samples if not s[1]]
+    mismatches = [m for w in workers for m in w.mismatches]
+    return LoadReport(
+        workers=config.workers,
+        wall_s=round(wall, 4),
+        requests=len(samples),
+        qps=round(len(samples) / wall, 2) if wall > 0 else 0.0,
+        by_op=by_op,
+        errors=sum(errors.values()),
+        error_codes=errors,
+        latency=_percentiles([s[2] for s in samples]),
+        latency_cache_hit=_percentiles(hit),
+        latency_cache_miss=_percentiles(miss),
+        cache_hits=len(hit),
+        cache_misses=len(miss),
+        updates_applied=sum(w.updates for w in workers),
+        verified=sum(w.verified for w in workers),
+        mismatches=len(mismatches),
+        mismatch_examples=mismatches[:10],
+    )

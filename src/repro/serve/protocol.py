@@ -1,0 +1,246 @@
+"""Wire protocol of the query server: newline-delimited JSON.
+
+Every request and response is one JSON object on one line (NDJSON).
+Requests carry an ``op`` (``nwc``, ``knwc``, ``insert``, ``delete``,
+``snapshot``, ``health``, ``metrics``) plus op-specific fields and an
+optional opaque ``id`` the server echoes back.  Responses carry
+``ok`` — ``true`` with op-specific payload fields, or ``false`` with a
+typed ``error`` object (``code`` from :data:`ERROR_CODES`).
+
+Query answers are serialized deterministically: ``json`` renders floats
+with ``repr``, which round-trips IEEE doubles exactly, so a cached
+response compares bit-identical to a freshly computed one whenever the
+underlying :class:`~repro.core.results.NWCResult` is the same.  The
+serialized ``result`` object deliberately excludes the volatile I/O
+counters (those travel separately under ``stats``), because work done
+is not part of the answer.
+
+This module also derives the *shield radii* the result cache uses for
+targeted invalidation — the geometric argument lives with the
+serialization because both must agree on what exactly is cached (see
+:mod:`repro.serve.cache` for how the radii are applied).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any
+
+from ..core import DistanceMeasure, KNWCQuery, KNWCResult, NWCQuery, NWCResult
+from ..core.results import ObjectGroup
+from ..geometry import PointObject
+
+__all__ = [
+    "ERROR_CODES",
+    "MAINTENANCE_MODES",
+    "decode_line",
+    "encode_line",
+    "error_response",
+    "parse_knwc",
+    "parse_nwc",
+    "parse_point",
+    "serialize_knwc",
+    "serialize_nwc",
+    "shield_radii_knwc",
+    "shield_radii_nwc",
+]
+
+#: Typed error codes a response can carry.
+ERROR_CODES = (
+    "bad_request",        # unparsable line, unknown op, invalid parameters
+    "overloaded",         # admission control rejected the request
+    "deadline_exceeded",  # the request expired before the engine ran it
+    "draining",           # the server is shutting down gracefully
+    "internal",           # unexpected failure; the message names the cause
+)
+
+#: kNWC result-maintenance modes accepted on the wire.
+MAINTENANCE_MODES = ("exact", "paper")
+
+#: Maximum accepted request line (bytes); a guard against runaway input.
+MAX_LINE_BYTES = 1 << 20
+
+
+class ProtocolError(ValueError):
+    """A request the server cannot interpret (maps to ``bad_request``)."""
+
+
+def encode_line(obj: dict[str, Any]) -> bytes:
+    """One NDJSON line: compact separators, sorted keys (deterministic)."""
+    return (json.dumps(obj, separators=(",", ":"), sort_keys=True) + "\n").encode()
+
+
+def decode_line(line: bytes) -> dict[str, Any]:
+    """Parse one request line into a dict, or raise :class:`ProtocolError`."""
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"malformed JSON: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError("request must be a JSON object")
+    return obj
+
+
+def error_response(code: str, message: str, request_id=None) -> dict[str, Any]:
+    """The ``ok: false`` envelope for a typed error."""
+    assert code in ERROR_CODES, code
+    response: dict[str, Any] = {
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }
+    if request_id is not None:
+        response["id"] = request_id
+    return response
+
+
+# ----------------------------------------------------------------------
+# Request parsing
+# ----------------------------------------------------------------------
+def _number(payload: dict, key: str) -> float:
+    value = payload.get(key)
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ProtocolError(f"field {key!r} must be a number, got {value!r}")
+    return float(value)
+
+
+def _integer(payload: dict, key: str, default: int | None = None) -> int:
+    value = payload.get(key, default)
+    if value is None or isinstance(value, bool) or not isinstance(value, int):
+        raise ProtocolError(f"field {key!r} must be an integer, got {value!r}")
+    return value
+
+
+def parse_nwc(payload: dict[str, Any]) -> NWCQuery:
+    """Build the :class:`NWCQuery` described by an ``nwc`` request."""
+    measure_name = payload.get("measure", DistanceMeasure.MAX.value)
+    try:
+        measure = DistanceMeasure(measure_name)
+    except ValueError as exc:
+        raise ProtocolError(f"unknown measure {measure_name!r}") from exc
+    return NWCQuery(
+        _number(payload, "x"), _number(payload, "y"),
+        _number(payload, "length"), _number(payload, "width"),
+        _integer(payload, "n"), measure,
+    )
+
+
+def parse_knwc(payload: dict[str, Any]) -> tuple[KNWCQuery, str]:
+    """Build the :class:`KNWCQuery` (and maintenance mode) of a ``knwc``
+    request."""
+    base = parse_nwc(payload)
+    query = KNWCQuery(base, _integer(payload, "k"), _integer(payload, "m", 0))
+    maintenance = payload.get("maintenance", "exact")
+    if maintenance not in MAINTENANCE_MODES:
+        raise ProtocolError(f"unknown maintenance mode {maintenance!r}")
+    return query, maintenance
+
+
+def parse_point(payload: dict[str, Any]) -> PointObject:
+    """The :class:`PointObject` of an ``insert``/``delete`` request."""
+    oid = _integer(payload, "oid")
+    obj = PointObject(oid, _number(payload, "x"), _number(payload, "y"))
+    if not (math.isfinite(obj.x) and math.isfinite(obj.y)):
+        raise ProtocolError("object coordinates must be finite")
+    return obj
+
+
+# ----------------------------------------------------------------------
+# Result serialization
+# ----------------------------------------------------------------------
+def _serialize_group(group: ObjectGroup) -> dict[str, Any]:
+    return {
+        "distance": group.distance,
+        "objects": [[p.oid, p.x, p.y] for p in group.objects],
+        "window": [group.window.x1, group.window.y1,
+                   group.window.x2, group.window.y2],
+    }
+
+
+def serialize_nwc(result: NWCResult) -> dict[str, Any]:
+    """The deterministic answer payload of one NWC result (no stats)."""
+    return {
+        "found": result.found,
+        "group": _serialize_group(result.group) if result.group else None,
+        "reason": result.reason,
+    }
+
+
+def serialize_knwc(result: KNWCResult) -> dict[str, Any]:
+    """The deterministic answer payload of one kNWC result (no stats)."""
+    return {
+        "groups": [_serialize_group(g) for g in result.groups],
+        "reason": result.reason,
+    }
+
+
+# ----------------------------------------------------------------------
+# Cache shields
+# ----------------------------------------------------------------------
+# An update at point u can change a cached answer only by changing some
+# candidate window's group, and every window containing u lies within
+# dist(q, u) ± diagonal of the query point.  Quantitatively, for a
+# cached best distance d:
+#
+# * an inserted object can only join (or newly qualify) a window whose
+#   group distance is at least dist(q, u) - diagonal under every
+#   measure, so inserts farther than d + diagonal cannot beat d;
+# * a deleted object can only change groups of windows it was inside,
+#   and the re-selected group's distance is at least
+#   dist(q, u) - 2·diagonal (the extra diagonal covers the
+#   NEAREST_WINDOW measure, whose group distance may sit one diagonal
+#   below its members' distances), so deletes farther than
+#   d + 2·diagonal cannot produce a group beating d — and cannot have
+#   touched the cached winning window either, whose objects all lie
+#   within d + diagonal of q.
+#
+# The cache keeps an entry across an update iff dist(q, u) is *strictly*
+# greater than the shield radius; strictness means a new group can never
+# even tie the cached distance, so oid tie-breaking cannot flip the
+# answer.  We use the conservative d + 2·diagonal for both operations.
+#
+# Entries without a usable bound fall back to full invalidation:
+# a radius of +inf means "any such update invalidates", -inf means
+# "no such update can affect this entry".
+ALWAYS_INVALIDATE = math.inf
+NEVER_INVALIDATE = -math.inf
+
+
+def shield_radii_nwc(query: NWCQuery, result: NWCResult) -> tuple[float, float]:
+    """``(insert_radius, delete_radius)`` shielding a cached NWC answer.
+
+    A *found* answer is invalidated by updates within
+    ``distance + 2·diagonal`` of the query point.  A *not found* answer
+    is invalidated by any insert (a new object anywhere can create the
+    first qualified window) but by no delete (removing objects can never
+    create a window; the size-threshold ``reason`` flip is handled by
+    the cache's ``min n`` check, see
+    :meth:`repro.serve.cache.ResultCache.note_delete`).
+    """
+    if result.found and math.isfinite(result.distance):
+        radius = result.distance + 2.0 * query.diagonal
+        return radius, radius
+    return ALWAYS_INVALIDATE, NEVER_INVALIDATE
+
+
+def shield_radii_knwc(query: KNWCQuery, result: KNWCResult) -> tuple[float, float]:
+    """``(insert_radius, delete_radius)`` shielding a cached kNWC answer.
+
+    With a full complement of ``k`` groups, any candidate group changed
+    by an update beyond ``max distance + 2·diagonal`` ranks strictly
+    after every returned group, so the greedy replay picks the same
+    ``k`` — the same radius shields both operations.  A *partial*
+    answer (``0 < len < k``) has no such bound: a changed candidate
+    anywhere may gain or lose overlap-feasibility, so both operations
+    fall back to full invalidation.  An *empty* answer behaves like a
+    not-found NWC answer.
+    """
+    if len(result.groups) == query.k:
+        worst = max(g.distance for g in result.groups)
+        if math.isfinite(worst):
+            radius = worst + 2.0 * query.base.diagonal
+            return radius, radius
+        return ALWAYS_INVALIDATE, ALWAYS_INVALIDATE
+    if result.groups:
+        return ALWAYS_INVALIDATE, ALWAYS_INVALIDATE
+    return ALWAYS_INVALIDATE, NEVER_INVALIDATE

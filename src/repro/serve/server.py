@@ -1,0 +1,677 @@
+"""Concurrent NWC/kNWC query server.
+
+One :class:`QueryServer` owns one :class:`~repro.core.engine.NWCEngine`
+and serves it over TCP (newline-delimited JSON, see
+:mod:`repro.serve.protocol`).  Three mechanisms make a single
+in-process engine safe and predictable under concurrent clients:
+
+* **Single-writer / many-reader scheduling** —
+  :class:`ReadWriteScheduler` is a FIFO-fair asyncio lock: queries and
+  snapshots run concurrently (up to ``max_inflight``, each on an
+  executor thread; the engine's query paths only read the index), while
+  ``insert``/``delete`` run exclusively.  FIFO ordering means a waiting
+  writer blocks later readers, so writers cannot starve.  DEP/IWP
+  structure rebuilds are forced *inside* the write critical section, so
+  readers never pay (or race on) a lazy rebuild.
+* **Admission control** — at most ``max_inflight + max_queue`` requests
+  may be in the system; beyond that the server answers ``overloaded``
+  immediately instead of queueing unboundedly.  Each request also
+  carries a deadline (client-supplied ``deadline_ms`` or the server
+  default); a request still waiting for the scheduler when its deadline
+  passes is answered ``deadline_exceeded`` without touching the engine.
+* **Update-aware result caching** — answers are cached per full query
+  description and dataset version (:mod:`repro.serve.cache`); updates
+  carry entries forward or invalidate them by the shield-radius rule,
+  so a cache hit is always bit-identical to recomputing at the current
+  version.
+
+On SIGINT/SIGTERM the server drains: it stops accepting connections,
+answers new requests with ``draining``, waits up to
+``drain_timeout_s`` for in-flight work, then closes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import dataclasses
+import signal
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Awaitable, Callable
+
+from ..core import NWCEngine, NWCError
+from ..index import save_tree
+from ..obs.metrics import MetricsRegistry
+from ..storage import StorageError
+from . import protocol
+from .cache import DEFAULT_CACHE_ENTRIES, ResultCache
+from .protocol import ProtocolError, error_response
+
+__all__ = ["DeadlineExceeded", "ReadWriteScheduler", "ServeConfig",
+           "QueryServer", "ServerThread"]
+
+
+class DeadlineExceeded(Exception):
+    """A request's deadline passed while it waited for the scheduler."""
+
+
+@dataclass(frozen=True, slots=True)
+class ServeConfig:
+    """Tunables of one server instance.
+
+    Attributes:
+        host: Bind address.
+        port: Bind port (0 = ephemeral; see ``QueryServer.port``).
+        max_inflight: Concurrent engine operations (reader slots and
+            executor threads).
+        max_queue: Requests allowed to wait beyond ``max_inflight``
+            before admission control answers ``overloaded``.
+        deadline_s: Default per-request deadline (overridable per
+            request via ``deadline_ms``).
+        cache_entries: Result-cache capacity (0 disables caching).
+        cache_ttl_s: Result-cache TTL (None = no expiry).
+        drain_timeout_s: Grace period for in-flight requests at
+            shutdown.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_inflight: int = 4
+    max_queue: int = 64
+    deadline_s: float = 10.0
+    cache_entries: int = DEFAULT_CACHE_ENTRIES
+    cache_ttl_s: float | None = None
+    drain_timeout_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
+        if self.max_queue < 0:
+            raise ValueError("max_queue must be non-negative")
+        if self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+
+
+class ReadWriteScheduler:
+    """FIFO-fair single-writer / many-reader asyncio scheduler.
+
+    Waiters are granted strictly in arrival order: readers are admitted
+    while no writer is active or queued ahead of them (up to
+    ``max_readers`` at once); a writer waits for exclusive access and,
+    sitting at the queue head, holds back every later arrival.  This is
+    the textbook writer-preference discipline that keeps a stream of
+    cheap reads from starving updates.
+
+    ``acquire`` takes an optional absolute deadline (event-loop time);
+    expiry raises :class:`DeadlineExceeded` and leaves the queue clean.
+    """
+
+    def __init__(self, max_readers: int) -> None:
+        if max_readers < 1:
+            raise ValueError("max_readers must be at least 1")
+        self._max_readers = max_readers
+        self._readers = 0
+        self._writer_active = False
+        self._waiters: deque[tuple[asyncio.Future, bool]] = deque()
+
+    @property
+    def active_readers(self) -> int:
+        return self._readers
+
+    @property
+    def writer_active(self) -> bool:
+        return self._writer_active
+
+    @property
+    def waiting(self) -> int:
+        return sum(1 for fut, _ in self._waiters if not fut.done())
+
+    def _grant(self) -> None:
+        while self._waiters:
+            fut, is_writer = self._waiters[0]
+            if fut.done():  # cancelled or already granted; sweep it
+                self._waiters.popleft()
+                continue
+            if is_writer:
+                if not self._writer_active and self._readers == 0:
+                    self._writer_active = True
+                    self._waiters.popleft()
+                    fut.set_result(None)
+                break  # a queued writer holds back everything behind it
+            if self._writer_active or self._readers >= self._max_readers:
+                break
+            self._readers += 1
+            self._waiters.popleft()
+            fut.set_result(None)
+
+    async def acquire(self, is_writer: bool, deadline: float | None = None) -> None:
+        loop = asyncio.get_running_loop()
+        fut: asyncio.Future = loop.create_future()
+        self._waiters.append((fut, is_writer))
+        self._grant()
+        if fut.done():
+            return
+        timeout = None if deadline is None else max(0.0, deadline - loop.time())
+        try:
+            await asyncio.wait_for(fut, timeout)
+        except asyncio.TimeoutError:
+            if fut.done() and not fut.cancelled():
+                # Granted in the same tick the timeout fired: give the
+                # slot back instead of leaking it.
+                self.release(is_writer)
+            else:
+                self._grant()  # sweep our dead waiter, wake the next
+            raise DeadlineExceeded from None
+        except asyncio.CancelledError:
+            if fut.done() and not fut.cancelled():
+                self.release(is_writer)
+            else:
+                self._grant()
+            raise
+
+    def release(self, is_writer: bool) -> None:
+        if is_writer:
+            self._writer_active = False
+        else:
+            self._readers -= 1
+        self._grant()
+
+    @contextlib.asynccontextmanager
+    async def read(self, deadline: float | None = None):
+        await self.acquire(False, deadline)
+        try:
+            yield
+        finally:
+            self.release(False)
+
+    @contextlib.asynccontextmanager
+    async def write(self, deadline: float | None = None):
+        await self.acquire(True, deadline)
+        try:
+            yield
+        finally:
+            self.release(True)
+
+
+class QueryServer:
+    """The serving layer around one engine; see the module docstring."""
+
+    def __init__(
+        self,
+        engine: NWCEngine,
+        config: ServeConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        """Args:
+            engine: The engine to serve.  The server takes ownership:
+                nothing else may mutate the engine (or its tree) while
+                the server runs.  Build it with ``metrics=None`` — the
+                serve layer records its own metrics from the event-loop
+                thread, which keeps recording race-free.
+            config: Server tunables (defaults: :class:`ServeConfig`).
+            metrics: Registry backing the ``metrics`` op; created on
+                demand otherwise.
+        """
+        self.engine = engine
+        self.config = config or ServeConfig()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.cache = ResultCache(
+            max_entries=self.config.cache_entries,
+            ttl_s=self.config.cache_ttl_s,
+            metrics=self.metrics,
+        )
+        self.version = 0
+        self._scheduler = ReadWriteScheduler(self.config.max_inflight)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.max_inflight,
+            thread_name_prefix="repro-serve",
+        )
+        self._active = 0
+        self._draining = False
+        self._stop_event = asyncio.Event()
+        self._started = time.monotonic()
+        self._server: asyncio.base_events.Server | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._flags_key = (
+            self.engine.flags.srr, self.engine.flags.dip,
+            self.engine.flags.dep, self.engine.flags.iwp,
+            self.engine.execution,
+        )
+        m = self.metrics
+        self._m_requests = {
+            (op, outcome): m.counter(
+                "serve_requests_total", "Requests by op and outcome",
+                labels={"op": op, "outcome": outcome},
+            )
+            for op in ("nwc", "knwc", "insert", "delete", "snapshot",
+                       "health", "metrics", "unknown")
+            for outcome in ("ok", "bad_request", "overloaded",
+                            "deadline_exceeded", "draining", "internal")
+        }
+        self._m_latency = {
+            (op, source): m.histogram(
+                "serve_request_seconds", "Server-side request latency",
+                labels={"op": op, "source": source},
+            )
+            for op in ("nwc", "knwc", "insert", "delete", "snapshot")
+            for source in ("engine", "cache")
+        }
+        self._g_queue = m.gauge("serve_queue_depth",
+                                "Requests waiting for an engine slot")
+        self._g_inflight = m.gauge("serve_inflight",
+                                   "Requests holding an engine slot")
+        self._g_connections = m.gauge("serve_connections", "Open connections")
+        self._g_version = m.gauge("serve_dataset_version",
+                                  "Monotone dataset version")
+        self._g_cache_entries = m.gauge("serve_cache_entries",
+                                        "Live result-cache entries")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0``)."""
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port,
+            limit=protocol.MAX_LINE_BYTES,
+        )
+
+    async def serve_forever(self, handle_signals: bool = True) -> None:
+        """Run until :meth:`shutdown` (or SIGINT/SIGTERM) then drain."""
+        if self._server is None:
+            await self.start()
+        if handle_signals:
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                with contextlib.suppress(NotImplementedError, RuntimeError):
+                    loop.add_signal_handler(sig, self._stop_event.set)
+        await self._stop_event.wait()
+        await self.drain()
+
+    def shutdown(self) -> None:
+        """Ask :meth:`serve_forever` to drain and return (thread-safe
+        only via ``loop.call_soon_threadsafe``)."""
+        self._stop_event.set()
+
+    async def drain(self) -> None:
+        """Graceful shutdown: refuse new work, finish in-flight work."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        pending = [t for t in self._conn_tasks if not t.done()]
+        if pending:
+            done, still = await asyncio.wait(
+                pending, timeout=self.config.drain_timeout_s
+            )
+            for task in still:
+                task.cancel()
+            if still:
+                await asyncio.gather(*still, return_exceptions=True)
+        self._executor.shutdown(wait=False)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        assert task is not None
+        self._conn_tasks.add(task)
+        task.add_done_callback(self._conn_tasks.discard)
+        self._g_connections.inc()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ConnectionError:
+                    break
+                except ValueError:  # line longer than the stream limit
+                    response = error_response("bad_request", "request too large")
+                    with contextlib.suppress(ConnectionError):
+                        writer.write(protocol.encode_line(response))
+                        await writer.drain()
+                    break
+                if not line:
+                    break
+                response = await self._handle_line(line)
+                try:
+                    writer.write(protocol.encode_line(response))
+                    await writer.drain()
+                except (ConnectionError, asyncio.CancelledError):
+                    break
+        finally:
+            self._g_connections.dec()
+            with contextlib.suppress(ConnectionError):
+                writer.close()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await writer.wait_closed()
+
+    async def _handle_line(self, line: bytes) -> dict[str, Any]:
+        try:
+            payload = protocol.decode_line(line)
+        except ProtocolError as exc:
+            self._m_requests[("unknown", "bad_request")].inc()
+            return error_response("bad_request", str(exc))
+        request_id = payload.get("id")
+        op = payload.get("op")
+        handler = self._HANDLERS.get(op)
+        if handler is None:
+            self._m_requests[("unknown", "bad_request")].inc()
+            return error_response("bad_request", f"unknown op {op!r}", request_id)
+        try:
+            response = await handler(self, payload)
+            outcome = "ok" if response.get("ok") else response["error"]["code"]
+        except ProtocolError as exc:
+            response, outcome = error_response("bad_request", str(exc)), "bad_request"
+        except DeadlineExceeded:
+            response, outcome = error_response(
+                "deadline_exceeded", "deadline passed before execution"
+            ), "deadline_exceeded"
+        except (NWCError, StorageError, ValueError, OSError) as exc:
+            response, outcome = error_response(
+                "internal", f"{type(exc).__name__}: {exc}"
+            ), "internal"
+        self._m_requests[(op, outcome)].inc()
+        if request_id is not None:
+            response["id"] = request_id
+        return response
+
+    # ------------------------------------------------------------------
+    # Admission + deadlines
+    # ------------------------------------------------------------------
+    def _deadline(self, payload: dict[str, Any]) -> float:
+        raw = payload.get("deadline_ms")
+        seconds = self.config.deadline_s
+        if raw is not None:
+            if not isinstance(raw, (int, float)) or isinstance(raw, bool) or raw <= 0:
+                raise ProtocolError("deadline_ms must be a positive number")
+            seconds = float(raw) / 1000.0
+        return asyncio.get_running_loop().time() + seconds
+
+    @contextlib.contextmanager
+    def _admitted(self):
+        """Admission-control slot; raises an ``overloaded`` response via
+        its caller when the system is full."""
+        self._active += 1
+        self._refresh_pressure_gauges()
+        try:
+            yield
+        finally:
+            self._active -= 1
+            self._refresh_pressure_gauges()
+
+    def _refresh_pressure_gauges(self) -> None:
+        inflight = self._scheduler.active_readers + (
+            1 if self._scheduler.writer_active else 0
+        )
+        self._g_inflight.set(inflight)
+        self._g_queue.set(max(0, self._active - inflight))
+
+    def _check_admission(self) -> dict[str, Any] | None:
+        if self._draining:
+            return error_response("draining", "server is shutting down")
+        limit = self.config.max_inflight + self.config.max_queue
+        if self._active >= limit:
+            return error_response(
+                "overloaded",
+                f"{self._active} requests in flight (limit {limit})",
+            )
+        return None
+
+    async def _run(self, fn: Callable, *args) -> Any:
+        """Run blocking engine work on the executor."""
+        return await asyncio.get_running_loop().run_in_executor(
+            self._executor, fn, *args
+        )
+
+    # ------------------------------------------------------------------
+    # Query ops
+    # ------------------------------------------------------------------
+    async def _op_nwc(self, payload: dict[str, Any]) -> dict[str, Any]:
+        query = protocol.parse_nwc(payload)
+        key = ("nwc", query.qx, query.qy, query.length, query.width,
+               query.n, query.measure.value, self._flags_key)
+        return await self._answer_query(
+            payload, "nwc", key,
+            run=lambda: self.engine.nwc(query),
+            serialize=protocol.serialize_nwc,
+            radii=lambda result: protocol.shield_radii_nwc(query, result),
+            n=query.n, qx=query.qx, qy=query.qy,
+        )
+
+    async def _op_knwc(self, payload: dict[str, Any]) -> dict[str, Any]:
+        query, maintenance = protocol.parse_knwc(payload)
+        base = query.base
+        key = ("knwc", base.qx, base.qy, base.length, base.width, base.n,
+               base.measure.value, query.k, query.m, maintenance,
+               self._flags_key)
+        return await self._answer_query(
+            payload, "knwc", key,
+            run=lambda: self.engine.knwc(query, maintenance=maintenance),
+            serialize=protocol.serialize_knwc,
+            radii=lambda result: protocol.shield_radii_knwc(query, result),
+            n=base.n, qx=base.qx, qy=base.qy,
+        )
+
+    async def _answer_query(self, payload, op, key, run, serialize,
+                            radii, n, qx, qy) -> dict[str, Any]:
+        refused = self._check_admission()
+        if refused is not None:
+            return refused
+        start = time.perf_counter()
+        with self._admitted():
+            cached = self.cache.get(key, self.version)
+            self._g_cache_entries.set(len(self.cache))
+            if cached is not None:
+                self._m_latency[(op, "cache")].observe(
+                    time.perf_counter() - start)
+                return {"ok": True, "op": op, "version": self.version,
+                        "cached": True, "result": cached}
+            deadline = self._deadline(payload)
+            async with self._scheduler.read(deadline):
+                self._refresh_pressure_gauges()
+                result = await self._run(run)
+                version = self.version  # stable while any reader runs
+            answer = serialize(result)
+            insert_radius, delete_radius = radii(result)
+            self.cache.put(key, version, answer, qx, qy, n,
+                           insert_radius, delete_radius)
+            self._g_cache_entries.set(len(self.cache))
+            self._m_latency[(op, "engine")].observe(time.perf_counter() - start)
+            return {"ok": True, "op": op, "version": version, "cached": False,
+                    "result": answer,
+                    "stats": {"node_accesses": result.node_accesses}}
+
+    # ------------------------------------------------------------------
+    # Update ops
+    # ------------------------------------------------------------------
+    async def _op_insert(self, payload: dict[str, Any]) -> dict[str, Any]:
+        obj = protocol.parse_point(payload)
+        refused = self._check_admission()
+        if refused is not None:
+            return refused
+        start = time.perf_counter()
+        with self._admitted():
+            deadline = self._deadline(payload)
+            async with self._scheduler.write(deadline):
+                self._refresh_pressure_gauges()
+                await self._run(self._apply_insert, obj)
+                self.version += 1
+                self.cache.note_insert(obj.x, obj.y, self.version)
+            self._g_version.set(self.version)
+            self._g_cache_entries.set(len(self.cache))
+            self._m_latency[("insert", "engine")].observe(
+                time.perf_counter() - start)
+            return {"ok": True, "op": "insert", "version": self.version,
+                    "size": self.engine.tree.size}
+
+    async def _op_delete(self, payload: dict[str, Any]) -> dict[str, Any]:
+        obj = protocol.parse_point(payload)
+        refused = self._check_admission()
+        if refused is not None:
+            return refused
+        start = time.perf_counter()
+        with self._admitted():
+            deadline = self._deadline(payload)
+            async with self._scheduler.write(deadline):
+                self._refresh_pressure_gauges()
+                deleted = await self._run(self._apply_delete, obj)
+                if deleted:
+                    self.version += 1
+                    self.cache.note_delete(
+                        obj.x, obj.y, self.version, self.engine.tree.size
+                    )
+            self._g_version.set(self.version)
+            self._g_cache_entries.set(len(self.cache))
+            self._m_latency[("delete", "engine")].observe(
+                time.perf_counter() - start)
+            return {"ok": True, "op": "delete", "version": self.version,
+                    "deleted": deleted, "size": self.engine.tree.size}
+
+    def _apply_insert(self, obj) -> None:
+        self.engine.insert(obj)
+        # Rebuild dirty DEP/IWP structures while we hold the exclusive
+        # slot: readers then never trigger (or race on) a lazy rebuild.
+        self.engine._refresh_structures()
+
+    def _apply_delete(self, obj) -> bool:
+        deleted = self.engine.delete(obj)
+        if deleted:
+            self.engine._refresh_structures()
+        return deleted
+
+    # ------------------------------------------------------------------
+    # Maintenance ops
+    # ------------------------------------------------------------------
+    async def _op_snapshot(self, payload: dict[str, Any]) -> dict[str, Any]:
+        path = payload.get("path")
+        if not isinstance(path, str) or not path:
+            raise ProtocolError("snapshot needs a 'path' string")
+        refused = self._check_admission()
+        if refused is not None:
+            return refused
+        start = time.perf_counter()
+        with self._admitted():
+            deadline = self._deadline(payload)
+            # A snapshot only reads the tree; the crash-safe save
+            # (tmp+fsync+rename) runs under a shared slot.
+            async with self._scheduler.read(deadline):
+                self._refresh_pressure_gauges()
+                version = self.version
+                await self._run(save_tree, self.engine.tree, path)
+            self._m_latency[("snapshot", "engine")].observe(
+                time.perf_counter() - start)
+            return {"ok": True, "op": "snapshot", "version": version,
+                    "path": path}
+
+    async def _op_health(self, payload: dict[str, Any]) -> dict[str, Any]:
+        return {
+            "ok": True,
+            "op": "health",
+            "status": "draining" if self._draining else "serving",
+            "version": self.version,
+            "size": self.engine.tree.size,
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "active": self._active,
+            "max_inflight": self.config.max_inflight,
+            "max_queue": self.config.max_queue,
+            "cache": dataclasses.asdict(self.cache.stats())
+                     | {"hit_rate": self.cache.stats().hit_rate},
+        }
+
+    async def _op_metrics(self, payload: dict[str, Any]) -> dict[str, Any]:
+        self._refresh_pressure_gauges()
+        self._g_version.set(self.version)
+        self._g_cache_entries.set(len(self.cache))
+        fmt = payload.get("format", "json")
+        if fmt == "prometheus":
+            return {"ok": True, "op": "metrics", "format": fmt,
+                    "text": self.metrics.dump_metrics()}
+        if fmt == "json":
+            return {"ok": True, "op": "metrics", "format": fmt,
+                    "metrics": self.metrics.to_dict()}
+        raise ProtocolError(f"unknown metrics format {fmt!r}")
+
+    _HANDLERS: dict[str, Callable[["QueryServer", dict], Awaitable[dict]]] = {
+        "nwc": _op_nwc,
+        "knwc": _op_knwc,
+        "insert": _op_insert,
+        "delete": _op_delete,
+        "snapshot": _op_snapshot,
+        "health": _op_health,
+        "metrics": _op_metrics,
+    }
+
+
+class ServerThread:
+    """A :class:`QueryServer` on a background thread's event loop.
+
+    The in-process harness tests and benchmarks use: ``start()`` returns
+    once the socket is bound (exposing ``host``/``port``), ``stop()``
+    drains and joins.  Also usable as a context manager.
+    """
+
+    def __init__(self, engine: NWCEngine, config: ServeConfig | None = None,
+                 metrics: MetricsRegistry | None = None) -> None:
+        self.server = QueryServer(engine, config=config, metrics=metrics)
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._ready: threading.Event | None = None
+        self.host = self.server.config.host
+        self.port: int | None = None
+
+    def start(self) -> "ServerThread":
+        self._ready = threading.Event()
+        self._failure: BaseException | None = None
+        self._thread = threading.Thread(
+            target=self._main, name="repro-serve-loop", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=30.0)
+        if self._failure is not None:
+            raise self._failure
+        assert self.port is not None, "server failed to start"
+        return self
+
+    def _main(self) -> None:
+        async def run():
+            try:
+                await self.server.start()
+                self.port = self.server.port
+                self._loop = asyncio.get_running_loop()
+            except BaseException as exc:  # surface bind errors to start()
+                self._failure = exc
+                self._ready.set()
+                return
+            self._ready.set()
+            await self.server.serve_forever(handle_signals=False)
+
+        with contextlib.suppress(asyncio.CancelledError):
+            asyncio.run(run())
+
+    def stop(self) -> None:
+        if self._loop is not None and self._thread is not None:
+            self._loop.call_soon_threadsafe(self.server.shutdown)
+            self._thread.join(timeout=30.0)
+            self._thread = None
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -85,6 +85,43 @@ def test_batch_cannot_be_nested(batch_tree):
     assert engine.nwc_batch(queries).stats.queries == len(queries)
 
 
+def test_updates_rejected_while_batch_in_flight(batch_tree):
+    """insert/delete mid-batch must raise, not poison the region LRU.
+
+    A mutation between two batched queries would leave the LRU serving
+    window contents computed against the pre-update dataset; the engine
+    refuses instead of answering the rest of the batch from stale
+    regions.
+    """
+    from repro.core import BatchStateError
+
+    engine = NWCEngine(batch_tree, Scheme.NWC_STAR)
+    probe = PointObject(90_000, 100.0, 100.0)
+
+    def mutating_queries(mutate):
+        yield NWCQuery(300, 300, 60, 60, 3)
+        mutate()
+        yield NWCQuery(400, 400, 60, 60, 3)
+
+    with pytest.raises(BatchStateError, match="insert"):
+        engine.nwc_batch(mutating_queries(lambda: engine.insert(probe)))
+    assert engine._region_cache is None  # generator cleanup ran
+
+    # Stage an object outside the batch so delete has a target.
+    engine.insert(probe)
+    with pytest.raises(BatchStateError, match="delete"):
+        engine.knwc_batch(
+            KNWCQuery(q, 2, 1)
+            for q in mutating_queries(lambda: engine.delete(probe))
+        )
+    assert engine._region_cache is None
+
+    # The failed batches must not wedge the engine: updates and batches
+    # both work again afterwards.
+    assert engine.delete(probe)
+    assert engine.nwc_batch(_queries(4, seed=5)).stats.queries == 6
+
+
 def test_constrained_batch_filters_members(batch_tree):
     engine = NWCEngine(batch_tree, Scheme.NWC)
     region = Rect(0.0, 0.0, 500.0, 500.0)
