@@ -29,9 +29,11 @@ import time
 from bisect import bisect_left, bisect_right
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from ..geometry import PointObject, Rect
 from ..grid import DensityGrid
-from ..index import IWPIndex, RStarTree
+from ..index import FlatIWP, FlatRTree, IWPIndex, RStarTree
 from ..obs.metrics import DEFAULT_WORK_BUCKETS, MetricsRegistry
 from ..obs.trace import ATTRIBUTION_KEYS, NULL_TRACER
 from . import kernels
@@ -40,6 +42,7 @@ from .knwc import _rank_key, make_policy
 from .measures import DistanceMeasure
 from .query import KNWCQuery, NWCQuery
 from .regions import (
+    FrameRegion,
     QuadrantFrame,
     generation_region,
     search_region,
@@ -58,13 +61,22 @@ from .schemes import OptimizationFlags, Scheme
 #: Paper default: "The grid cell size is set to 25" (Section 5).
 DEFAULT_GRID_CELL_SIZE = 25.0
 
-#: Engine execution modes: the original scalar path and the numpy
-#: kernel path (see :mod:`repro.core.kernels`); both return bit-identical
-#: answers and counters.
-EXECUTION_MODES = ("python", "numpy")
+#: Engine execution modes: the original scalar path, the numpy kernel
+#: path (see :mod:`repro.core.kernels`) and the columnar path over the
+#: flat struct-of-arrays index (see :mod:`repro.index.flat`); all three
+#: return bit-identical answers and counters.
+EXECUTION_MODES = ("python", "numpy", "columnar")
 
 #: Default execution mode.
-DEFAULT_EXECUTION = "numpy"
+DEFAULT_EXECUTION = "columnar"
+
+
+def _root_mbr_of(tree) -> Rect | None:
+    """Root MBR of either tree layout (``None`` for an empty tree)."""
+    root = getattr(tree, "root", None)
+    if root is not None:
+        return root.mbr
+    return tree.root_mbr
 
 
 class _Attribution:
@@ -118,18 +130,33 @@ class NWCEngine:
         execution: str = DEFAULT_EXECUTION,
         tracer=None,
         metrics: MetricsRegistry | None = None,
+        flat: FlatRTree | None = None,
+        flat_iwp: FlatIWP | None = None,
     ) -> None:
         """Args:
-            tree: The R*-tree indexing the object set ``P``.
+            tree: The R*-tree indexing the object set ``P`` — either the
+                object-graph :class:`RStarTree` or a read-only
+                :class:`~repro.index.flat.FlatRTree` snapshot (the
+                latter requires ``execution="columnar"`` and rejects
+                updates).
             scheme: A Table-3 scheme or explicit optimization flags.
             grid: Pre-built density grid (DEP); built on demand otherwise.
             grid_cell_size: Cell side used when the grid is auto-built.
-            iwp: Pre-built pointer index (IWP); built on demand otherwise.
+            iwp: Pre-built pointer index (IWP); built on demand otherwise
+                (scalar/numpy modes only — the columnar path builds a
+                :class:`~repro.index.flat.FlatIWP` instead).
             extent: Data-space rectangle for the auto-built grid; defaults
                 to the root MBR.
-            execution: ``"numpy"`` (array kernels, the default) or
-                ``"python"`` (the original scalar path); the two return
-                bit-identical results and counters.
+            execution: ``"columnar"`` (whole-frontier array search over
+                the flat struct-of-arrays index, the default),
+                ``"numpy"`` (array enumeration kernels over the scalar
+                tree walk) or ``"python"`` (the original scalar path);
+                all three return bit-identical results and counters.
+            flat: Pre-built flat snapshot of ``tree`` (columnar mode);
+                converted on demand otherwise.  Must share ``tree``'s
+                stats counter.
+            flat_iwp: Pre-built :class:`~repro.index.flat.FlatIWP` over
+                ``flat``; built on demand otherwise.
             tracer: A :class:`~repro.obs.trace.QueryTracer` to record a
                 span tree per query; the default no-op tracer costs one
                 flag check per query.  The engine binds the tracer's
@@ -143,6 +170,13 @@ class NWCEngine:
             raise EngineConfigError(
                 f"execution must be one of {EXECUTION_MODES}, got {execution!r}"
             )
+        if isinstance(tree, FlatRTree):
+            if execution != "columnar":
+                raise EngineConfigError(
+                    "a FlatRTree snapshot requires execution='columnar'"
+                )
+            if flat is None:
+                flat = tree
         self.tree = tree
         self.tracer = NULL_TRACER if tracer is None else tracer
         self.metrics = metrics
@@ -192,17 +226,20 @@ class NWCEngine:
         self._grid_cell_size = getattr(grid, "cell_size", grid_cell_size)
         self._iwp_dirty = False
         self._grid_dirty = False
+        self._flat = flat
+        self._flat_iwp = flat_iwp
+        self._flat_dirty = False
         self._region_cache: kernels.RegionCache | None = None
         self._last_cache_hits = 0
         self._last_cache_misses = 0
         if self.flags.dep and self.grid is None:
-            grid_extent = extent if extent is not None else tree.root.mbr
+            grid_extent = extent if extent is not None else _root_mbr_of(tree)
             if grid_extent is None:
                 raise EngineConfigError(
                     "cannot build a density grid over an empty tree"
                 )
             self.grid = DensityGrid.build(tree.iter_objects(), grid_extent, grid_cell_size)
-        if self.flags.iwp and self.iwp is None:
+        if self.flags.iwp and self.iwp is None and execution != "columnar":
             self.iwp = IWPIndex(tree)
 
     # ------------------------------------------------------------------
@@ -227,7 +264,13 @@ class NWCEngine:
                 "cannot insert while a batch is in flight: the batch's "
                 "region cache would serve stale window contents"
             )
+        if isinstance(self.tree, FlatRTree):
+            raise EngineConfigError(
+                "engine is bound to a read-only flat snapshot; updates "
+                "need the object-graph RStarTree"
+            )
         self.tree.insert(obj)
+        self._flat_dirty = True
         if self.grid is not None:
             if self.grid.extent.contains_point(obj.x, obj.y):
                 try:
@@ -250,8 +293,14 @@ class NWCEngine:
                 "cannot delete while a batch is in flight: the batch's "
                 "region cache would serve stale window contents"
             )
+        if isinstance(self.tree, FlatRTree):
+            raise EngineConfigError(
+                "engine is bound to a read-only flat snapshot; updates "
+                "need the object-graph RStarTree"
+            )
         if not self.tree.delete(obj):
             return False
+        self._flat_dirty = True
         if self.grid is not None:
             if self.grid.extent.contains_point(obj.x, obj.y):
                 try:
@@ -265,16 +314,25 @@ class NWCEngine:
         return True
 
     def _refresh_structures(self) -> None:
-        """Rebuild DEP/IWP structures invalidated by updates."""
+        """Rebuild DEP/IWP/flat structures invalidated by updates."""
         if self._grid_dirty and self.grid is not None:
-            extent = self.tree.root.mbr
+            extent = _root_mbr_of(self.tree)
             if extent is not None:
                 extent = extent.union(self.grid.extent)
                 self.grid = DensityGrid.build(
                     self.tree.iter_objects(), extent, self._grid_cell_size
                 )
             self._grid_dirty = False
-        if self._iwp_dirty and self.flags.iwp:
+        if self.execution == "columnar":
+            if self._flat is None or self._flat_dirty:
+                self._flat = (self.tree if isinstance(self.tree, FlatRTree)
+                              else FlatRTree.from_tree(self.tree))
+                self._flat_iwp = None
+                self._flat_dirty = False
+            if self.flags.iwp and self._flat_iwp is None:
+                self._flat_iwp = FlatIWP(self._flat)
+            self._iwp_dirty = False
+        elif self._iwp_dirty and self.flags.iwp:
             self.iwp = IWPIndex(self.tree)
             self._iwp_dirty = False
 
@@ -323,7 +381,7 @@ class NWCEngine:
         if query.n > self.tree.size:
             return "n exceeds dataset size"
         if region is not None:
-            mbr = self.tree.root.mbr
+            mbr = _root_mbr_of(self.tree)
             if mbr is None or not region.intersects(mbr):
                 return "constrained region contains no objects"
         return None
@@ -486,6 +544,18 @@ class NWCEngine:
         tracer = self.tracer
         tracing = tracer.enabled
 
+        if self.execution == "columnar":
+            search_span = tracer.start_span("search") if tracing else None
+            try:
+                self._search_loop_columnar(
+                    q, policy, prune_windows, region, attr,
+                    tracing, stats, flags, grid, diagonal,
+                )
+            finally:
+                if tracing:
+                    tracer.end_span(search_span)
+            return
+
         def node_filter(node) -> bool:
             mbr = node.mbr
             if mbr is None:
@@ -593,6 +663,186 @@ class NWCEngine:
                             q, frame, sr, members, policy, prune_windows,
                             attr=attr, tspan=enum_span,
                         )
+                finally:
+                    if tracing:
+                        tracer.end_span(enum_span)
+            finally:
+                if tracing:
+                    tracer.end_span(wq_span)
+
+    def _search_loop_columnar(self, q, policy, prune_windows, region, attr,
+                              tracing, stats, flags, grid, diagonal) -> None:
+        """Whole-frontier twin of :meth:`_search_loop` over the flat index.
+
+        Replays the scalar best-first search exactly — same heap keys
+        ``(dist, kind, seq)``, same counter consumption, same prune and
+        record order — but computes child MINDISTs and leaf-object
+        distances as array passes.  Each popped leaf contributes one
+        *stream* (its objects pre-sorted by ``(distance, seq)``) merged
+        through a single head entry: stream keys are nondecreasing and
+        every object enters the heap before its turn, so the global pop
+        sequence is identical to the scalar one-entry-per-object heap.
+        """
+        flat = self._flat
+        flat_iwp = self._flat_iwp
+        tracer = self.tracer
+        qx, qy, length, width, n = q.qx, q.qy, q.length, q.width, q.n
+        mbrs = flat.mbrs
+        xs, ys = flat.xs, flat.ys
+        is_leaf = flat.is_leaf
+        first = flat.first
+        count = flat.count
+        use_gen = flags.dip or flags.dep
+        root_mbr = flat.root_mbr
+        if root_mbr is None:
+            return
+        # kind 0 = node, kind 1 = object; seq is unique so the trailing
+        # payload fields are never compared.
+        heap: list = [(root_mbr.mindist(qx, qy), 0, 0, 0, None)]
+        seq = 1
+        while heap:
+            dist, kind, _, ident, stream = heapq.heappop(heap)
+            if kind == 0:
+                node = ident
+                x1, y1, x2, y2 = mbrs[node].tolist()
+                if region is not None and not (
+                    x1 <= region.x2 and region.x1 <= x2
+                    and y1 <= region.y2 and region.y1 <= y2
+                ):
+                    continue
+                if use_gen:
+                    gen = generation_region(
+                        Rect(x1, y1, x2, y2), qx, qy, length, width)
+                    if flags.dep and grid.is_pruned(gen, n):
+                        if attr is not None:
+                            attr.dep_nodes_pruned += 1
+                        continue
+                    if flags.dip and gen.mindist(qx, qy) >= policy.bound():
+                        if attr is not None:
+                            attr.dip_nodes_pruned += 1
+                        continue
+                leaf_flag = bool(is_leaf[node])
+                stats.record_node(leaf_flag)
+                lo = int(first[node])
+                cnt = int(count[node])
+                s, e = lo, lo + cnt
+                if leaf_flag:
+                    if cnt == 0:
+                        continue
+                    xlist = xs[s:e].tolist()
+                    ylist = ys[s:e].tolist()
+                    dxl = (xs[s:e] - qx).tolist()
+                    dyl = (ys[s:e] - qy).tolist()
+                    ds = [math.hypot(dxl[i], dyl[i]) for i in range(cnt)]
+                    # Stable sort: equal distances keep entry order, i.e.
+                    # ascending seq — the scalar heap's tie-break.
+                    order = sorted(range(cnt), key=ds.__getitem__)
+                    base = seq
+                    seq += cnt
+                    leaf_stream = (
+                        [ds[i] for i in order],
+                        [s + i for i in order],
+                        [base + i for i in order],
+                        [xlist[i] for i in order],
+                        [ylist[i] for i in order],
+                    )
+                    heapq.heappush(
+                        heap,
+                        (leaf_stream[0][0], 1, leaf_stream[2][0], 0, leaf_stream),
+                    )
+                else:
+                    sub = mbrs[s:e]
+                    dxs = np.maximum(
+                        np.maximum(sub[:, 0] - qx, qx - sub[:, 2]), 0.0
+                    ).tolist()
+                    dys = np.maximum(
+                        np.maximum(sub[:, 1] - qy, qy - sub[:, 3]), 0.0
+                    ).tolist()
+                    cnts = count[s:e].tolist()
+                    for i in range(cnt):
+                        if not cnts[i]:
+                            continue  # empty child == scalar "mbr is None"
+                        heapq.heappush(
+                            heap, (math.hypot(dxs[i], dys[i]), 0, seq, s + i, None)
+                        )
+                        seq += 1
+                continue
+            # Object pop: advance the stream, then the scalar per-object body.
+            dlist, collist, seqlist, xlist, ylist = stream
+            nxt = ident + 1
+            if nxt < len(dlist):
+                heapq.heappush(
+                    heap, (dlist[nxt], 1, seqlist[nxt], nxt, stream))
+            px = xlist[ident]
+            py = ylist[ident]
+            col = collist[ident]
+            if region is not None and not region.contains_point(px, py):
+                continue
+            bound = policy.bound()
+            if flags.srr and dist >= bound + diagonal:
+                if attr is not None:
+                    attr.srr_early_stop += 1
+                break
+            frame = QuadrantFrame(qx, qy, 1.0 if px >= qx else -1.0,
+                                  1.0 if py >= qy else -1.0)
+            sr = FrameRegion(frame.sx * (px - qx), frame.sy * (py - qy),
+                             length, width, width, px, py)
+            if flags.srr:
+                shrunk = shrink_search_region(sr, bound)
+                if shrunk is None:
+                    if attr is not None:
+                        attr.srr_objects_skipped += 1
+                    continue
+                if attr is not None and shrunk.upper < sr.upper:
+                    attr.srr_regions_shrunk += 1
+                sr = shrunk
+            real_sr = sr.to_real(frame)
+            if flags.dep and grid.is_pruned(real_sr, n):
+                stats.window_queries_cancelled += 1
+                if attr is not None:
+                    attr.dep_windows_cancelled += 1
+                continue
+            stats.window_queries += 1
+            cache = self._region_cache
+            cache_key = None
+
+            def fetch_cols(col=col, real_sr=real_sr):
+                if flags.iwp:
+                    starts = flat_iwp.start_ids(int(flat.leaf_of[col]), real_sr)
+                    if attr is not None and starts[0] != 0:
+                        attr.iwp_root_descents_avoided += 1
+                    found = flat.window_query_cols(real_sr, starts)
+                else:
+                    found = flat.window_query_cols(real_sr)
+                if region is not None and found.size:
+                    fx = xs[found]
+                    fy = ys[found]
+                    keep = ((region.x1 <= fx) & (fx <= region.x2)
+                            & (region.y1 <= fy) & (fy <= region.y2))
+                    found = found[keep]
+                return found
+
+            wq_span = None
+            if tracing:
+                wq_span = tracer.start_span(
+                    "window_query", {"oid": int(flat.oids[col]), "dist": dist}
+                )
+            try:
+                if cache is not None:
+                    cache_key = (real_sr.x1, real_sr.y1, real_sr.x2, real_sr.y2)
+                    cols = cache.members(cache_key, fetch_cols)
+                else:
+                    cols = fetch_cols()
+                enum_span = None
+                if tracing:
+                    enum_span = tracer.start_span(
+                        "enumerate", {"members": int(cols.size)}
+                    )
+                try:
+                    self._enumerate_windows_columnar(
+                        q, frame, sr, cols, policy, prune_windows,
+                        cache_key, attr=attr, tspan=enum_span,
+                    )
                 finally:
                     if tracing:
                         tracer.end_span(enum_span)
@@ -756,6 +1006,172 @@ class NWCEngine:
                     continue
             window = sr.window_rect(frame, objects_sorted[start + jj].y)
             policy.offer(ObjectGroup(objects, distance, window))
+
+    def _enumerate_windows_columnar(
+        self,
+        q: NWCQuery,
+        frame: QuadrantFrame,
+        sr,
+        cols: np.ndarray,
+        policy,
+        prune_windows: bool,
+        cache_key: tuple | None = None,
+        attr: _Attribution | None = None,
+        tspan=None,
+    ) -> None:
+        """Column-id version of :meth:`_enumerate_windows_numpy`.
+
+        Same spans, same counters, same groups; members are flat-index
+        column ids so objects materialize only for groups that survive
+        the bound checks.  MAX/MIN measures without instrumentation take
+        :meth:`_enumerate_columnar_fast`, which measures every candidate
+        window of the region in one order-statistic kernel.
+        """
+        if cols.size == 0:
+            return
+        flat = self._flat
+        stats = self.tree.stats
+        n = q.n
+        sy = frame.sy
+        cache = self._region_cache
+        if cache is not None and cache_key is not None:
+            snap = cache.snapshot(
+                cache_key, sy, cols,
+                builder=lambda m, s: kernels.ColumnarSnapshot.build(flat, m, s),
+            )
+        else:
+            snap = kernels.ColumnarSnapshot.build(flat, cols, sy)
+        tys, dsq = snap.frame_arrays(q.qx, q.qy, sy)
+        start, tops, los, his = kernels.window_spans(tys, sr.ty_p, q.width)
+        examined = len(tops)
+        if examined == 0:
+            return
+        stats.objects_examined += examined
+        stats.windows_evaluated += examined
+        qualified = (his - los) >= n
+        stats.qualified_windows += int(qualified.sum())
+        if not qualified.any():
+            return
+        mindists = kernels.window_mindists(tops, q.width, max(0.0, sr.x1))
+        measure = q.measure
+        if (attr is None and tspan is None
+                and (measure is DistanceMeasure.MAX
+                     or measure is DistanceMeasure.MIN)):
+            self._enumerate_columnar_fast(
+                q, frame, sr, snap, start, los, his, dsq, qualified,
+                mindists, policy, prune_windows,
+            )
+            return
+        rank = None
+        lazy_objects = measure is not DistanceMeasure.NEAREST_WINDOW
+        for jj in qualified.nonzero()[0].tolist():
+            if prune_windows and mindists[jj] >= policy.bound():
+                if attr is not None:
+                    attr.windows_pruned_by_bound += 1
+                continue
+            if rank is None:
+                rank = kernels.rank_by_key(dsq, snap.oids)
+            sel = kernels.select_ranked(rank, int(los[jj]), int(his[jj]), n)
+            dsqs = dsq[sel].tolist()
+            if lazy_objects:
+                if tspan is not None:
+                    t0 = time.perf_counter()
+                    distance = self._measure(q, (), dsqs)
+                    tspan.add_time("measure_s", time.perf_counter() - t0)
+                    tspan.add_time("measure_calls", 1)
+                else:
+                    distance = self._measure(q, (), dsqs)
+                if prune_windows and distance >= policy.bound():
+                    continue
+                objects = flat.objects_at(snap.cols[sel])
+            else:
+                objects = flat.objects_at(snap.cols[sel])
+                if tspan is not None:
+                    t0 = time.perf_counter()
+                    distance = self._measure(q, objects, dsqs)
+                    tspan.add_time("measure_s", time.perf_counter() - t0)
+                    tspan.add_time("measure_calls", 1)
+                else:
+                    distance = self._measure(q, objects, dsqs)
+                if prune_windows and distance >= policy.bound():
+                    continue
+            window = sr.window_rect(frame, float(snap.ys[start + jj]))
+            policy.offer(ObjectGroup(objects, distance, window))
+
+    def _enumerate_columnar_fast(
+        self, q, frame, sr, snap, start, los, his, dsq, qualified,
+        mindists, policy, prune_windows,
+    ) -> None:
+        """Measure every candidate window of the region in one pass.
+
+        For MAX (``k = n``) and MIN (``k = 1``) the group distance of a
+        window is the ``k``-th smallest squared distance in its y-span,
+        so :func:`~repro.core.kernels.window_kth_dsq` computes all of
+        them at once and only surviving windows pay for selection and
+        object materialization.
+
+        NWC (:class:`_BestGroup` with pruning) replays the sequential
+        offer chain exactly: a window is offered iff its distance beats
+        the running minimum of the entry bound and all earlier candidate
+        distances — the scalar loop's bound after any prefix equals that
+        running minimum, because non-offered windows sit at or above it
+        and equal distances are never offered (``distance >= bound``
+        skips).  The mindist prefilter against the entry bound is safe
+        for the same reason: ``distance >= mindist``, so a window whose
+        mindist already misses the entry bound can never be offered.
+        """
+        flat = self._flat
+        n = q.n
+        k = n if q.measure is DistanceMeasure.MAX else 1
+        if isinstance(policy, _BestGroup) and prune_windows:
+            entry = policy.bound()
+            cand = np.flatnonzero(qualified & (mindists < entry))
+            if cand.size == 0:
+                return
+            clos = los[cand]
+            chis = his[cand]
+            if math.isfinite(entry):
+                # Region-level floor: the k-th smallest distance over the
+                # union span lower-bounds every window's distance.
+                seg = dsq[int(clos.min()):int(chis.max())]
+                floor_sq = (seg.min() if k == 1
+                            else np.partition(seg, k - 1)[k - 1])
+                if math.sqrt(floor_sq) >= entry:
+                    return
+            dists = np.sqrt(kernels.window_kth_dsq(dsq, clos, chis, k))
+            prev = np.minimum.accumulate(
+                np.concatenate(([entry], dists)))[:-1]
+            offered = np.flatnonzero(dists < prev)
+            if offered.size == 0:
+                return
+            rank = kernels.rank_by_key(dsq, snap.oids)
+            dlist = dists.tolist()
+            for pos in offered.tolist():
+                jj = int(cand[pos])
+                sel = kernels.select_ranked(rank, int(los[jj]), int(his[jj]), n)
+                objects = flat.objects_at(snap.cols[sel])
+                window = sr.window_rect(frame, float(snap.ys[start + jj]))
+                policy.offer(ObjectGroup(objects, dlist[pos], window))
+            return
+        # kNWC (or unpruned) path: the policy bound moves in ways the
+        # offer chain cannot precompute, so walk candidates sequentially
+        # with live bound checks; distances are still batch-computed.
+        idxs = np.flatnonzero(qualified)
+        dlist = np.sqrt(
+            kernels.window_kth_dsq(dsq, los[idxs], his[idxs], k)).tolist()
+        mlist = mindists[idxs].tolist()
+        rank = None
+        for pos, jj in enumerate(idxs.tolist()):
+            if prune_windows:
+                bound = policy.bound()
+                if mlist[pos] >= bound or dlist[pos] >= bound:
+                    continue
+            if rank is None:
+                rank = kernels.rank_by_key(dsq, snap.oids)
+            sel = kernels.select_ranked(rank, int(los[jj]), int(his[jj]), n)
+            objects = flat.objects_at(snap.cols[sel])
+            window = sr.window_rect(frame, float(snap.ys[start + jj]))
+            policy.offer(ObjectGroup(objects, dlist[pos], window))
 
     @staticmethod
     def _measure(

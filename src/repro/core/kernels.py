@@ -85,6 +85,74 @@ class RegionSnapshot:
         return sy * dy, dx * dx + dy * dy
 
 
+@dataclass(slots=True)
+class ColumnarSnapshot:
+    """Frame-y-sorted view of one search region in flat-index columns.
+
+    The columnar twin of :class:`RegionSnapshot`: instead of a list of
+    ``PointObject``\\ s it keeps the flat index's column ids, so group
+    materialization can stay lazy until a window actually survives the
+    bound checks.  Sort semantics are identical (stable by ``sy * y``).
+    """
+
+    cols: np.ndarray
+    xs: np.ndarray
+    ys: np.ndarray
+    oids: np.ndarray
+
+    @classmethod
+    def build(cls, flat, cols: np.ndarray, sy: float) -> "ColumnarSnapshot":
+        xs = flat.xs[cols]
+        ys = flat.ys[cols]
+        oids = flat.oids[cols]
+        order = np.argsort(ys if sy > 0 else -ys, kind="stable")
+        return cls(cols[order], xs[order], ys[order], oids[order])
+
+    def __len__(self) -> int:
+        return len(self.cols)
+
+    def frame_arrays(self, qx: float, qy: float, sy: float) -> tuple[np.ndarray, np.ndarray]:
+        """``(tys, dsq)`` for a query at ``(qx, qy)`` (see
+        :meth:`RegionSnapshot.frame_arrays`)."""
+        dy = self.ys - qy
+        dx = self.xs - qx
+        return sy * dy, dx * dx + dy * dy
+
+
+def window_kth_dsq(dsq: np.ndarray, los: np.ndarray, his: np.ndarray,
+                   k: int, budget: int = 4_000_000) -> np.ndarray:
+    """``k``-th smallest ``dsq`` inside every span ``[los[j], his[j])``.
+
+    The whole-frontier group-distance kernel: for MAX (``k = n``) and
+    MIN (``k = 1``) measures the group distance of a window is just an
+    order statistic of the squared distances in its y-span, so all
+    qualified windows of a region are measured in one masked-matrix
+    partition instead of one selection per window.  Spans must satisfy
+    ``his - los >= k``.  ``budget`` caps the transient matrix size
+    (elements per chunk).
+    """
+    m = los.shape[0]
+    out = np.empty(m, dtype=np.float64)
+    if m == 0:
+        return out
+    widest = int((his - los).max())
+    step = max(1, budget // max(widest, 1))
+    for s in range(0, m, step):
+        e = min(m, s + step)
+        lo = los[s:e]
+        hi = his[s:e]
+        w = int((hi - lo).max())
+        idx = lo[:, None] + np.arange(w, dtype=np.int64)[None, :]
+        mask = idx < hi[:, None]
+        np.clip(idx, 0, dsq.size - 1, out=idx)
+        vals = np.where(mask, dsq[idx], np.inf)
+        if k == 1:
+            out[s:e] = vals.min(axis=1)
+        else:
+            out[s:e] = np.partition(vals, k - 1, axis=1)[:, k - 1]
+    return out
+
+
 def window_spans(
     tys: np.ndarray, ty_p: float, width: float
 ) -> tuple[int, np.ndarray, np.ndarray, np.ndarray]:
@@ -204,12 +272,20 @@ class RegionCache:
         return found
 
     def snapshot(
-        self, key: tuple, sy: float, members: Sequence[PointObject]
-    ) -> RegionSnapshot:
-        """The y-sorted snapshot of ``members`` for y-sign ``sy``."""
+        self, key: tuple, sy: float, members, builder: Callable | None = None
+    ) -> RegionSnapshot | ColumnarSnapshot:
+        """The y-sorted snapshot of ``members`` for y-sign ``sy``.
+
+        ``builder`` overrides the default :class:`RegionSnapshot`
+        construction — the columnar path passes a
+        :class:`ColumnarSnapshot` factory over its column ids.
+        """
         snap = self._snapshots.get((key, sy))
         if snap is None:
-            snap = RegionSnapshot.build(members, sy)
+            if builder is None:
+                snap = RegionSnapshot.build(members, sy)
+            else:
+                snap = builder(members, sy)
             if key in self._members:
                 self._snapshots[(key, sy)] = snap
         return snap

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from ..core import NWCEngine, NWCQuery, KNWCQuery, Scheme
 from ..datasets import Dataset
 from ..grid import DensityGrid
-from ..index import IWPIndex, RStarTree
+from ..index import FlatIWP, FlatRTree, IWPIndex, RStarTree
 from ..storage import StatsAggregator
 from ..workloads import SweepPoint
 
@@ -66,12 +66,20 @@ def window_scale_factor(scale: float) -> float:
 
 @dataclass
 class BenchContext:
-    """Everything reusable across schemes and sweep points of a dataset."""
+    """Everything reusable across schemes and sweep points of a dataset.
+
+    ``tree`` is normally the object-graph :class:`RStarTree`; a staged
+    sweep worker instead holds a page-loaded :class:`FlatRTree` (no
+    node objects), in which case every engine runs columnar and the
+    scalar-only structures (:meth:`pointer_index`) are unavailable.
+    """
 
     dataset: Dataset
-    tree: RStarTree
+    tree: RStarTree | FlatRTree
     iwp: IWPIndex | None = None
     grids: dict[float, DensityGrid] = field(default_factory=dict)
+    flat: FlatRTree | None = None
+    flat_iwp: FlatIWP | None = None
 
     @classmethod
     def build(cls, dataset: Dataset, max_entries: int = 50) -> "BenchContext":
@@ -93,14 +101,43 @@ class BenchContext:
             self.iwp = IWPIndex(self.tree)
         return self.iwp
 
+    def flat_index(self) -> FlatRTree:
+        """The columnar snapshot of the tree, built once.
+
+        A context whose ``tree`` is already a :class:`FlatRTree` (a
+        staged worker context, page-loaded without node objects) is its
+        own snapshot.
+        """
+        if self.flat is None:
+            self.flat = (self.tree if isinstance(self.tree, FlatRTree)
+                         else FlatRTree.from_tree(self.tree))
+        return self.flat
+
+    def flat_pointer_index(self) -> FlatIWP:
+        """The columnar IWP twin, built once."""
+        if self.flat_iwp is None:
+            self.flat_iwp = FlatIWP(self.flat_index())
+        return self.flat_iwp
+
     def engine(self, scheme: Scheme, point: SweepPoint) -> NWCEngine:
-        """An engine for ``scheme`` with shared DEP/IWP structures."""
+        """An engine for ``scheme`` with shared DEP/IWP structures.
+
+        The flat snapshot (and its FlatIWP) is shared too, so the
+        default columnar execution does not re-convert the tree for
+        every (scheme, sweep point) cell.  On a flat-only context (a
+        staged worker) the scalar pointer index cannot exist — the
+        engines run columnar, which never consults it.
+        """
         flags = scheme.flags
+        flat_only = isinstance(self.tree, FlatRTree)
         return NWCEngine(
             self.tree,
             scheme,
             grid=self.grid(point.grid_cell) if flags.dep else None,
-            iwp=self.pointer_index() if flags.iwp else None,
+            iwp=(self.pointer_index()
+                 if flags.iwp and not flat_only else None),
+            flat=self.flat_index(),
+            flat_iwp=self.flat_pointer_index() if flags.iwp else None,
             extent=self.dataset.extent,
         )
 

@@ -1,5 +1,6 @@
 """R*-tree index substrate: structure, queries, IWP pointers, persistence."""
 
+from .flat import FlatIWP, FlatRTree
 from .node import Node
 from .pointers import (
     BackwardPointer,
@@ -17,6 +18,8 @@ from .validate import InvariantViolation, validate_tree
 __all__ = [
     "BackwardPointer",
     "DEFAULT_MAX_ENTRIES",
+    "FlatIWP",
+    "FlatRTree",
     "IWPIndex",
     "InvariantViolation",
     "Node",

@@ -1,0 +1,608 @@
+"""Columnar (struct-of-arrays) R-tree: the flat index behind
+``execution="columnar"``.
+
+The object-graph :class:`~repro.index.rtree.RStarTree` is the mutable,
+scalar oracle; :class:`FlatRTree` is an immutable snapshot of the same
+tree laid out as contiguous numpy arrays:
+
+* one ``(M, 4)`` matrix of node MBRs plus ``is_leaf`` / ``first`` /
+  ``count`` / ``parent`` arrays, nodes numbered in BFS order (node 0 is
+  the root, levels are contiguous index ranges);
+* one coordinate matrix for the objects — ``xs`` / ``ys`` / ``oids``
+  columns grouped by leaf, so a leaf's objects are the slice
+  ``first[leaf] : first[leaf] + count[leaf]``.
+
+Two construction paths produce identical layouts:
+
+* :meth:`FlatRTree.from_tree` converts a live tree (sharing its
+  :class:`~repro.storage.IOStats` and its ``PointObject`` instances);
+* :meth:`FlatRTree.from_page_file` maps a saved page file with
+  :class:`~repro.storage.MappedPageFile` and decodes node records
+  straight out of the mapping via ``np.frombuffer`` — no intermediate
+  ``Node`` objects are ever materialized.  Because ``save_tree`` writes
+  entries in order and the loader walks pages breadth-first from the
+  root, the numbering matches ``from_tree(load_tree(path))`` exactly,
+  and MBRs recomputed bottom-up from the leaf coordinates are bitwise
+  equal to the scalar loader's ``add_entry`` unions (min/max are exact).
+
+:class:`FlatIWP` mirrors :class:`~repro.index.pointers.IWPIndex` on the
+flat layout: ancestor-at-depth arrays instead of per-leaf pointer
+objects, and per-depth CSR overlap lists instead of per-node Python
+lists.  ``start_ids`` reproduces the scalar start-set (same chosen
+backward pointer, same overlap expansion) so window-query I/O counters
+stay bit-identical.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+import numpy as np
+
+from ..geometry import PointObject, Rect
+from ..storage import (
+    DEFAULT_PAGE_SIZE,
+    CorruptPageError,
+    IOStats,
+    MappedPageFile,
+)
+from .pointers import backward_pointer_depths
+
+# Node-record layout (see repro.storage.serializer): flags:u8 count:u16
+# header followed by packed little-endian entries.
+_NODE_HEADER = struct.Struct("<BH")
+_FLAG_LEAF = 0x01
+_LEAF_DTYPE = np.dtype([("oid", "<i8"), ("x", "<f8"), ("y", "<f8")])
+_INTERNAL_DTYPE = np.dtype(
+    [("page", "<i8"), ("x1", "<f8"), ("y1", "<f8"), ("x2", "<f8"), ("y2", "<f8")]
+)
+
+#: MBR row of an empty node: fails every intersection / containment
+#: test, playing the role of the scalar ``mbr is None``.
+_EMPTY_MBR = (np.inf, np.inf, -np.inf, -np.inf)
+
+_EMPTY_I8 = np.empty(0, dtype=np.int64)
+
+
+class FlatRTree:
+    """Read-only struct-of-arrays snapshot of an R*-tree.
+
+    Attributes:
+        mbrs: ``(M, 4)`` float64 — per-node MBR as (x1, y1, x2, y2);
+            empty nodes hold the inverted sentinel ``(inf, inf, -inf,
+            -inf)``.
+        is_leaf: ``(M,)`` bool.
+        first: ``(M,)`` int64 — id of the first child (internal) or the
+            first object column (leaf).
+        count: ``(M,)`` int64 — children (internal) or objects (leaf).
+        parent: ``(M,)`` int64 — parent node id, ``-1`` for the root.
+        level_bounds: ``(L + 1,)`` int64 — nodes of depth ``d`` are the
+            ids ``level_bounds[d] : level_bounds[d + 1]``.
+        xs / ys / oids: object columns, grouped by leaf in node order.
+        leaf_of: ``(N,)`` int64 — owning leaf id of every column.
+        stats: The I/O counter (shared with the source tree when built
+            by :meth:`from_tree`).
+    """
+
+    __slots__ = (
+        "mbrs", "is_leaf", "first", "count", "parent", "level_bounds",
+        "xs", "ys", "oids", "leaf_of", "size", "max_entries", "min_entries",
+        "stats", "_objects", "_nx1", "_ny1", "_nx2", "_ny2", "_nfirst",
+        "_ncount", "_nleaf", "_colids",
+    )
+
+    def __init__(self, *, mbrs, is_leaf, first, count, parent, level_bounds,
+                 xs, ys, oids, leaf_of, objects, size, max_entries,
+                 min_entries, stats=None):
+        self.mbrs = mbrs
+        self.is_leaf = is_leaf
+        self.first = first
+        self.count = count
+        self.parent = parent
+        self.level_bounds = level_bounds
+        self.xs = xs
+        self.ys = ys
+        self.oids = oids
+        self.leaf_of = leaf_of
+        self.size = size
+        self.max_entries = max_entries
+        self.min_entries = min_entries
+        self.stats = stats if stats is not None else IOStats()
+        self._objects = objects
+        # Scalar mirrors of the node arrays for the window-query walk:
+        # node counts are tiny next to the object columns, and Python
+        # float/int comparisons beat numpy's per-call overhead on the
+        # handful-of-nodes frontiers the walk actually sees.
+        self._nx1 = mbrs[:, 0].tolist()
+        self._ny1 = mbrs[:, 1].tolist()
+        self._nx2 = mbrs[:, 2].tolist()
+        self._ny2 = mbrs[:, 3].tolist()
+        self._nfirst = first.tolist()
+        self._ncount = count.tolist()
+        self._nleaf = is_leaf.tolist()
+        self._colids = np.arange(len(xs), dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_tree(cls, tree) -> "FlatRTree":
+        """Convert a live (balanced) tree; shares its objects and stats."""
+        levels = [[tree.root]]
+        while not levels[-1][0].is_leaf:
+            nxt = []
+            for node in levels[-1]:
+                nxt.extend(node.entries)
+            levels.append(nxt)
+        order = [node for level in levels for node in level]
+        m = len(order)
+        bounds = np.zeros(len(levels) + 1, dtype=np.int64)
+        for d, level in enumerate(levels):
+            bounds[d + 1] = bounds[d] + len(level)
+        mbrs = np.empty((m, 4), dtype=np.float64)
+        is_leaf = np.zeros(m, dtype=bool)
+        first = np.zeros(m, dtype=np.int64)
+        count = np.zeros(m, dtype=np.int64)
+        parent = np.full(m, -1, dtype=np.int64)
+        objects: list[PointObject] = []
+        col_of_leaf_start: list[int] = []
+        cursor = 1  # next child id in BFS order (root's children start at 1)
+        for i, node in enumerate(order):
+            mbr = node.mbr
+            mbrs[i] = _EMPTY_MBR if mbr is None else (mbr.x1, mbr.y1,
+                                                      mbr.x2, mbr.y2)
+            cnt = len(node.entries)
+            count[i] = cnt
+            if node.is_leaf:
+                is_leaf[i] = True
+                first[i] = len(objects)
+                objects.extend(node.entries)
+            else:
+                first[i] = cursor
+                parent[cursor:cursor + cnt] = i
+                cursor += cnt
+        n = len(objects)
+        xs = np.fromiter((p.x for p in objects), np.float64, n)
+        ys = np.fromiter((p.y for p in objects), np.float64, n)
+        oids = np.fromiter((p.oid for p in objects), np.int64, n)
+        leaf_ids = np.flatnonzero(is_leaf)
+        leaf_of = np.repeat(leaf_ids, count[leaf_ids])
+        return cls(
+            mbrs=mbrs, is_leaf=is_leaf, first=first, count=count,
+            parent=parent, level_bounds=bounds, xs=xs, ys=ys, oids=oids,
+            leaf_of=leaf_of, objects=objects, size=tree.size,
+            max_entries=tree.max_entries, min_entries=tree.min_entries,
+            stats=tree.stats,
+        )
+
+    @classmethod
+    def from_page_file(cls, path: str | os.PathLike[str],
+                       page_size: int = DEFAULT_PAGE_SIZE,
+                       stats: IOStats | None = None,
+                       verify: bool = True) -> "FlatRTree":
+        """Decode a saved tree straight out of an mmap, zero-copy.
+
+        Node records are parsed with ``np.frombuffer`` over the mapped
+        page payloads; no :class:`~repro.index.node.Node` objects (and
+        no :class:`PointObject` instances — those materialize lazily on
+        first access) are created.  The breadth-first page walk yields
+        the same node numbering as ``from_tree(load_tree(path))``.
+
+        Raises:
+            CorruptPageError: Structural damage — bad pointers, cycles,
+                an unbalanced record graph or an object-count mismatch —
+                on top of the per-page CRC checks of the mapping itself.
+        """
+        path = os.fspath(path)
+        with MappedPageFile(path, page_size=page_size, verify=verify) as mapped:
+            if mapped.page_count < 1:
+                raise CorruptPageError(f"{path}: no metadata page")
+            try:
+                max_entries, min_entries, size = struct.unpack_from(
+                    "<qqq", mapped.payload(1), 0)
+            except struct.error as exc:
+                raise CorruptPageError(
+                    f"{path}: unreadable metadata page: {exc}", page_id=1
+                ) from exc
+            if mapped.root_page < 0:
+                raise CorruptPageError(f"{path}: no root page recorded",
+                                       page_id=0)
+            visited: set[int] = set()
+            recs: list[tuple[bool, np.ndarray]] = []
+            bounds = [0]
+            level = [mapped.root_page]
+            while level:
+                nxt: list[int] = []
+                level_leaves = 0
+                for page_id in level:
+                    if not 2 <= page_id <= mapped.page_count:
+                        raise CorruptPageError(
+                            f"{path}: child pointer to page {page_id} outside "
+                            f"the data range 2..{mapped.page_count}",
+                            page_id=page_id)
+                    if page_id in visited:
+                        raise CorruptPageError(
+                            f"{path}: page {page_id} referenced twice "
+                            f"(pointer cycle or shared subtree)",
+                            page_id=page_id)
+                    visited.add(page_id)
+                    leaf, entries = cls._decode_node(mapped, page_id, path)
+                    if leaf:
+                        level_leaves += 1
+                    else:
+                        nxt.extend(entries["page"].tolist())
+                    recs.append((leaf, entries))
+                if level_leaves not in (0, len(level)):
+                    raise CorruptPageError(
+                        f"{path}: unbalanced tree — leaves and internal "
+                        f"nodes share depth {len(bounds) - 1}")
+                if level_leaves and nxt:
+                    raise CorruptPageError(
+                        f"{path}: unbalanced tree — leaf level has deeper "
+                        f"descendants")
+                bounds.append(len(recs))
+                level = nxt
+            return cls._assemble(recs, np.asarray(bounds, dtype=np.int64),
+                                 size, max_entries, min_entries, stats, path)
+
+    @staticmethod
+    def _decode_node(mapped: MappedPageFile, page_id: int,
+                     path: str) -> tuple[bool, np.ndarray]:
+        """Decode one node record into an owning entry array.
+
+        The ``np.frombuffer`` view into the mapping lives only inside
+        this frame — the returned copy owns its memory, so the mapping
+        can close (``mmap`` refuses to while exported buffers exist).
+        """
+        payload = mapped.payload(page_id)
+        flags, cnt = _NODE_HEADER.unpack_from(payload, 0)
+        leaf = bool(flags & _FLAG_LEAF)
+        dtype = _LEAF_DTYPE if leaf else _INTERNAL_DTYPE
+        if len(payload) < _NODE_HEADER.size + cnt * dtype.itemsize:
+            raise CorruptPageError(
+                f"{path}: truncated node record on page {page_id}",
+                page_id=page_id)
+        view = np.frombuffer(payload, dtype=dtype, count=cnt,
+                             offset=_NODE_HEADER.size)
+        entries = view.copy()
+        del view
+        payload.release()
+        return leaf, entries
+
+    @classmethod
+    def _assemble(cls, recs, bounds, size, max_entries, min_entries,
+                  stats, path) -> "FlatRTree":
+        m = len(recs)
+        mbrs = np.empty((m, 4), dtype=np.float64)
+        is_leaf = np.zeros(m, dtype=bool)
+        first = np.zeros(m, dtype=np.int64)
+        count = np.zeros(m, dtype=np.int64)
+        parent = np.full(m, -1, dtype=np.int64)
+        xs_parts, ys_parts, oid_parts = [], [], []
+        cursor = 1
+        cols = 0
+        for i, (leaf, entries) in enumerate(recs):
+            cnt = len(entries)
+            count[i] = cnt
+            if leaf:
+                is_leaf[i] = True
+                first[i] = cols
+                cols += cnt
+                # .astype() extracts the packed struct fields into
+                # contiguous standalone column arrays.
+                xs_parts.append(entries["x"].astype(np.float64))
+                ys_parts.append(entries["y"].astype(np.float64))
+                oid_parts.append(entries["oid"].astype(np.int64))
+            else:
+                first[i] = cursor
+                parent[cursor:cursor + cnt] = i
+                cursor += cnt
+        xs = np.concatenate(xs_parts) if xs_parts else np.empty(0)
+        ys = np.concatenate(ys_parts) if ys_parts else np.empty(0)
+        oids = (np.concatenate(oid_parts) if oid_parts
+                else np.empty(0, dtype=np.int64))
+        if cols != size:
+            raise CorruptPageError(
+                f"{path}: metadata promises {size} objects, found {cols} "
+                f"in leaves")
+        # MBRs bottom-up from the coordinates, exactly like the scalar
+        # loader's add_entry unions (min/max selections — no rounding).
+        for i in range(m - 1, -1, -1):
+            if is_leaf[i]:
+                if count[i] == 0:
+                    mbrs[i] = _EMPTY_MBR
+                else:
+                    s, e = first[i], first[i] + count[i]
+                    mbrs[i] = (xs[s:e].min(), ys[s:e].min(),
+                               xs[s:e].max(), ys[s:e].max())
+            else:
+                if count[i] == 0:
+                    raise CorruptPageError(
+                        f"{path}: internal node {i} has no children")
+                s, e = first[i], first[i] + count[i]
+                child = mbrs[s:e]
+                mbrs[i] = (child[:, 0].min(), child[:, 1].min(),
+                           child[:, 2].max(), child[:, 3].max())
+        leaf_ids = np.flatnonzero(is_leaf)
+        leaf_of = np.repeat(leaf_ids, count[leaf_ids])
+        return cls(
+            mbrs=mbrs, is_leaf=is_leaf, first=first, count=count,
+            parent=parent, level_bounds=bounds, xs=xs, ys=ys, oids=oids,
+            leaf_of=leaf_of, objects=[None] * cols, size=size,
+            max_entries=max_entries, min_entries=min_entries, stats=stats,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def node_count(self) -> int:
+        return self.mbrs.shape[0]
+
+    @property
+    def height(self) -> int:
+        """Edges from root to leaf (the paper's ``h``)."""
+        return len(self.level_bounds) - 2
+
+    @property
+    def root_mbr(self) -> Rect | None:
+        """Root MBR as a :class:`Rect`, ``None`` for an empty tree."""
+        if self.count[0] == 0:
+            return None
+        x1, y1, x2, y2 = self.mbrs[0]
+        return Rect(float(x1), float(y1), float(x2), float(y2))
+
+    def obj(self, col: int) -> PointObject:
+        """The object stored in column ``col`` (materialized lazily)."""
+        found = self._objects[col]
+        if found is None:
+            found = PointObject(int(self.oids[col]), float(self.xs[col]),
+                                float(self.ys[col]))
+            self._objects[col] = found
+        return found
+
+    def objects_at(self, cols) -> tuple[PointObject, ...]:
+        """Objects of the given columns, in the given order."""
+        objects = self._objects
+        out = []
+        for col in cols.tolist() if isinstance(cols, np.ndarray) else cols:
+            found = objects[col]
+            if found is None:
+                found = PointObject(int(self.oids[col]), float(self.xs[col]),
+                                    float(self.ys[col]))
+                objects[col] = found
+            out.append(found)
+        return tuple(out)
+
+    def iter_objects(self):
+        """Every stored object; no I/O accounting (maintenance only)."""
+        for col in range(len(self.xs)):
+            yield self.obj(col)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def window_query_cols(self, rect: Rect, start_ids=None,
+                          count_io: bool = True) -> np.ndarray:
+        """Column indices of the objects inside the closed rectangle.
+
+        The columnar twin of ``RStarTree.window_query_from``, split by
+        data volume: the node descent is a plain Python walk over the
+        scalar node mirrors (frontiers are a handful of nodes — array
+        dispatch overhead would dominate), while the object containment
+        test runs as one vectorized pass over the concatenated column
+        slices of the reached leaves.  Node accounting matches the
+        scalar record-at-push convention exactly: every start or child
+        whose MBR intersects ``rect`` is counted once.
+        """
+        rx1, ry1, rx2, ry2 = rect.x1, rect.y1, rect.x2, rect.y2
+        nx1, ny1, nx2, ny2 = self._nx1, self._ny1, self._nx2, self._ny2
+        nfirst, ncount, nleaf = self._nfirst, self._ncount, self._nleaf
+        if start_ids is None:
+            start_ids = (0,)
+        nodes = leaves = 0
+        stack = []
+        for node in start_ids:
+            if (nx1[node] <= rx2 and rx1 <= nx2[node]
+                    and ny1[node] <= ry2 and ry1 <= ny2[node]):
+                stack.append(node)
+                nodes += 1
+                leaves += nleaf[node]
+        spans = []
+        while stack:
+            node = stack.pop()
+            lo = nfirst[node]
+            hi = lo + ncount[node]
+            if nleaf[node]:
+                if hi > lo:
+                    spans.append((lo, hi))
+                continue
+            for child in range(lo, hi):
+                if (nx1[child] <= rx2 and rx1 <= nx2[child]
+                        and ny1[child] <= ry2 and ry1 <= ny2[child]):
+                    stack.append(child)
+                    nodes += 1
+                    leaves += nleaf[child]
+        if count_io:
+            stats = self.stats
+            stats.node_accesses += nodes
+            stats.leaf_accesses += leaves
+        if not spans:
+            return _EMPTY_I8
+        xs, ys, colids = self.xs, self.ys, self._colids
+        if len(spans) == 1:
+            lo, hi = spans[0]
+            x = xs[lo:hi]
+            y = ys[lo:hi]
+            cols = colids[lo:hi]
+        else:
+            x = np.concatenate([xs[lo:hi] for lo, hi in spans])
+            y = np.concatenate([ys[lo:hi] for lo, hi in spans])
+            cols = np.concatenate([colids[lo:hi] for lo, hi in spans])
+        inside = (rx1 <= x) & (x <= rx2) & (ry1 <= y) & (y <= ry2)
+        return cols[inside]
+
+    def window_query(self, rect: Rect, count_io: bool = True) -> list[PointObject]:
+        """Object-level window query (compatibility/testing wrapper)."""
+        cols = self.window_query_cols(rect, count_io=count_io)
+        return list(self.objects_at(cols))
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Structural invariants of the flat layout.
+
+        Raises :class:`~repro.index.validate.InvariantViolation` on the
+        first violated invariant.
+        """
+        from .validate import InvariantViolation
+
+        def check(ok: bool, message: str) -> None:
+            if not ok:
+                raise InvariantViolation(f"flat index: {message}")
+
+        m = self.node_count
+        bounds = self.level_bounds
+        check(m >= 1, "tree must have a root")
+        check(bounds[0] == 0 and bounds[-1] == m,
+              "level bounds must tile the node range")
+        check(self.parent[0] == -1, "root must have no parent")
+        check(int(self.count[self.is_leaf].sum()) == len(self.xs),
+              "leaf counts must cover the object columns")
+        check(self.size == len(self.xs), "size must match the columns")
+        for d in range(len(bounds) - 1):
+            lo, hi = int(bounds[d]), int(bounds[d + 1])
+            check(lo < hi, f"level {d} must be non-empty")
+            kinds = self.is_leaf[lo:hi]
+            check(bool(kinds.all()) or not bool(kinds.any()),
+                  f"level {d} mixes leaves and internal nodes")
+            check(bool(kinds.all()) == (d == len(bounds) - 2),
+                  f"leaves must sit exactly at depth {len(bounds) - 2}")
+        cursor = 1
+        cols = 0
+        for i in range(m):
+            cnt = int(self.count[i])
+            if self.is_leaf[i]:
+                check(int(self.first[i]) == cols,
+                      f"leaf {i} columns must be contiguous")
+                check(bool((self.leaf_of[cols:cols + cnt] == i).all()),
+                      f"leaf_of must map columns back to leaf {i}")
+                if cnt:
+                    s, e = cols, cols + cnt
+                    x1, y1, x2, y2 = self.mbrs[i]
+                    check(x1 == self.xs[s:e].min() and y1 == self.ys[s:e].min()
+                          and x2 == self.xs[s:e].max()
+                          and y2 == self.ys[s:e].max(),
+                          f"leaf {i} MBR must bound its objects exactly")
+                cols += cnt
+            else:
+                check(int(self.first[i]) == cursor,
+                      f"node {i} children must be contiguous in BFS order")
+                check(cnt >= 1, f"internal node {i} must have children")
+                s, e = cursor, cursor + cnt
+                check(bool((self.parent[s:e] == i).all()),
+                      f"children of node {i} must point back to it")
+                child = self.mbrs[s:e]
+                x1, y1, x2, y2 = self.mbrs[i]
+                check(x1 == child[:, 0].min() and y1 == child[:, 1].min()
+                      and x2 == child[:, 2].max() and y2 == child[:, 3].max(),
+                      f"node {i} MBR must be the exact union of its children")
+                cursor += cnt
+
+
+class FlatIWP:
+    """IWP pointers (Section 3.3.4) over the flat layout.
+
+    Equivalent to :class:`~repro.index.pointers.IWPIndex` built on the
+    same tree: the backward-pointer targets of a leaf are its ancestors
+    at ``backward_pointer_depths(height)`` (read off per-depth ancestor
+    arrays), and each non-root target depth carries a CSR adjacency of
+    same-depth MBR overlaps.
+    """
+
+    __slots__ = ("flat", "depths", "_leaf_lo", "_anc", "_overlaps")
+
+    def __init__(self, flat: FlatRTree, chunk: int = 256) -> None:
+        self.flat = flat
+        height = flat.height
+        self.depths = backward_pointer_depths(height)
+        bounds = flat.level_bounds
+        lo, hi = int(bounds[height]), int(bounds[height + 1])
+        self._leaf_lo = lo
+        wanted = set(self.depths)
+        self._anc: dict[int, np.ndarray] = {}
+        cur = np.arange(lo, hi, dtype=np.int64)
+        for depth in range(height, -1, -1):
+            if depth in wanted:
+                self._anc[depth] = cur
+            if depth:
+                cur = flat.parent[cur]
+        self._overlaps: dict[int, tuple[int, np.ndarray, np.ndarray]] = {}
+        for depth in self.depths:
+            if depth == 0:
+                continue  # the paper excludes the root from overlap lists
+            d_lo, d_hi = int(bounds[depth]), int(bounds[depth + 1])
+            self._overlaps[depth] = self._overlap_csr(
+                flat.mbrs[d_lo:d_hi], d_lo, chunk)
+
+    @staticmethod
+    def _overlap_csr(boxes: np.ndarray, base: int,
+                     chunk: int) -> tuple[int, np.ndarray, np.ndarray]:
+        """Same-depth overlap adjacency as ``(base, indptr, indices)``.
+
+        Built by chunked pairwise MBR intersection so the transient
+        boolean matrix stays bounded at ``chunk x level_size``.
+        """
+        n = boxes.shape[0]
+        x1, y1, x2, y2 = boxes[:, 0], boxes[:, 1], boxes[:, 2], boxes[:, 3]
+        counts = np.zeros(n + 1, dtype=np.int64)
+        parts = []
+        for s in range(0, n, chunk):
+            e = min(n, s + chunk)
+            inter = ((x1[s:e, None] <= x2[None, :])
+                     & (x1[None, :] <= x2[s:e, None])
+                     & (y1[s:e, None] <= y2[None, :])
+                     & (y1[None, :] <= y2[s:e, None]))
+            rows = np.arange(s, e)
+            inter[rows - s, rows] = False  # a node never overlaps itself
+            row_idx, col_idx = np.nonzero(inter)
+            counts[s + 1:e + 1] = np.bincount(row_idx, minlength=e - s)
+            parts.append(col_idx.astype(np.int64) + base)
+        indptr = np.cumsum(counts)
+        indices = np.concatenate(parts) if parts else _EMPTY_I8
+        return base, indptr, indices
+
+    def start_ids(self, leaf_id: int, rect: Rect) -> list[int]:
+        """Window-query start set (node ids) for a query from ``leaf_id``.
+
+        Mirrors ``IWPIndex.start_nodes``: the first backward pointer
+        whose MBR fully contains ``rect`` (root fallback), expanded by
+        the chosen node's same-depth overlaps that intersect ``rect``.
+        The first element is always the chosen start, so callers can
+        attribute an avoided root descent via ``start_ids(...)[0] != 0``.
+        """
+        flat = self.flat
+        mbrs = flat.mbrs
+        rx1, ry1, rx2, ry2 = rect.x1, rect.y1, rect.x2, rect.y2
+        pos = leaf_id - self._leaf_lo
+        chosen = -1
+        chosen_depth = -1
+        for depth in self.depths:
+            node = int(self._anc[depth][pos])
+            x1, y1, x2, y2 = mbrs[node]
+            if x1 <= rx1 and y1 <= ry1 and rx2 <= x2 and ry2 <= y2:
+                chosen = node
+                chosen_depth = depth
+                break
+        if chosen <= 0:
+            return [0]  # root start (chosen or fallback): no overlap list
+        ids = [chosen]
+        base, indptr, indices = self._overlaps[chosen_depth]
+        row = chosen - base
+        for other in indices[indptr[row]:indptr[row + 1]].tolist():
+            x1, y1, x2, y2 = mbrs[other]
+            if x1 <= rx2 and rx1 <= x2 and y1 <= ry2 and ry1 <= y2:
+                ids.append(other)
+        return ids

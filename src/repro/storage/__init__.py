@@ -15,8 +15,10 @@ from .pages import (
     LEGACY_VERSION,
     MAGIC,
     PAGE_OVERHEAD,
+    MappedPageFile,
     PageFile,
     PageHeader,
+    decode_header,
     scan_pages,
 )
 from .serializer import (
@@ -41,6 +43,7 @@ __all__ = [
     "LEGACY_VERSION",
     "LeafRecord",
     "MAGIC",
+    "MappedPageFile",
     "PAGE_OVERHEAD",
     "PageError",
     "PageFile",
@@ -50,6 +53,7 @@ __all__ = [
     "StatsAggregator",
     "StorageError",
     "decode",
+    "decode_header",
     "encode_internal",
     "encode_leaf",
     "max_internal_entries",

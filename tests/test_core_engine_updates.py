@@ -99,14 +99,33 @@ class TestDelete:
 
 class TestIWPRebuild:
     def test_iwp_refreshed_lazily(self):
+        # Scalar executions rebuild the object-graph pointer index lazily.
         pts = make_uniform_points(500, seed=73)
-        engine = build_engine(Scheme.NWC_STAR, pts)
+        tree = RStarTree.bulk_load(pts, max_entries=16)
+        engine = NWCEngine(tree, Scheme.NWC_STAR, grid_cell_size=50.0,
+                           execution="python")
         old_iwp = engine.iwp
         engine.insert(PointObject(40_000, 123.0, 456.0))
         assert engine._iwp_dirty
         engine.nwc(NWCQuery(100, 400, 40, 40, 2))
         assert engine.iwp is not old_iwp
         assert not engine._iwp_dirty
+
+    def test_flat_snapshot_refreshed_lazily(self):
+        # Columnar execution (the default) refreshes the flat snapshot
+        # and its FlatIWP instead of the scalar pointer index.
+        pts = make_uniform_points(500, seed=73)
+        engine = build_engine(Scheme.NWC_STAR, pts)
+        engine.nwc(NWCQuery(100, 400, 40, 40, 2))
+        old_flat = engine._flat
+        old_flat_iwp = engine._flat_iwp
+        assert old_flat is not None and old_flat_iwp is not None
+        engine.insert(PointObject(40_000, 123.0, 456.0))
+        assert engine._flat_dirty
+        engine.nwc(NWCQuery(100, 400, 40, 40, 2))
+        assert engine._flat is not old_flat
+        assert engine._flat_iwp is not old_flat_iwp
+        assert not engine._flat_dirty
 
 
 class TestMutationEdges:

@@ -1,10 +1,10 @@
-"""Equivalence of the two engine execution modes, plus kernel units.
+"""Equivalence of the engine execution modes, plus kernel units.
 
-The numpy kernel path must be *bit-identical* to the scalar path:
-same groups (objects and order), same distances, same stats counters —
-across schemes, measures, window shapes and datasets with duplicate
-coordinates.  The property tests here are the contract that lets the
-engine default to ``execution="numpy"``.
+The numpy and columnar paths must be *bit-identical* to the scalar
+path: same groups (objects and order), same distances, same stats
+counters — across schemes, measures, window shapes and datasets with
+duplicate coordinates.  The property tests here are the contract that
+lets the engine default to ``execution="columnar"``.
 """
 
 from __future__ import annotations
@@ -68,38 +68,40 @@ def engine_cases(draw):
 def _run_both(points, scheme, build_query):
     tree = RStarTree.bulk_load(points, max_entries=8)
     results = {}
-    for execution in ("python", "numpy"):
+    for execution in ("python", "numpy", "columnar"):
         engine = NWCEngine(tree, scheme, execution=execution)
         results[execution] = build_query(engine)
-    return results["python"], results["numpy"]
+    return results["python"], results["numpy"], results["columnar"]
 
 
 @settings(max_examples=60, deadline=None)
 @given(engine_cases())
-def test_nwc_numpy_matches_python(case):
+def test_nwc_vector_modes_match_python(case):
     points, scheme, query = case
-    py, nx = _run_both(points, scheme, lambda e: e.nwc(query))
-    assert py.stats == nx.stats
-    assert py.found == nx.found
-    assert py.distance == nx.distance
-    if py.found:
-        assert [p.oid for p in py.objects] == [p.oid for p in nx.objects]
-        assert py.group.window == nx.group.window
+    py, nx, col = _run_both(points, scheme, lambda e: e.nwc(query))
+    for other in (nx, col):
+        assert py.stats == other.stats
+        assert py.found == other.found
+        assert py.distance == other.distance
+        if py.found:
+            assert [p.oid for p in py.objects] == [p.oid for p in other.objects]
+            assert py.group.window == other.group.window
 
 
 @settings(max_examples=30, deadline=None)
 @given(engine_cases(), st.integers(1, 4), st.integers(0, 3),
        st.sampled_from(["exact", "paper"]))
-def test_knwc_numpy_matches_python(case, k, m_raw, maintenance):
+def test_knwc_vector_modes_match_python(case, k, m_raw, maintenance):
     points, scheme, base = case
     m = min(m_raw, base.n - 1)
     query = KNWCQuery(base, k, m)
-    py, nx = _run_both(points, scheme,
-                       lambda e: e.knwc(query, maintenance=maintenance))
-    assert py.stats == nx.stats
-    assert py.distances == nx.distances
-    assert [[p.oid for p in g.objects] for g in py.groups] == \
-        [[p.oid for p in g.objects] for g in nx.groups]
+    py, nx, col = _run_both(points, scheme,
+                            lambda e: e.knwc(query, maintenance=maintenance))
+    for other in (nx, col):
+        assert py.stats == other.stats
+        assert py.distances == other.distances
+        assert [[p.oid for p in g.objects] for g in py.groups] == \
+            [[p.oid for p in g.objects] for g in other.groups]
 
 
 # ----------------------------------------------------------------------

@@ -111,3 +111,49 @@ def test_runner_metrics_recorded_and_rows_unaffected():
     data = registry.to_dict()
     assert data["sweep_tasks_total"]["values"][""] == len(tasks)
     assert data["sweep_task_seconds"]["values"][""]["count"] == len(tasks)
+
+
+class TestStagedTasks:
+    """Staging ships pre-built trees to workers via page files; rows and
+    checkpoint keys must be indistinguishable from the unstaged run."""
+
+    def test_staged_rows_match_unstaged(self, tmp_path):
+        from repro.eval import stage_tasks
+        import repro.eval.parallel as parallel_mod
+
+        tasks = _tiny_tasks()
+        plain = ParallelSweepRunner(jobs=1).run(tasks)
+        staged = stage_tasks(tasks, tmp_path)
+        assert all(t.spec.tree_path is not None for t in staged)
+        # One distinct spec -> one staged file, shared by every task.
+        assert len({t.spec.tree_path for t in staged}) == 1
+        parallel_mod._CONTEXTS.clear()  # force the page-load path
+        try:
+            staged_rows = ParallelSweepRunner(jobs=1).run(staged)
+            pooled_rows = ParallelSweepRunner(jobs=2).run(staged)
+        finally:
+            parallel_mod._CONTEXTS.clear()
+        assert staged_rows == plain
+        assert pooled_rows == plain
+
+    def test_staging_preserves_checkpoint_keys(self, tmp_path):
+        from repro.eval import stage_tasks
+
+        tasks = _tiny_tasks()
+        staged = stage_tasks(tasks, tmp_path)
+        assert [t.key for t in staged] == [t.key for t in tasks]
+
+    def test_staged_context_is_flat(self, tmp_path):
+        from repro.eval import stage_tasks
+        from repro.index import FlatRTree
+        import repro.eval.parallel as parallel_mod
+
+        staged = stage_tasks(_tiny_tasks(), tmp_path)
+        spec = staged[0].spec
+        parallel_mod._CONTEXTS.pop(spec, None)
+        try:
+            context = parallel_mod._context_for(spec)
+            assert isinstance(context.tree, FlatRTree)
+            assert context.flat_index() is context.tree
+        finally:
+            parallel_mod._CONTEXTS.pop(spec, None)

@@ -1,0 +1,220 @@
+"""FlatRTree layout contract: the struct-of-arrays index must be a
+faithful mirror of the object-graph R*-tree.
+
+Two property families back the columnar execution mode:
+
+* *window queries* return exactly the same objects with exactly the
+  same node/leaf access counters as ``RStarTree.window_query``;
+* *best-first distance browsing* over the flat arrays pops objects in
+  exactly the order of ``RStarTree.incremental_nearest`` — bitwise
+  distances, identical tie-breaks.
+
+Plus the persistence contract: ``FlatRTree.from_page_file`` (zero-copy
+``np.frombuffer`` over an mmap) must produce the identical layout as
+rebuilding through ``load_tree`` on both v1 (legacy) and v2
+(checksummed) page files.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import PointObject, Rect, make_points
+from repro.index import FlatRTree, RStarTree, load_tree, save_tree
+from repro.storage import IOStats
+from tests.conftest import make_clustered_points, make_uniform_points
+
+
+# ----------------------------------------------------------------------
+# Strategies (coarse grid so coordinate ties are common)
+# ----------------------------------------------------------------------
+def _coords(span: float):
+    return st.integers(0, int(span)).map(lambda v: v / 2.0)
+
+
+@st.composite
+def tree_cases(draw):
+    span = 100.0
+    count = draw(st.integers(1, 60))
+    coords = draw(
+        st.lists(st.tuples(_coords(span), _coords(span)),
+                 min_size=count, max_size=count)
+    )
+    points = make_points(coords)
+    max_entries = draw(st.sampled_from([4, 8, 16]))
+    tree = RStarTree.bulk_load(points, max_entries=max_entries)
+    return tree, points
+
+
+def _rect(draw):
+    x1 = draw(_coords(100.0))
+    y1 = draw(_coords(100.0))
+    w = draw(st.floats(0.0, 40.0, allow_nan=False))
+    h = draw(st.floats(0.0, 40.0, allow_nan=False))
+    return Rect(x1, y1, x1 + w, y1 + h)
+
+
+@st.composite
+def window_cases(draw):
+    tree, points = draw(tree_cases())
+    return tree, _rect(draw)
+
+
+@st.composite
+def nearest_cases(draw):
+    tree, points = draw(tree_cases())
+    return tree, draw(_coords(100.0)), draw(_coords(100.0))
+
+
+# ----------------------------------------------------------------------
+# Reference traversal over the flat arrays
+# ----------------------------------------------------------------------
+def flat_incremental_nearest(flat: FlatRTree, x: float, y: float):
+    """Distance browsing over the flat layout, mirroring
+    ``RStarTree.incremental_nearest`` operation for operation."""
+    if flat.count[0] == 0:
+        return
+    counter = itertools.count()
+    mbrs = flat.mbrs
+    heap = [(flat.root_mbr.mindist(x, y), 0, next(counter), 0)]
+    while heap:
+        dist, kind, _, ident = heapq.heappop(heap)
+        if kind == 1:
+            yield int(flat.oids[ident]), dist
+            continue
+        lo = int(flat.first[ident])
+        hi = lo + int(flat.count[ident])
+        if flat.is_leaf[ident]:
+            for col in range(lo, hi):
+                d = math.hypot(float(flat.xs[col]) - x,
+                               float(flat.ys[col]) - y)
+                heapq.heappush(heap, (d, 1, next(counter), col))
+        else:
+            for child in range(lo, hi):
+                if flat.count[child] == 0:
+                    continue
+                x1, y1, x2, y2 = mbrs[child].tolist()
+                heapq.heappush(
+                    heap,
+                    (Rect(x1, y1, x2, y2).mindist(x, y), 0,
+                     next(counter), child),
+                )
+
+
+# ----------------------------------------------------------------------
+# Property: window queries match the node graph exactly
+# ----------------------------------------------------------------------
+@settings(max_examples=80, deadline=None)
+@given(window_cases())
+def test_window_query_matches_tree(case):
+    tree, rect = case
+    flat = FlatRTree.from_tree(tree)
+    flat.stats = IOStats()  # unshare from the tree to compare accounting
+    tree.stats.reset()
+    want = tree.window_query(rect)
+    got = flat.window_query(rect)
+    assert sorted(p.oid for p in got) == sorted(p.oid for p in want)
+    # Identical I/O accounting: same nodes touched, pushed or pruned.
+    assert flat.stats.node_accesses == tree.stats.node_accesses
+    assert flat.stats.leaf_accesses == tree.stats.leaf_accesses
+
+
+@settings(max_examples=80, deadline=None)
+@given(nearest_cases())
+def test_mindist_order_matches_tree(case):
+    tree, qx, qy = case
+    flat = FlatRTree.from_tree(tree)
+    want = [(obj.oid, dist)
+            for obj, dist, _leaf in tree.incremental_nearest(qx, qy)]
+    got = list(flat_incremental_nearest(flat, qx, qy))
+    assert got == want  # bitwise distances, identical tie order
+
+
+@settings(max_examples=40, deadline=None)
+@given(tree_cases())
+def test_flat_layout_is_valid(case):
+    tree, points = case
+    flat = FlatRTree.from_tree(tree)
+    flat.validate()
+    assert flat.size == len(points)
+    assert sorted(p.oid for p in flat.iter_objects()) == \
+        sorted(p.oid for p in points)
+
+
+# ----------------------------------------------------------------------
+# Persistence: mmap load equals load_tree rebuild (v1 and v2 files)
+# ----------------------------------------------------------------------
+def _assert_same_layout(a: FlatRTree, b: FlatRTree) -> None:
+    np.testing.assert_array_equal(a.mbrs, b.mbrs)
+    np.testing.assert_array_equal(a.is_leaf, b.is_leaf)
+    np.testing.assert_array_equal(a.first, b.first)
+    np.testing.assert_array_equal(a.count, b.count)
+    np.testing.assert_array_equal(a.parent, b.parent)
+    np.testing.assert_array_equal(a.level_bounds, b.level_bounds)
+    np.testing.assert_array_equal(a.xs, b.xs)
+    np.testing.assert_array_equal(a.ys, b.ys)
+    np.testing.assert_array_equal(a.oids, b.oids)
+    np.testing.assert_array_equal(a.leaf_of, b.leaf_of)
+    assert (a.size, a.max_entries, a.min_entries) == \
+        (b.size, b.max_entries, b.min_entries)
+
+
+@pytest.mark.parametrize("format_version", [1, 2])
+def test_from_page_file_matches_load_tree(tmp_path, format_version):
+    points = make_clustered_points(400, clusters=4, seed=97)
+    tree = RStarTree.bulk_load(points, max_entries=16)
+    path = tmp_path / f"tree_v{format_version}.pages"
+    save_tree(tree, path, format_version=format_version)
+
+    mmapped = FlatRTree.from_page_file(path)
+    rebuilt = FlatRTree.from_tree(load_tree(path))
+    mmapped.validate()
+    _assert_same_layout(mmapped, rebuilt)
+
+    # And both answer queries exactly like the original node graph.
+    for rect in (Rect(100, 100, 400, 400), Rect(0, 0, 1000, 1000),
+                 Rect(950, 950, 960, 960)):
+        want = sorted(p.oid for p in tree.window_query(rect))
+        assert sorted(p.oid for p in mmapped.window_query(rect)) == want
+    qx, qy = 321.0, 654.0
+    want = [(obj.oid, dist)
+            for obj, dist, _leaf in tree.incremental_nearest(qx, qy)]
+    assert list(flat_incremental_nearest(mmapped, qx, qy)) == want
+
+
+@pytest.mark.parametrize("format_version", [1, 2])
+def test_from_page_file_insert_built_tree(tmp_path, format_version):
+    # Insert-built (non-bulk-loaded) trees have different shapes;
+    # the page-file assembly must reproduce them too.
+    tree = RStarTree(max_entries=8)
+    for p in make_uniform_points(150, seed=99):
+        tree.insert(p)
+    path = tmp_path / "grown.pages"
+    save_tree(tree, path, format_version=format_version)
+    mmapped = FlatRTree.from_page_file(path)
+    _assert_same_layout(mmapped, FlatRTree.from_tree(load_tree(path)))
+    rect = Rect(200, 200, 700, 700)
+    assert sorted(p.oid for p in mmapped.window_query(rect)) == \
+        sorted(p.oid for p in tree.window_query(rect))
+
+
+def test_empty_and_single_object_trees():
+    empty = FlatRTree.from_tree(RStarTree(max_entries=8))
+    assert empty.size == 0
+    assert empty.root_mbr is None
+    assert empty.window_query(Rect(0, 0, 10, 10)) == []
+    assert list(flat_incremental_nearest(empty, 0.0, 0.0)) == []
+
+    single = RStarTree(max_entries=8)
+    single.insert(PointObject(7, 3.0, 4.0))
+    flat = FlatRTree.from_tree(single)
+    flat.validate()
+    assert [p.oid for p in flat.window_query(Rect(0, 0, 10, 10))] == [7]
+    assert list(flat_incremental_nearest(flat, 0.0, 0.0)) == [(7, 5.0)]

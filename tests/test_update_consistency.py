@@ -135,12 +135,13 @@ def test_updates_rebuild_iwp_before_answering(execution):
 
 
 def test_execution_modes_identical_through_updates():
-    """The python and numpy paths stay bit-identical across the same
-    update/query interleaving (the serving twin-verify precondition)."""
+    """The python, numpy and columnar paths stay bit-identical across
+    the same update/query interleaving (the serving twin-verify
+    precondition; columnar also exercises the flat-snapshot rebuild)."""
     points = make_uniform_points(60, span=300.0, seed=47)
     engines = {
         mode: _build(list(points), Scheme.NWC_STAR, mode)
-        for mode in ("python", "numpy")
+        for mode in ("python", "numpy", "columnar")
     }
     rng = random.Random(53)
     for step in range(20):
@@ -151,8 +152,11 @@ def test_execution_modes_identical_through_updates():
                 engine.insert(obj)
         query = NWCQuery(rng.uniform(0, 300), rng.uniform(0, 300), 60, 60, 3)
         results = {mode: engine.nwc(query) for mode, engine in engines.items()}
-        py, np_ = results["python"], results["numpy"]
-        assert py.found == np_.found
-        assert py.distance == np_.distance  # bitwise, not approximate
-        if py.found:
-            assert [p.oid for p in py.objects] == [p.oid for p in np_.objects]
+        py = results["python"]
+        for mode in ("numpy", "columnar"):
+            other = results[mode]
+            assert py.found == other.found
+            assert py.distance == other.distance  # bitwise, not approximate
+            if py.found:
+                assert [p.oid for p in py.objects] == \
+                    [p.oid for p in other.objects]
