@@ -13,16 +13,21 @@ Subcommands:
   its span tree; ``--explain`` summarizes which optimizations fired,
   ``--jsonl`` appends the structured trace to a sink file.
 * ``serve`` — expose an engine over TCP (newline-delimited JSON) with
-  the update-aware result cache and admission control.
+  the update-aware result cache and admission control; ``--state-dir``
+  adds write-ahead logging with checkpoint/compaction so acknowledged
+  updates survive crashes, and ``--supervised`` wraps the server in a
+  crash-restarting process supervisor.
 * ``loadgen`` — drive a running server with closed-loop workers and
   report throughput and latency percentiles; ``--verify`` replays every
-  operation on a twin engine and counts answer mismatches.
+  operation on a twin engine and counts answer mismatches, and
+  ``--retries`` rides out server restarts with idempotent resends.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from .core import (
@@ -64,25 +69,40 @@ _DATASETS = {
 
 
 def _make_engine(args: argparse.Namespace, *, tracer=None, metrics=None,
-                 execution: str = DEFAULT_EXECUTION) -> NWCEngine:
+                 execution: str = DEFAULT_EXECUTION,
+                 tree: RStarTree | None = None) -> NWCEngine:
     """Build an engine for ``args`` with the scheme's DEP/IWP structures.
 
     Schemes whose flags ask for density-grid or pointer-index support get
     those structures built here, so single-query commands exercise the
     same optimizations as the experiment sweeps.
+
+    With ``tree`` given (a recovered checkpoint instead of a fresh bulk
+    load), the dataset still provides the extent and query-pool
+    geometry, but every data-derived structure is rebuilt from the
+    recovered tree — a density grid counted from the *seed* points would
+    prune regions where replayed inserts actually live.
     """
     dataset = _DATASETS[args.dataset](args.size)
-    tree = RStarTree.bulk_load(dataset.points)
+    recovered = tree is not None
+    if tree is None:
+        tree = RStarTree.bulk_load(dataset.points)
     scheme = Scheme[args.scheme]
     flags = scheme.flags
     grid = None
     if flags.dep:
         grid = DensityGrid.build(dataset.points, dataset.extent, 25.0)
     iwp = IWPIndex(tree) if flags.iwp else None
-    return NWCEngine(
+    engine = NWCEngine(
         tree, scheme, grid=grid, iwp=iwp, extent=dataset.extent,
         execution=execution, tracer=tracer, metrics=metrics,
     )
+    if recovered and grid is not None:
+        # Recount the grid from the tree via the engine's own lazy
+        # rebuild path (the one updates take), not from the seed points.
+        engine._grid_dirty = True
+        engine._refresh_structures()
+    return engine
 
 
 def _run_query(engine: NWCEngine, args: argparse.Namespace) -> None:
@@ -227,22 +247,70 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_port_file(path: str, port: int) -> None:
+    """Atomically publish the bound port (harnesses race to read it)."""
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(f"{port}\n")
+    os.replace(tmp, path)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.supervised:
+        from .serve.supervisor import Supervisor, SupervisorConfig
+
+        # The child is this exact serve command minus --supervised; it
+        # does the real work (recovery included) and the parent only
+        # restarts it when it dies uncleanly.
+        child_argv = [a for a in args.raw_argv if a != "--supervised"]
+        pid_file = (os.path.join(args.state_dir, "server.pid")
+                    if args.state_dir else None)
+        supervisor = Supervisor(
+            [sys.executable, "-m", "repro", *child_argv],
+            SupervisorConfig(max_restarts=args.max_restarts,
+                             pid_file=pid_file),
+        )
+        return supervisor.run()
+
     import asyncio
 
     from .serve import QueryServer, ServeConfig
 
-    engine = _make_engine(args, execution=args.execution)
+    metrics = MetricsRegistry()
+    durable = None
+    if args.state_dir:
+        from .serve import DurabilityConfig, recover
+
+        dconfig = DurabilityConfig(
+            state_dir=args.state_dir, fsync=args.wal_fsync,
+            fsync_interval_s=args.wal_fsync_interval,
+            checkpoint_every=args.checkpoint_every,
+        )
+        engine, durable = recover(
+            dconfig,
+            lambda tree: _make_engine(args, execution=args.execution,
+                                      tree=tree),
+            metrics=metrics,
+        )
+        report = durable.recovery
+        print(f"recovered from {args.state_dir}: checkpoint seq "
+              f"{report.checkpoint_seq}, {report.replayed} WAL record(s) "
+              f"replayed, {report.truncated_bytes} torn byte(s) dropped, "
+              f"version {report.version}", file=sys.stderr, flush=True)
+    else:
+        engine = _make_engine(args, execution=args.execution)
     config = ServeConfig(
         host=args.host, port=args.port,
         max_inflight=args.max_inflight, max_queue=args.max_queue,
         deadline_s=args.deadline, cache_entries=args.cache_entries,
         cache_ttl_s=args.cache_ttl,
     )
-    server = QueryServer(engine, config)
+    server = QueryServer(engine, config, metrics=metrics, durable=durable)
 
     async def run() -> None:
         await server.start()
+        if args.port_file:
+            _write_port_file(args.port_file, server.port)
         print(f"serving {args.dataset}/{args.size} ({args.scheme}, "
               f"{args.execution}) on {config.host}:{server.port}",
               file=sys.stderr, flush=True)
@@ -264,12 +332,17 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     twin = _make_engine(args, execution=args.execution) if args.verify else None
     mix = LoadMix(nwc=args.mix_nwc, knwc=args.mix_knwc,
                   insert=args.mix_insert, delete=args.mix_delete)
+    retry = None
+    if args.retries > 1:
+        from .serve import RetryPolicy
+
+        retry = RetryPolicy(max_attempts=args.retries)
     config = LoadgenConfig(
         host=args.host, port=args.port, workers=args.workers,
         duration_s=args.duration, requests_per_worker=args.requests,
         mix=mix, query_pool=args.query_pool,
         length=args.length, width=args.width, n=args.n, k=args.k, m=args.m,
-        seed=args.seed,
+        seed=args.seed, retry=retry,
     )
     report = run_loadgen(config, dataset, verify_engine=twin)
     print(report.format())
@@ -376,6 +449,32 @@ def build_parser() -> argparse.ArgumentParser:
                      help="result-cache capacity (0 disables caching)")
     srv.add_argument("--cache-ttl", type=float, default=None,
                      help="result-cache TTL in seconds (default: no expiry)")
+    srv.add_argument("--state-dir", default=None,
+                     help="durable state directory (WAL + checkpoints); "
+                          "acknowledged updates then survive crashes and "
+                          "are recovered on the next boot")
+    srv.add_argument("--wal-fsync", choices=["always", "interval", "never"],
+                     default="interval",
+                     help="WAL fsync policy: 'always' survives power loss, "
+                          "'interval' survives process crashes (default), "
+                          "'never' trusts the page cache")
+    srv.add_argument("--wal-fsync-interval", type=float, default=0.05,
+                     help="max fsync staleness in seconds under "
+                          "--wal-fsync=interval")
+    srv.add_argument("--checkpoint-every", type=int, default=0,
+                     help="checkpoint-and-compact automatically after this "
+                          "many WAL records (0 = only on the 'checkpoint' "
+                          "op)")
+    srv.add_argument("--port-file", default=None,
+                     help="write the bound port to this file once listening "
+                          "(for harnesses using --port 0)")
+    srv.add_argument("--supervised", action="store_true",
+                     help="run the server in a supervised subprocess that "
+                          "is restarted with bounded backoff when it "
+                          "crashes")
+    srv.add_argument("--max-restarts", type=int, default=0,
+                     help="give up after this many supervised restarts "
+                          "(0 = unlimited)")
     srv.set_defaults(func=_cmd_serve)
 
     lg = sub.add_parser(
@@ -402,6 +501,9 @@ def build_parser() -> argparse.ArgumentParser:
     lg.add_argument("-k", type=int, default=4)
     lg.add_argument("-m", type=int, default=1)
     lg.add_argument("--seed", type=int, default=0)
+    lg.add_argument("--retries", type=int, default=1,
+                    help="attempts per request (>1 enables reconnecting "
+                         "idempotent retries with request-id dedupe)")
     lg.add_argument("--verify", action="store_true",
                     help="replay every operation on a local twin engine "
                          "and count answer mismatches (the server must "
@@ -420,7 +522,9 @@ def main(argv: list[str] | None = None) -> int:
     one-line message on stderr instead of a traceback; anything else is
     a genuine bug and propagates.
     """
-    args = build_parser().parse_args(argv)
+    raw_argv = list(sys.argv[1:] if argv is None else argv)
+    args = build_parser().parse_args(raw_argv)
+    args.raw_argv = raw_argv
     try:
         return args.func(args)
     except (NWCError, StorageError, ValueError) as exc:

@@ -1,0 +1,85 @@
+"""Jittered exponential backoff, shared by every retry loop.
+
+Three call sites retry against the same failure mode (a server that is
+briefly gone — overload spike, restart after a crash, supervisor
+backoff) and they must not retry in lockstep:
+:func:`~repro.serve.client.wait_until_healthy` polling for boot,
+:class:`~repro.serve.client.ServeClient`'s reconnect-and-resend path,
+and the :mod:`~repro.serve.supervisor` restart loop.  One policy object
+serves all three so their timing behaviour is tested once.
+
+The delay for attempt ``i`` (0-based) is
+``min(max_s, initial_s * factor**i)`` scaled by a uniform jitter factor
+in ``[1 - jitter, 1]`` — full delays are the ceiling, jitter only
+shortens, so "bounded" stays literally true.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+__all__ = ["BackoffPolicy", "retry_deadline"]
+
+
+@dataclass(frozen=True, slots=True)
+class BackoffPolicy:
+    """Shape of one jittered exponential backoff sequence.
+
+    Attributes:
+        initial_s: First delay.
+        max_s: Per-delay ceiling.
+        factor: Exponential growth factor.
+        jitter: Fraction of each delay randomly shaved off (0 = none,
+            0.5 = delays land uniformly in [half, full]).
+    """
+
+    initial_s: float = 0.05
+    max_s: float = 2.0
+    factor: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.initial_s <= 0 or self.max_s < self.initial_s:
+            raise ValueError("need 0 < initial_s <= max_s")
+        if self.factor < 1.0:
+            raise ValueError("factor must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """The jittered delay before retry number ``attempt`` (0-based)."""
+        base = min(self.max_s, self.initial_s * self.factor ** attempt)
+        return base * (1.0 - rng.random() * self.jitter)
+
+    def delays(self, rng: random.Random) -> Iterator[float]:
+        """Infinite stream of jittered delays."""
+        attempt = 0
+        while True:
+            yield self.delay(attempt, rng)
+            attempt += 1
+
+
+def retry_deadline(
+    policy: BackoffPolicy,
+    deadline: float,
+    rng: random.Random,
+    sleep: Callable[[float], None] = time.sleep,
+) -> Iterator[int]:
+    """Yield attempt numbers until ``deadline`` (monotonic seconds).
+
+    The first attempt is immediate; each subsequent one follows a
+    jittered backoff delay, clipped so the loop never sleeps past the
+    deadline.  The iterator simply stops when time is up — the caller
+    raises its own timeout error with its own context.
+    """
+    attempt = 0
+    while True:
+        yield attempt
+        now = time.monotonic()
+        if now >= deadline:
+            return
+        sleep(min(policy.delay(attempt, rng), deadline - now))
+        attempt += 1

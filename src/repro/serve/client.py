@@ -6,21 +6,38 @@ tests want).  Server-side typed errors are raised as exceptions:
 ``overloaded`` → :class:`OverloadedError`, ``deadline_exceeded`` →
 :class:`DeadlineError`, ``draining`` → :class:`DrainingError`,
 ``bad_request``/``internal`` → :class:`RemoteError`.
+
+**Idempotent retries** (:class:`RetryPolicy`): with a policy attached,
+a dropped connection is not an error the caller sees — the client
+reconnects with jittered exponential backoff and resends.  Queries are
+pure, so resending is always safe; updates are made safe by a client-
+generated request id (``req``) attached to every ``insert``/``delete``:
+the server logs the id in its write-ahead log and answers a replayed id
+from its dedupe map instead of applying the update twice.  A ``kill
+-9`` of the server mid-burst is therefore invisible to callers — the
+supervisor restarts it, the client reconnects, and every in-flight
+update lands exactly once.
 """
 
 from __future__ import annotations
 
+import random
 import socket
 import time
+import uuid
+from dataclasses import dataclass, field
 from typing import Any
 
 from . import protocol
+from .backoff import BackoffPolicy, retry_deadline
 
 __all__ = [
+    "ConnectionLostError",
     "DeadlineError",
     "DrainingError",
     "OverloadedError",
     "RemoteError",
+    "RetryPolicy",
     "ServeClient",
     "ServeClientError",
     "wait_until_healthy",
@@ -56,6 +73,12 @@ class DrainingError(ServeClientError):
     code = "draining"
 
 
+class ConnectionLostError(ServeClientError):
+    """The connection dropped (and retries, if any, were exhausted)."""
+
+    code = "connection_lost"
+
+
 class RemoteError(ServeClientError):
     """Any other server-reported failure (bad request, internal)."""
 
@@ -67,31 +90,131 @@ _ERROR_TYPES = {
 }
 
 
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Reconnect-and-resend behaviour of one client.
+
+    Attributes:
+        max_attempts: Total tries per request (1 = no retry).
+        backoff: Jittered delay schedule between tries.
+        retry_draining: Also retry requests a *draining* server refused
+            — right when a supervisor will boot a replacement, wrong
+            when the shutdown is final.
+    """
+
+    max_attempts: int = 6
+    backoff: BackoffPolicy = field(default_factory=BackoffPolicy)
+    retry_draining: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+
+
 class ServeClient:
     """A blocking NDJSON client; usable as a context manager."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 7654,
-                 timeout_s: float = 30.0) -> None:
+                 timeout_s: float = 30.0,
+                 retry: RetryPolicy | None = None,
+                 seed: int | None = None) -> None:
+        """Connect to a server.
+
+        Args:
+            host, port: Server address.
+            timeout_s: Socket timeout for connect and each request.
+            retry: Reconnect-and-resend policy; ``None`` (default) fails
+                fast on the first connection error, preserving strict
+                one-shot semantics.
+            seed: Seeds backoff jitter and request-id generation — for
+                deterministic tests only.
+        """
         self.host = host
         self.port = port
-        self._sock = socket.create_connection((host, port), timeout=timeout_s)
-        self._file = self._sock.makefile("rwb")
+        self.timeout_s = timeout_s
+        self.retry = retry
+        self.retries = 0      # resends after a connection failure
+        self.reconnects = 0   # successful re-establishments
+        self._rng = random.Random(seed)
+        self._sock: socket.socket | None = None
+        self._file = None
+        self._connect()
+
+    def _connect(self) -> None:
+        sock = socket.create_connection((self.host, self.port),
+                                        timeout=self.timeout_s)
+        try:
+            self._file = sock.makefile("rwb")
+        except BaseException:
+            # Nothing else owns the socket yet: close it here or leak it.
+            sock.close()
+            raise
+        self._sock = sock
+
+    def _disconnect(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _request_id(self) -> str:
+        # Drawn from the client's own rng so seeded tests get a
+        # deterministic id stream; unseeded clients get uuid4-quality ids.
+        return uuid.UUID(int=self._rng.getrandbits(128), version=4).hex
 
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
-    def call(self, payload: dict[str, Any]) -> dict[str, Any]:
+    def call(self, payload: dict[str, Any],
+             idempotent: bool = True) -> dict[str, Any]:
         """Send one request and return the (``ok: true``) response.
 
         Raises the typed exception matching the server's error code on
-        ``ok: false``, and :class:`ServeClientError` when the
-        connection drops mid-request.
+        ``ok: false``.  Connection failures raise
+        :class:`ConnectionLostError` — unless a :class:`RetryPolicy` is
+        attached and ``idempotent`` is true, in which case the client
+        reconnects with jittered backoff and resends, surfacing the
+        error only once every attempt is spent.  Pass
+        ``idempotent=False`` for requests that must not be resent
+        (updates without a ``req`` id).
         """
+        attempts = (self.retry.max_attempts
+                    if self.retry is not None and idempotent else 1)
+        last_error: Exception | None = None
+        for attempt in range(attempts):
+            if attempt:
+                self.retries += 1
+                time.sleep(self.retry.backoff.delay(attempt - 1, self._rng))
+            try:
+                if self._sock is None:
+                    self._connect()
+                    self.reconnects += 1
+                return self._call_once(payload)
+            except (ConnectionLostError, OSError) as exc:
+                self._disconnect()
+                last_error = exc
+            except DrainingError as exc:
+                if self.retry is None or not self.retry.retry_draining:
+                    raise
+                self._disconnect()
+                last_error = exc
+        raise ConnectionLostError(
+            f"request failed after {attempts} attempt(s): {last_error}")
+
+    def _call_once(self, payload: dict[str, Any]) -> dict[str, Any]:
         self._file.write(protocol.encode_line(payload))
         self._file.flush()
         line = self._file.readline()
         if not line:
-            raise ServeClientError("connection closed by server")
+            raise ConnectionLostError("connection closed by server")
         response = protocol.decode_line(line)
         if response.get("ok"):
             return response
@@ -101,10 +224,7 @@ class ServeClient:
         raise _ERROR_TYPES.get(code, RemoteError)(message, code)
 
     def close(self) -> None:
-        try:
-            self._file.close()
-        finally:
-            self._sock.close()
+        self._disconnect()
 
     def __enter__(self) -> "ServeClient":
         return self
@@ -140,22 +260,34 @@ class ServeClient:
             payload["deadline_ms"] = deadline_ms
         return self.call(payload)
 
+    def _update(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Send an update; with retries on, a request id makes it
+        idempotent (the server dedupes resends by ``req``)."""
+        if self.retry is not None:
+            payload["req"] = self._request_id()
+            return self.call(payload, idempotent=True)
+        return self.call(payload, idempotent=False)
+
     def insert(self, oid: int, x: float, y: float,
                deadline_ms: float | None = None) -> dict[str, Any]:
         payload: dict[str, Any] = {"op": "insert", "oid": oid, "x": x, "y": y}
         if deadline_ms is not None:
             payload["deadline_ms"] = deadline_ms
-        return self.call(payload)
+        return self._update(payload)
 
     def delete(self, oid: int, x: float, y: float,
                deadline_ms: float | None = None) -> dict[str, Any]:
         payload: dict[str, Any] = {"op": "delete", "oid": oid, "x": x, "y": y}
         if deadline_ms is not None:
             payload["deadline_ms"] = deadline_ms
-        return self.call(payload)
+        return self._update(payload)
 
     def snapshot(self, path: str) -> dict[str, Any]:
         return self.call({"op": "snapshot", "path": path})
+
+    def checkpoint(self) -> dict[str, Any]:
+        """Ask a durable server to checkpoint and compact its WAL."""
+        return self.call({"op": "checkpoint"})
 
     def health(self) -> dict[str, Any]:
         return self.call({"op": "health"})
@@ -165,21 +297,30 @@ class ServeClient:
 
 
 def wait_until_healthy(host: str, port: int, timeout_s: float = 15.0,
-                       interval_s: float = 0.1) -> dict[str, Any]:
+                       interval_s: float = 0.05) -> dict[str, Any]:
     """Poll ``health`` until the server answers (or raise ``TimeoutError``).
 
-    Used by the load generator and CI to sequence "boot server, then
-    drive it" without sleeping a fixed amount.
+    Used by the load generator, the supervisor and CI to sequence "boot
+    server, then drive it".  Polling backs off exponentially with
+    jitter (the same :class:`~repro.serve.backoff.BackoffPolicy` the
+    retry path uses) so a fleet of waiting clients does not hammer a
+    server that is busy replaying its WAL.
+
+    Args:
+        host, port: Server address.
+        timeout_s: Give-up deadline.
+        interval_s: Initial poll delay; grows towards 1s.
     """
-    give_up = time.monotonic() + timeout_s
+    policy = BackoffPolicy(initial_s=interval_s, max_s=1.0)
+    deadline = time.monotonic() + timeout_s
+    rng = random.Random()
     last_error: Exception | None = None
-    while time.monotonic() < give_up:
+    for _attempt in retry_deadline(policy, deadline, rng):
         try:
-            with ServeClient(host, port, timeout_s=interval_s + 2.0) as client:
+            with ServeClient(host, port, timeout_s=timeout_s) as client:
                 return client.health()
         except (OSError, ServeClientError) as exc:
             last_error = exc
-            time.sleep(interval_s)
     raise TimeoutError(
         f"server at {host}:{port} not healthy after {timeout_s}s: {last_error}"
     )

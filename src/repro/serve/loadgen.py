@@ -37,7 +37,12 @@ from ..geometry import PointObject
 from ..obs.metrics import MetricsRegistry
 from ..workloads import data_biased_query_points
 from . import protocol
-from .client import ServeClient, ServeClientError, wait_until_healthy
+from .client import (
+    RetryPolicy,
+    ServeClient,
+    ServeClientError,
+    wait_until_healthy,
+)
 
 __all__ = ["LoadMix", "LoadgenConfig", "LoadReport", "run_loadgen"]
 
@@ -87,6 +92,10 @@ class LoadgenConfig:
         deadline_ms: Optional per-request deadline passed to the server.
         connect_timeout_s: How long to wait for the server to answer
             ``health`` before starting.
+        retry: Client retry policy; with one attached, workers ride out
+            server crashes/restarts (reconnect + idempotent resend) and
+            the report counts ``retries``/``reconnects`` instead of
+            ``connection_lost`` errors.
     """
 
     host: str = "127.0.0.1"
@@ -104,6 +113,7 @@ class LoadgenConfig:
     seed: int = 0
     deadline_ms: float | None = None
     connect_timeout_s: float = 15.0
+    retry: RetryPolicy | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -141,6 +151,8 @@ class LoadReport:
     by_op: dict[str, int]
     errors: int
     error_codes: dict[str, int]
+    retries: int
+    reconnects: int
     latency: dict[str, float]
     latency_cache_hit: dict[str, float]
     latency_cache_miss: dict[str, float]
@@ -167,6 +179,7 @@ class LoadReport:
             f"workers: {self.workers}   wall: {self.wall_s:.2f}s   "
             f"requests: {self.requests}   throughput: {self.qps:.1f} req/s",
             f"ops: {self.by_op}   errors: {self.errors} {self.error_codes}",
+            f"retries: {self.retries}   reconnects: {self.reconnects}",
             f"latency (all): {self.latency}",
             f"latency (cache hit):  {self.latency_cache_hit}",
             f"latency (cache miss): {self.latency_cache_miss}",
@@ -210,6 +223,8 @@ class _Worker:
         self.inserted: list[PointObject] = []
         self._next_oid = LOADGEN_OID_BASE + index * 1_000_000
         self.failure: Exception | None = None
+        self.retries = 0
+        self.reconnects = 0
 
     # Only worker 0 may update, so a single verification twin can
     # replay the sequence of acknowledged updates deterministically.
@@ -228,16 +243,23 @@ class _Worker:
 
     def run(self) -> None:
         try:
-            with ServeClient(self.config.host, self.config.port) as client:
-                count = 0
-                while True:
-                    if self.config.requests_per_worker is not None:
-                        if count >= self.config.requests_per_worker:
+            with ServeClient(self.config.host, self.config.port,
+                             retry=self.config.retry,
+                             seed=self.config.seed * 104729 + self.index,
+                             ) as client:
+                try:
+                    count = 0
+                    while True:
+                        if self.config.requests_per_worker is not None:
+                            if count >= self.config.requests_per_worker:
+                                break
+                        elif time.monotonic() >= self.stop_at:
                             break
-                    elif time.monotonic() >= self.stop_at:
-                        break
-                    self._one_request(client)
-                    count += 1
+                        self._one_request(client)
+                        count += 1
+                finally:
+                    self.retries = client.retries
+                    self.reconnects = client.reconnects
         except Exception as exc:  # surfaced by run_loadgen
             self.failure = exc
 
@@ -404,6 +426,8 @@ def run_loadgen(
         by_op=by_op,
         errors=sum(errors.values()),
         error_codes=errors,
+        retries=sum(w.retries for w in workers),
+        reconnects=sum(w.reconnects for w in workers),
         latency=_percentiles([s[2] for s in samples]),
         latency_cache_hit=_percentiles(hit),
         latency_cache_miss=_percentiles(miss),

@@ -2,8 +2,13 @@
 
 Every request and response is one JSON object on one line (NDJSON).
 Requests carry an ``op`` (``nwc``, ``knwc``, ``insert``, ``delete``,
-``snapshot``, ``health``, ``metrics``) plus op-specific fields and an
-optional opaque ``id`` the server echoes back.  Responses carry
+``snapshot``, ``checkpoint``, ``health``, ``metrics``) plus op-specific
+fields and an optional opaque ``id`` the server echoes back.  Updates
+may additionally carry a client-generated request id ``req``: the
+server remembers acknowledged ``req`` ids (and persists them through
+its write-ahead log) and answers a repeated id with the original
+response plus ``"deduped": true`` instead of applying the update again
+— the contract that makes client retries idempotent.  Responses carry
 ``ok`` — ``true`` with op-specific payload fields, or ``false`` with a
 typed ``error`` object (``code`` from :data:`ERROR_CODES`).
 
@@ -40,6 +45,7 @@ __all__ = [
     "parse_knwc",
     "parse_nwc",
     "parse_point",
+    "parse_request_id",
     "serialize_knwc",
     "serialize_nwc",
     "shield_radii_knwc",
@@ -134,6 +140,24 @@ def parse_knwc(payload: dict[str, Any]) -> tuple[KNWCQuery, str]:
     if maintenance not in MAINTENANCE_MODES:
         raise ProtocolError(f"unknown maintenance mode {maintenance!r}")
     return query, maintenance
+
+
+#: Longest accepted ``req`` id — they are persisted per-record in the
+#: WAL and in the checkpoint pointer, so size is bounded on the wire.
+MAX_REQUEST_ID_CHARS = 128
+
+
+def parse_request_id(payload: dict[str, Any]) -> str | None:
+    """The optional idempotency id (``req``) of an update request."""
+    req = payload.get("req")
+    if req is None:
+        return None
+    if not isinstance(req, str) or not req:
+        raise ProtocolError("field 'req' must be a non-empty string")
+    if len(req) > MAX_REQUEST_ID_CHARS:
+        raise ProtocolError(
+            f"field 'req' exceeds {MAX_REQUEST_ID_CHARS} characters")
+    return req
 
 
 def parse_point(payload: dict[str, Any]) -> PointObject:

@@ -25,9 +25,23 @@ in-process engine safe and predictable under concurrent clients:
   so a cache hit is always bit-identical to recomputing at the current
   version.
 
+A fourth mechanism makes acknowledgements *durable* when the server is
+built over a :class:`~repro.serve.durability.DurableState`:
+
+* **Write-ahead logging** — inside the exclusive write slot, every
+  ``insert``/``delete`` is appended to the WAL *before* it is applied
+  (and long before the ack leaves the server); on boot,
+  :func:`~repro.serve.durability.recover` replays the log tail over the
+  latest checkpoint, so a ``kill -9`` loses nothing that was
+  acknowledged.  Updates carrying a client request id (``req``) are
+  deduplicated against the WAL-backed id map, making client retries
+  idempotent.  The ``checkpoint`` op (and the ``checkpoint_every``
+  auto-trigger) saves the tree, repoints ``CURRENT`` and compacts the
+  log.
+
 On SIGINT/SIGTERM the server drains: it stops accepting connections,
 answers new requests with ``draining``, waits up to
-``drain_timeout_s`` for in-flight work, then closes.
+``drain_timeout_s`` for in-flight work, then closes (syncing the WAL).
 """
 
 from __future__ import annotations
@@ -35,10 +49,11 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import dataclasses
+import os
 import signal
 import threading
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Awaitable, Callable
@@ -47,8 +62,10 @@ from ..core import NWCEngine, NWCError
 from ..index import save_tree
 from ..obs.metrics import MetricsRegistry
 from ..storage import StorageError
+from ..storage.wal import crash_point
 from . import protocol
 from .cache import DEFAULT_CACHE_ENTRIES, ResultCache
+from .durability import DEFAULT_DEDUPE_ENTRIES, DurableState
 from .protocol import ProtocolError, error_response
 
 __all__ = ["DeadlineExceeded", "ReadWriteScheduler", "ServeConfig",
@@ -205,6 +222,7 @@ class QueryServer:
         engine: NWCEngine,
         config: ServeConfig | None = None,
         metrics: MetricsRegistry | None = None,
+        durable: DurableState | None = None,
     ) -> None:
         """Args:
             engine: The engine to serve.  The server takes ownership:
@@ -215,6 +233,11 @@ class QueryServer:
             config: Server tunables (defaults: :class:`ServeConfig`).
             metrics: Registry backing the ``metrics`` op; created on
                 demand otherwise.
+            durable: WAL-backed durable state from
+                :func:`~repro.serve.durability.recover`; ``None`` serves
+                purely in-memory (acks do not survive a crash).  When
+                given, ``engine`` must be the engine that same
+                ``recover`` call rebuilt.
         """
         self.engine = engine
         self.config = config or ServeConfig()
@@ -224,7 +247,17 @@ class QueryServer:
             ttl_s=self.config.cache_ttl_s,
             metrics=self.metrics,
         )
-        self.version = 0
+        self.durable = durable
+        if durable is not None:
+            self.version = durable.recovery.version
+            self._dedupe = durable.dedupe
+            self._dedupe_cap = durable.config.dedupe_entries
+        else:
+            self.version = 0
+            self._dedupe: OrderedDict[str, dict[str, Any]] = OrderedDict()
+            self._dedupe_cap = DEFAULT_DEDUPE_ENTRIES
+        self._checkpoint_lock = asyncio.Lock()
+        self._auto_checkpoint_task: asyncio.Task | None = None
         self._scheduler = ReadWriteScheduler(self.config.max_inflight)
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.max_inflight,
@@ -248,7 +281,7 @@ class QueryServer:
                 labels={"op": op, "outcome": outcome},
             )
             for op in ("nwc", "knwc", "insert", "delete", "snapshot",
-                       "health", "metrics", "unknown")
+                       "checkpoint", "health", "metrics", "unknown")
             for outcome in ("ok", "bad_request", "overloaded",
                             "deadline_exceeded", "draining", "internal")
         }
@@ -257,9 +290,15 @@ class QueryServer:
                 "serve_request_seconds", "Server-side request latency",
                 labels={"op": op, "source": source},
             )
-            for op in ("nwc", "knwc", "insert", "delete", "snapshot")
+            for op in ("nwc", "knwc", "insert", "delete", "snapshot",
+                       "checkpoint")
             for source in ("engine", "cache")
         }
+        self._m_deduped = m.counter(
+            "serve_deduped_total",
+            "Update requests answered from the request-id dedupe map")
+        self._m_checkpoints = m.counter(
+            "serve_checkpoints_total", "Checkpoint-and-compact cycles")
         self._g_queue = m.gauge("serve_queue_depth",
                                 "Requests waiting for an engine slot")
         self._g_inflight = m.gauge("serve_inflight",
@@ -322,7 +361,12 @@ class QueryServer:
                 task.cancel()
             if still:
                 await asyncio.gather(*still, return_exceptions=True)
+        if self._auto_checkpoint_task is not None:
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._auto_checkpoint_task
         self._executor.shutdown(wait=False)
+        if self.durable is not None:
+            self.durable.close()
 
     # ------------------------------------------------------------------
     # Connection handling
@@ -500,8 +544,37 @@ class QueryServer:
     # ------------------------------------------------------------------
     # Update ops
     # ------------------------------------------------------------------
+    def _deduped(self, request_id: str | None) -> dict[str, Any] | None:
+        """The remembered ack of an already-applied request id, if any."""
+        if request_id is None:
+            return None
+        stored = self._dedupe.get(request_id)
+        if stored is None:
+            return None
+        self._dedupe.move_to_end(request_id)
+        self._m_deduped.inc()
+        # A copy: _handle_line stamps the connection's correlation id
+        # onto the response, which must not leak into the stored ack.
+        return dict(stored) | {"deduped": True}
+
+    def _remember(self, request_id: str | None,
+                  response: dict[str, Any]) -> None:
+        """LRU-record an acknowledged update for idempotent retries."""
+        if request_id is None:
+            return
+        self._dedupe[request_id] = dict(response)
+        self._dedupe.move_to_end(request_id)
+        while len(self._dedupe) > self._dedupe_cap:
+            self._dedupe.popitem(last=False)
+
+    def _wal_append(self, record: dict[str, Any]) -> None:
+        """Blocking WAL append (executor); no-op on in-memory servers."""
+        if self.durable is not None:
+            self.durable.wal.append(record)
+
     async def _op_insert(self, payload: dict[str, Any]) -> dict[str, Any]:
         obj = protocol.parse_point(payload)
+        request_id = protocol.parse_request_id(payload)
         refused = self._check_admission()
         if refused is not None:
             return refused
@@ -510,18 +583,35 @@ class QueryServer:
             deadline = self._deadline(payload)
             async with self._scheduler.write(deadline):
                 self._refresh_pressure_gauges()
+                replayed = self._deduped(request_id)
+                if replayed is not None:
+                    return replayed
+                record = {"op": "insert", "oid": obj.oid,
+                          "x": obj.x, "y": obj.y}
+                if request_id is not None:
+                    record["req"] = request_id
+                # Durability contract: the record is on disk (per fsync
+                # policy) before the engine changes, and long before the
+                # ack leaves the server.
+                await self._run(self._wal_append, record)
                 await self._run(self._apply_insert, obj)
                 self.version += 1
                 self.cache.note_insert(obj.x, obj.y, self.version)
+                response = {"ok": True, "op": "insert",
+                            "version": self.version,
+                            "size": self.engine.tree.size}
+                self._remember(request_id, response)
+                self._note_durable_record()
             self._g_version.set(self.version)
             self._g_cache_entries.set(len(self.cache))
             self._m_latency[("insert", "engine")].observe(
                 time.perf_counter() - start)
-            return {"ok": True, "op": "insert", "version": self.version,
-                    "size": self.engine.tree.size}
+            crash_point("before_ack")
+            return response
 
     async def _op_delete(self, payload: dict[str, Any]) -> dict[str, Any]:
         obj = protocol.parse_point(payload)
+        request_id = protocol.parse_request_id(payload)
         refused = self._check_admission()
         if refused is not None:
             return refused
@@ -530,18 +620,60 @@ class QueryServer:
             deadline = self._deadline(payload)
             async with self._scheduler.write(deadline):
                 self._refresh_pressure_gauges()
+                replayed = self._deduped(request_id)
+                if replayed is not None:
+                    return replayed
+                record = {"op": "delete", "oid": obj.oid,
+                          "x": obj.x, "y": obj.y}
+                if request_id is not None:
+                    record["req"] = request_id
+                # Logged even when it turns out to be a no-op: replay
+                # recomputes the same outcome, and the dedupe map must
+                # remember *every* acknowledged request id.
+                await self._run(self._wal_append, record)
                 deleted = await self._run(self._apply_delete, obj)
                 if deleted:
                     self.version += 1
                     self.cache.note_delete(
                         obj.x, obj.y, self.version, self.engine.tree.size
                     )
+                response = {"ok": True, "op": "delete",
+                            "version": self.version, "deleted": deleted,
+                            "size": self.engine.tree.size}
+                self._remember(request_id, response)
+                self._note_durable_record()
             self._g_version.set(self.version)
             self._g_cache_entries.set(len(self.cache))
             self._m_latency[("delete", "engine")].observe(
                 time.perf_counter() - start)
-            return {"ok": True, "op": "delete", "version": self.version,
-                    "deleted": deleted, "size": self.engine.tree.size}
+            crash_point("before_ack")
+            return response
+
+    def _note_durable_record(self) -> None:
+        """Count one logged update towards the auto-checkpoint trigger."""
+        durable = self.durable
+        if durable is None:
+            return
+        durable.records_since_checkpoint += 1
+        if (durable.config.checkpoint_every > 0
+                and durable.records_since_checkpoint
+                >= durable.config.checkpoint_every
+                and self._auto_checkpoint_task is None
+                and not self._draining):
+            task = asyncio.get_running_loop().create_task(
+                self._auto_checkpoint())
+            self._auto_checkpoint_task = task
+
+    async def _auto_checkpoint(self) -> None:
+        try:
+            await self._op_checkpoint({})
+        except (DeadlineExceeded, NWCError, StorageError, ValueError,
+                OSError):
+            # Leave records_since_checkpoint high; the next update
+            # re-arms the trigger and retries.
+            pass
+        finally:
+            self._auto_checkpoint_task = None
 
     def _apply_insert(self, obj) -> None:
         self.engine.insert(obj)
@@ -579,8 +711,56 @@ class QueryServer:
             return {"ok": True, "op": "snapshot", "version": version,
                     "path": path}
 
+    async def _op_checkpoint(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Checkpoint-then-compact: tree → ``CURRENT`` → WAL truncation.
+
+        Phase 1 runs under a *read* slot (saving the tree only reads
+        it; concurrent queries keep flowing), phase 2 under the
+        exclusive write slot (repointing ``CURRENT`` and rewriting the
+        WAL must not race an append).  Updates landing between the
+        phases are safe: the checkpoint anchors at the sequence number
+        captured in phase 1 and compaction keeps every later record.
+        """
+        if self.durable is None:
+            raise ProtocolError(
+                "checkpoint requires a durable server (start with a "
+                "state directory)")
+        refused = self._check_admission()
+        if refused is not None:
+            return refused
+        start = time.perf_counter()
+        with self._admitted():
+            deadline = self._deadline(payload)
+            async with self._checkpoint_lock:
+                durable = self.durable
+                async with self._scheduler.read(deadline):
+                    self._refresh_pressure_gauges()
+                    version = self.version
+                    seq = durable.wal.last_seq
+                    path = durable.state.checkpoint_path(seq)
+                    await self._run(save_tree, self.engine.tree, path)
+                crash_point("mid_checkpoint")
+                name = os.path.basename(path)
+                async with self._scheduler.write(deadline):
+                    self._refresh_pressure_gauges()
+                    await self._run(durable.state.write_current, name, seq,
+                                    version, self._dedupe)
+                    dropped = await self._run(durable.wal.compact, seq,
+                                              version)
+                    durable.records_since_checkpoint = \
+                        durable.wal.record_count
+                pruned = await self._run(durable.state.prune_checkpoints,
+                                         name)
+            self._m_checkpoints.inc()
+            self._m_latency[("checkpoint", "engine")].observe(
+                time.perf_counter() - start)
+            return {"ok": True, "op": "checkpoint", "version": version,
+                    "seq": seq, "checkpoint": name,
+                    "wal_records_dropped": dropped,
+                    "checkpoints_pruned": pruned}
+
     async def _op_health(self, payload: dict[str, Any]) -> dict[str, Any]:
-        return {
+        response = {
             "ok": True,
             "op": "health",
             "status": "draining" if self._draining else "serving",
@@ -593,6 +773,18 @@ class QueryServer:
             "cache": dataclasses.asdict(self.cache.stats())
                      | {"hit_rate": self.cache.stats().hit_rate},
         }
+        durable = self.durable
+        if durable is not None:
+            response["durability"] = {
+                "fsync": durable.config.fsync,
+                "last_seq": durable.wal.last_seq,
+                "wal_records": durable.wal.record_count,
+                "records_since_checkpoint":
+                    durable.records_since_checkpoint,
+                "dedupe_entries": len(self._dedupe),
+                "recovery": durable.recovery.to_dict(),
+            }
+        return response
 
     async def _op_metrics(self, payload: dict[str, Any]) -> dict[str, Any]:
         self._refresh_pressure_gauges()
@@ -613,6 +805,7 @@ class QueryServer:
         "insert": _op_insert,
         "delete": _op_delete,
         "snapshot": _op_snapshot,
+        "checkpoint": _op_checkpoint,
         "health": _op_health,
         "metrics": _op_metrics,
     }
@@ -627,8 +820,10 @@ class ServerThread:
     """
 
     def __init__(self, engine: NWCEngine, config: ServeConfig | None = None,
-                 metrics: MetricsRegistry | None = None) -> None:
-        self.server = QueryServer(engine, config=config, metrics=metrics)
+                 metrics: MetricsRegistry | None = None,
+                 durable: DurableState | None = None) -> None:
+        self.server = QueryServer(engine, config=config, metrics=metrics,
+                                  durable=durable)
         self._thread: threading.Thread | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._ready: threading.Event | None = None

@@ -1,0 +1,186 @@
+"""Process supervisor: keep one server subprocess alive across crashes.
+
+``repro serve --supervised`` runs the serve command in a child process
+and restarts it whenever it dies uncleanly (crash, ``kill -9``, a
+seeded :func:`~repro.storage.wal.crash_point`).  Combined with the
+WAL + recovery boot path and client-side idempotent retries, this is
+the piece that turns "the server died mid-burst" into a latency blip
+instead of an outage.
+
+Restart discipline:
+
+* restarts follow the shared jittered
+  :class:`~repro.serve.backoff.BackoffPolicy` — a crash-looping child
+  is retried at an exponentially widening, bounded interval;
+* a child that stays up for ``healthy_after_s`` resets the backoff, so
+  a one-off crash after a week of uptime restarts promptly;
+* a clean exit (code 0) means the server drained on purpose — the
+  supervisor stops instead of resurrecting it;
+* ``max_restarts`` (0 = unlimited) caps total restarts, after which the
+  supervisor gives up and propagates the child's exit code.
+
+SIGTERM/SIGINT to the supervisor are forwarded to the child, whose
+graceful drain then produces the clean exit that stops the loop.  The
+child's pid is published to ``pid_file`` (the chaos harness reads it to
+aim its ``kill -9``), and each incarnation gets a ``REPRO_SERVE_GENERATION``
+environment variable plus ``supervisor_*`` metrics.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+
+from .backoff import BackoffPolicy
+
+__all__ = ["Supervisor", "SupervisorConfig"]
+
+#: Generation counter exported to each child (0 = first boot).
+GENERATION_ENV = "REPRO_SERVE_GENERATION"
+
+
+@dataclass(frozen=True, slots=True)
+class SupervisorConfig:
+    """Restart policy of one supervisor.
+
+    Attributes:
+        backoff: Jittered delay schedule between restart attempts.
+        healthy_after_s: Uptime after which the child counts as healthy
+            and the backoff resets.
+        max_restarts: Total restarts before giving up (0 = unlimited).
+        pid_file: Where to publish the live child's pid (None = don't).
+    """
+
+    backoff: BackoffPolicy = field(
+        default_factory=lambda: BackoffPolicy(initial_s=0.1, max_s=5.0))
+    healthy_after_s: float = 5.0
+    max_restarts: int = 0
+    pid_file: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.healthy_after_s < 0:
+            raise ValueError("healthy_after_s must be non-negative")
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be non-negative")
+
+
+class Supervisor:
+    """Run ``command`` as a child process, restarting it on crashes."""
+
+    def __init__(self, command: list[str],
+                 config: SupervisorConfig | None = None,
+                 metrics=None, seed: int | None = None) -> None:
+        """Args:
+            command: argv of the child (e.g. the serve command minus
+                ``--supervised``).
+            config: Restart policy (defaults: :class:`SupervisorConfig`).
+            metrics: Optional :class:`~repro.obs.metrics.MetricsRegistry`
+                for ``supervisor_restarts_total`` /
+                ``supervisor_generation``.
+            seed: Seeds backoff jitter — deterministic tests only.
+        """
+        self.command = list(command)
+        self.config = config or SupervisorConfig()
+        self.restarts = 0
+        self.generation = 0
+        self._rng = random.Random(seed)
+        self._child: subprocess.Popen | None = None
+        self._stopping = False
+        if metrics is not None:
+            self._m_restarts = metrics.counter(
+                "supervisor_restarts_total",
+                "Server child restarts after unclean exits")
+            self._g_generation = metrics.gauge(
+                "supervisor_generation", "Current server incarnation")
+        else:
+            self._m_restarts = self._g_generation = None
+
+    # ------------------------------------------------------------------
+    def _publish_pid(self, pid: int) -> None:
+        if self.config.pid_file is None:
+            return
+        parent = os.path.dirname(self.config.pid_file)
+        if parent:
+            # The child usually creates this directory (it is the state
+            # dir) but the supervisor publishes the pid first.
+            os.makedirs(parent, exist_ok=True)
+        tmp = f"{self.config.pid_file}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(f"{pid}\n")
+        os.replace(tmp, self.config.pid_file)
+
+    def _clear_pid(self) -> None:
+        if self.config.pid_file is not None:
+            try:
+                os.unlink(self.config.pid_file)
+            except OSError:
+                pass
+
+    def _spawn(self) -> subprocess.Popen:
+        env = os.environ.copy()
+        env[GENERATION_ENV] = str(self.generation)
+        child = subprocess.Popen(self.command, env=env)
+        self._publish_pid(child.pid)
+        if self._g_generation is not None:
+            self._g_generation.set(self.generation)
+        return child
+
+    def _forward(self, signum: int, frame=None) -> None:
+        self._stopping = True
+        child = self._child
+        if child is not None and child.poll() is None:
+            try:
+                child.send_signal(signum)
+            except OSError:
+                pass
+
+    def run(self, handle_signals: bool = True) -> int:
+        """Supervise until the child exits cleanly (or limits trip).
+
+        Returns the exit code to propagate: 0 after a clean child exit
+        or a forwarded shutdown signal, the child's last exit code once
+        ``max_restarts`` is exhausted.
+        """
+        previous = {}
+        if handle_signals:
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                previous[sig] = signal.signal(sig, self._forward)
+        try:
+            attempt = 0
+            while True:
+                started = time.monotonic()
+                self._child = self._spawn()
+                code = self._child.wait()
+                uptime = time.monotonic() - started
+                self._child = None
+                if self._stopping or code == 0:
+                    self._clear_pid()
+                    return 0
+                self.restarts += 1
+                if self._m_restarts is not None:
+                    self._m_restarts.inc()
+                if (self.config.max_restarts
+                        and self.restarts > self.config.max_restarts):
+                    self._clear_pid()
+                    return code if code > 0 else 1
+                if uptime >= self.config.healthy_after_s:
+                    attempt = 0  # healthy run: forget the crash streak
+                delay = self.config.backoff.delay(attempt, self._rng)
+                print(f"[supervisor] server exited with {code} after "
+                      f"{uptime:.2f}s; restart {self.restarts} "
+                      f"(generation {self.generation + 1}) in {delay:.2f}s",
+                      file=sys.stderr, flush=True)
+                time.sleep(delay)
+                if self._stopping:
+                    self._clear_pid()
+                    return 0
+                attempt += 1
+                self.generation += 1
+        finally:
+            for sig, handler in previous.items():
+                signal.signal(sig, handler)

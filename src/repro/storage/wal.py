@@ -1,0 +1,408 @@
+"""Write-ahead log: the durability substrate of the serving layer.
+
+The query server (PR 4) acknowledges ``insert``/``delete`` to clients,
+but until this module the only durable state was a manually requested
+page-file snapshot — a crash lost every acknowledged update since the
+last ``snapshot``.  The WAL closes that gap with the classic recipe:
+every update is appended (and, per policy, fsynced) *before* the ack
+leaves the server, and on boot the server replays the log tail over the
+latest checkpoint.
+
+On-disk format (binary, append-only)::
+
+    header   magic "NWCW" | u16 version | u16 reserved
+             | u64 base_seq | u64 base_version | u32 crc32(header body)
+    record   u32 payload_len | u64 seq | u32 crc32(len‖seq‖payload)
+             | payload (UTF-8 JSON)
+
+``base_seq``/``base_version`` anchor the log to the checkpoint it
+continues from: replay skips nothing (the log *starts* after the
+checkpoint), and a log whose header anchor disagrees with the
+checkpoint pointer is detected instead of double-applied.
+
+Failure semantics on read (:func:`replay_wal`):
+
+* a record frame that runs past end-of-file, or whose CRC fails **on
+  the final record**, is a *torn tail* — the bytes a crash cut short —
+  and is truncated away (reported, never silently);
+* a CRC failure with further valid data behind it is *body corruption*
+  (disk rot, not a crash) and raises :class:`WalCorruptionError`;
+* a non-consecutive sequence number raises :class:`WalSequenceError` —
+  a log that skips records cannot be replayed safely.
+
+Fsync policies (:data:`FSYNC_POLICIES`): ``always`` fsyncs every
+append (acked updates survive power loss), ``interval`` fsyncs at most
+every ``fsync_interval_s`` seconds (acked updates survive process
+crashes; power loss can cost the last interval), ``never`` leaves
+flushing to the OS (process crashes are still safe — the bytes are in
+the page cache — only kernel/power failures lose data).
+
+:func:`crash_point` is the seeded fault-injection hook the chaos suite
+uses to kill a *live server subprocess* at precise code points (between
+WAL append and ack, mid-checkpoint, mid-compaction); it is inert unless
+``REPRO_CRASH_POINT`` is set in the environment.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Any
+
+from .errors import StorageError
+
+__all__ = [
+    "FSYNC_POLICIES",
+    "MAX_RECORD_BYTES",
+    "WAL_MAGIC",
+    "WalCorruptionError",
+    "WalError",
+    "WalHeader",
+    "WalReplay",
+    "WalSequenceError",
+    "WriteAheadLog",
+    "crash_point",
+    "replay_wal",
+]
+
+WAL_MAGIC = b"NWCW"
+WAL_VERSION = 1
+
+#: Accepted ``fsync`` policies for :class:`WriteAheadLog`.
+FSYNC_POLICIES = ("always", "interval", "never")
+
+#: Upper bound on one record's payload; larger length fields are treated
+#: as frame damage, not as an instruction to read gigabytes.
+MAX_RECORD_BYTES = 1 << 20
+
+_HEADER = struct.Struct("<4sHHQQ")          # magic, version, reserved, seq, ver
+_HEADER_CRC = struct.Struct("<I")
+HEADER_SIZE = _HEADER.size + _HEADER_CRC.size
+_FRAME = struct.Struct("<IQI")              # payload_len, seq, crc32
+FRAME_SIZE = _FRAME.size
+
+
+class WalError(StorageError):
+    """Base class of every write-ahead-log failure."""
+
+
+class WalCorruptionError(WalError):
+    """A record *body* (not the crash-torn tail) failed its checks.
+
+    ``offset`` is the byte position of the damaged record when known.
+    """
+
+    def __init__(self, message: str, offset: int | None = None) -> None:
+        super().__init__(message)
+        self.offset = offset
+
+
+class WalSequenceError(WalError):
+    """Record sequence numbers are not consecutive — replay is unsafe."""
+
+
+@dataclass(frozen=True, slots=True)
+class WalHeader:
+    """Anchor of a log file: the checkpoint state it continues from."""
+
+    base_seq: int
+    base_version: int
+    version: int = WAL_VERSION
+
+    def encode(self) -> bytes:
+        body = _HEADER.pack(WAL_MAGIC, self.version, 0,
+                            self.base_seq, self.base_version)
+        return body + _HEADER_CRC.pack(zlib.crc32(body))
+
+
+@dataclass(slots=True)
+class WalReplay:
+    """Outcome of reading one log file back.
+
+    Attributes:
+        header: The decoded file header.
+        records: ``(seq, payload)`` pairs, consecutive from
+            ``header.base_seq + 1``.
+        truncated_bytes: Bytes of torn tail discarded by the read (0 on
+            a cleanly closed log).
+        end_offset: File offset just past the last intact record — the
+            position appends must resume from.
+    """
+
+    header: WalHeader
+    records: list[tuple[int, dict[str, Any]]] = field(default_factory=list)
+    truncated_bytes: int = 0
+    end_offset: int = HEADER_SIZE
+
+    @property
+    def last_seq(self) -> int:
+        return self.records[-1][0] if self.records else self.header.base_seq
+
+
+def _decode_header(raw: bytes, path: str) -> WalHeader:
+    if len(raw) < HEADER_SIZE:
+        raise WalCorruptionError(f"{path}: truncated WAL header", offset=0)
+    body = raw[: _HEADER.size]
+    (stored_crc,) = _HEADER_CRC.unpack_from(raw, _HEADER.size)
+    magic, version, _reserved, base_seq, base_version = _HEADER.unpack(body)
+    if magic != WAL_MAGIC:
+        raise WalCorruptionError(f"{path}: not a WAL file", offset=0)
+    if zlib.crc32(body) != stored_crc:
+        raise WalCorruptionError(f"{path}: WAL header checksum mismatch",
+                                 offset=0)
+    if version != WAL_VERSION:
+        raise WalError(f"{path}: unsupported WAL version {version}")
+    return WalHeader(base_seq, base_version, version)
+
+
+def _record_crc(length: int, seq: int, payload: bytes) -> int:
+    prefix = struct.pack("<IQ", length, seq)
+    return zlib.crc32(payload, zlib.crc32(prefix))
+
+
+def replay_wal(path: str | os.PathLike[str]) -> WalReplay:
+    """Read every intact record of the log at ``path``.
+
+    A torn tail (the partial record a crash left behind) is dropped and
+    counted in ``truncated_bytes``; damage *before* the tail raises a
+    typed :class:`WalError` — see the module docstring for the exact
+    rules.
+    """
+    path = os.fspath(path)
+    with open(path, "rb") as handle:
+        data = handle.read()
+    header = _decode_header(data, path)
+    replay = WalReplay(header=header)
+    offset = HEADER_SIZE
+    expected_seq = header.base_seq + 1
+    size = len(data)
+    while offset < size:
+        frame_end = offset + FRAME_SIZE
+        if frame_end > size:
+            break  # torn tail: not even a whole frame
+        length, seq, stored_crc = _FRAME.unpack_from(data, offset)
+        record_end = frame_end + length
+        if length > MAX_RECORD_BYTES or record_end > size:
+            # A length field this wrong gives no trustworthy next
+            # offset; everything from here is tail damage.
+            break
+        payload = data[frame_end:record_end]
+        if _record_crc(length, seq, payload) != stored_crc:
+            if record_end == size:
+                break  # garbled final record: torn tail
+            raise WalCorruptionError(
+                f"{path}: record checksum mismatch at offset {offset} "
+                f"(seq {seq}) with valid data behind it", offset=offset)
+        if seq != expected_seq:
+            raise WalSequenceError(
+                f"{path}: expected seq {expected_seq} at offset {offset}, "
+                f"found {seq}")
+        try:
+            decoded = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise WalCorruptionError(
+                f"{path}: record {seq} carries undecodable JSON: {exc}",
+                offset=offset) from exc
+        replay.records.append((seq, decoded))
+        replay.end_offset = record_end
+        expected_seq += 1
+        offset = record_end
+    replay.truncated_bytes = size - replay.end_offset
+    return replay
+
+
+class WriteAheadLog:
+    """Append-only durable log of serialized update operations.
+
+    Opening an existing file replays it first (so the tail is validated
+    and truncated exactly once, at open) and resumes appending after the
+    last intact record; ``create=True`` writes a fresh header anchored
+    at ``(base_seq, base_version)``.
+
+    Args:
+        path: Log file path.
+        fsync: One of :data:`FSYNC_POLICIES`.
+        fsync_interval_s: Max staleness under the ``interval`` policy.
+        base_seq: Anchor sequence number for a freshly created log.
+        base_version: Anchor dataset version for a freshly created log.
+        create: Truncate and re-anchor the file.
+        metrics: Optional :class:`~repro.obs.metrics.MetricsRegistry`;
+            records ``wal_appends_total``, ``wal_fsyncs_total`` and
+            ``wal_bytes_total``.
+    """
+
+    def __init__(self, path: str | os.PathLike[str], fsync: str = "interval",
+                 fsync_interval_s: float = 0.05, base_seq: int = 0,
+                 base_version: int = 0, create: bool = False,
+                 metrics=None) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"fsync must be one of {FSYNC_POLICIES}, got {fsync!r}")
+        if fsync_interval_s <= 0 and fsync == "interval":
+            raise ValueError("fsync_interval_s must be positive")
+        self.path = os.fspath(path)
+        self.fsync = fsync
+        self.fsync_interval_s = fsync_interval_s
+        self._last_fsync = time.monotonic()
+        self._dirty = False
+        if metrics is not None:
+            self._m_appends = metrics.counter(
+                "wal_appends_total", "Records appended to the WAL")
+            self._m_fsyncs = metrics.counter(
+                "wal_fsyncs_total", "fsync calls issued by the WAL")
+            self._m_bytes = metrics.counter(
+                "wal_bytes_total", "Bytes appended to the WAL")
+        else:
+            self._m_appends = self._m_fsyncs = self._m_bytes = None
+        if create or not os.path.exists(self.path):
+            self.header = WalHeader(base_seq, base_version)
+            self._file = open(self.path, "wb")
+            self._file.write(self.header.encode())
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self.last_seq = base_seq
+            self.record_count = 0
+        else:
+            replay = replay_wal(self.path)
+            self.header = replay.header
+            self.last_seq = replay.last_seq
+            self.record_count = len(replay.records)
+            self._file = open(self.path, "r+b")
+            self._file.truncate(replay.end_offset)
+            self._file.seek(replay.end_offset)
+
+    # ------------------------------------------------------------------
+    def append(self, payload: dict[str, Any]) -> int:
+        """Append one record; returns its sequence number.
+
+        The record is written (and flushed to the OS) before the call
+        returns; whether it is *fsynced* follows the policy.  Callers
+        acknowledge the corresponding update only after this returns.
+        """
+        seq = self.last_seq + 1
+        body = json.dumps(payload, separators=(",", ":"),
+                          sort_keys=True).encode()
+        if len(body) > MAX_RECORD_BYTES:
+            raise WalError(f"record of {len(body)} bytes exceeds "
+                           f"{MAX_RECORD_BYTES}")
+        frame = _FRAME.pack(len(body), seq, _record_crc(len(body), seq, body))
+        self._file.write(frame + body)
+        self._file.flush()
+        self._dirty = True
+        self.last_seq = seq
+        self.record_count += 1
+        if self._m_appends is not None:
+            self._m_appends.inc()
+            self._m_bytes.inc(len(frame) + len(body))
+        if self.fsync == "always":
+            self._fsync()
+        elif (self.fsync == "interval"
+              and time.monotonic() - self._last_fsync >= self.fsync_interval_s):
+            self._fsync()
+        crash_point("wal_append")
+        return seq
+
+    def _fsync(self) -> None:
+        os.fsync(self._file.fileno())
+        self._last_fsync = time.monotonic()
+        self._dirty = False
+        if self._m_fsyncs is not None:
+            self._m_fsyncs.inc()
+
+    def sync(self) -> None:
+        """Force everything appended so far to stable storage."""
+        self._file.flush()
+        if self._dirty:
+            self._fsync()
+
+    def compact(self, base_seq: int, base_version: int) -> int:
+        """Drop every record with ``seq <= base_seq`` (checkpointed state).
+
+        Atomically rewrites the file: a new log anchored at
+        ``(base_seq, base_version)`` carrying only the surviving tail is
+        fsynced and renamed over the old one.  A crash at any point
+        leaves either the old complete log or the new complete log.
+        Returns the number of records dropped.
+
+        The caller must guarantee no concurrent :meth:`append` (the
+        server compacts inside its exclusive write slot).
+        """
+        self.sync()
+        replay = replay_wal(self.path)
+        survivors = [(seq, rec) for seq, rec in replay.records
+                     if seq > base_seq]
+        dropped = len(replay.records) - len(survivors)
+        tmp = f"{self.path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "wb") as out:
+                out.write(WalHeader(base_seq, base_version).encode())
+                for seq, rec in survivors:
+                    body = json.dumps(rec, separators=(",", ":"),
+                                      sort_keys=True).encode()
+                    out.write(_FRAME.pack(
+                        len(body), seq, _record_crc(len(body), seq, body))
+                        + body)
+                out.flush()
+                os.fsync(out.fileno())
+            self._file.close()
+            crash_point("mid_compact")
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.header = WalHeader(base_seq, base_version)
+        self.record_count = len(survivors)
+        self._file = open(self.path, "r+b")
+        self._file.seek(0, os.SEEK_END)
+        self._last_fsync = time.monotonic()
+        self._dirty = False
+        return dropped
+
+    def close(self, sync: bool = True) -> None:
+        if self._file.closed:
+            return
+        if sync:
+            self.sync()
+        self._file.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Seeded crash points (chaos testing)
+# ----------------------------------------------------------------------
+_CRASH_HITS: dict[str, int] = {}
+
+
+def crash_point(name: str) -> None:
+    """Die (``os._exit(137)``) at a named code point, on command.
+
+    Inert unless the environment carries ``REPRO_CRASH_POINT`` of the
+    form ``"<name>"`` or ``"<name>:<nth>"`` — then the *nth* time the
+    named point is reached in this process, it exits immediately and
+    uncleanly, exactly like ``kill -9``: no flushes, no atexit, no
+    drain.  The chaos suite sets this on server subprocesses to prove
+    recovery from kills between WAL append and ack, mid-checkpoint and
+    mid-compaction.
+    """
+    spec = os.environ.get("REPRO_CRASH_POINT")
+    if not spec:
+        return
+    target, _, nth = spec.partition(":")
+    if target != name:
+        return
+    hits = _CRASH_HITS.get(name, 0) + 1
+    _CRASH_HITS[name] = hits
+    if hits >= int(nth or 1):
+        os._exit(137)

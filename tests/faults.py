@@ -14,7 +14,12 @@ failure modes:
   :func:`crash_once`, :func:`sleep_in_worker`) that make
   ``ParallelSweepRunner`` workers crash deterministically, crash once,
   or hang — in worker processes only, so the parent's inline fallback
-  stays healthy.
+  stays healthy;
+* write-ahead-log corruptors (:func:`wal_record_spans`,
+  :func:`garble_wal_record`, :func:`append_garbage`) that damage a WAL
+  the way crashes and bit rot do, so the recovery path can prove it
+  tells a torn tail (truncate and continue) from body corruption
+  (refuse and surface a typed error).
 
 The wrappers communicate with worker processes through ``os.environ``
 (inherited on fork and spawn) and sentinel files (atomically created
@@ -107,6 +112,57 @@ def truncate_file(path: str | os.PathLike[str], keep_bytes: int) -> None:
     """Cut the file short, as if a crash interrupted an append."""
     with open(path, "r+b") as handle:
         handle.truncate(keep_bytes)
+
+
+# ----------------------------------------------------------------------
+# Write-ahead-log corruption
+# ----------------------------------------------------------------------
+def wal_record_spans(path: str | os.PathLike[str]) -> list[tuple[int, int]]:
+    """``(offset, length)`` of every record frame+payload in a WAL file.
+
+    Walks the frames exactly like replay does (without checking CRCs),
+    so corruptors can aim at a specific record — "the last one" for a
+    torn tail, "one in the middle" for body rot.
+    """
+    import struct
+
+    from repro.storage.wal import FRAME_SIZE, HEADER_SIZE
+
+    spans: list[tuple[int, int]] = []
+    with open(path, "rb") as handle:
+        data = handle.read()
+    offset = HEADER_SIZE
+    while offset + FRAME_SIZE <= len(data):
+        (length,) = struct.unpack_from("<I", data, offset)
+        total = FRAME_SIZE + length
+        if offset + total > len(data):
+            break
+        spans.append((offset, total))
+        offset += total
+    return spans
+
+
+def garble_wal_record(path: str | os.PathLike[str], index: int,
+                      rng: random.Random) -> int:
+    """Flip one seeded bit inside record ``index``'s payload (negative
+    indices count from the end).  Returns the absolute byte offset."""
+    from repro.storage.wal import FRAME_SIZE
+
+    spans = wal_record_spans(path)
+    offset, total = spans[index]
+    payload_len = total - FRAME_SIZE
+    if payload_len <= 0:
+        raise ValueError(f"record {index} has no payload to garble")
+    position = offset + FRAME_SIZE + rng.randrange(payload_len)
+    flip_bit(path, position, rng.randrange(8))
+    return position
+
+
+def append_garbage(path: str | os.PathLike[str], nbytes: int,
+                   rng: random.Random) -> None:
+    """Append random bytes, as if a crash tore the last append."""
+    with open(path, "ab") as handle:
+        handle.write(bytes(rng.randrange(256) for _ in range(nbytes)))
 
 
 # ----------------------------------------------------------------------
