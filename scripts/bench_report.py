@@ -487,6 +487,143 @@ def time_durability(duration_s: float, workers: int = 4,
     }
 
 
+#: Required sustained-qps ratio of a 4-shard fleet over a 1-shard fleet.
+#: Only gated on boxes with at least 4 cores — shard workers are real
+#: processes, so the scaling win needs real cores; elsewhere the section
+#: still runs and gates merge identity.
+SHARD_SPEEDUP_FLOOR = 1.5
+SHARD_FLEET_SIZES = (1, 4)
+
+
+def time_sharding(duration_s: float, workers: int = 4) -> dict:
+    """Sharded scatter-gather serving: identity everywhere, scaling on
+    multi-core.
+
+    For each fleet size, partitions a fresh dataset into per-shard page
+    files, boots real ``repro shard-worker`` subprocesses on free
+    ports, fronts them with an in-process coordinator, and drives the
+    same mixed closed loop as the serving section.  Worker 0 replays
+    every response on a :class:`ShardedVerifyTwin` — NWC against the
+    pruned star engine, kNWC against the unpruned baseline (the exact
+    canon; the star scheme may pick a different equal-distance group on
+    ties) — so every fleet size is gated on bit-identical merges.  The
+    workload is denser than the serving section's (a 300-unit window
+    holds ~2n objects at 4k cards) to keep the unpruned verifier
+    affordable; kNWC is correspondingly rare in the mix.
+    """
+    import shutil
+    import socket
+    import subprocess
+
+    from repro.serve import LoadgenConfig
+    from repro.serve.client import wait_until_healthy
+    from repro.serve.loadgen import LoadMix, ShardedVerifyTwin, run_loadgen
+    from repro.shard import (
+        CoordinatorConfig,
+        coordinator_thread,
+        partition_dataset,
+    )
+
+    card = 4_000
+    window = 300.0
+    side = math.sqrt(card * window * window / (2.0 * DEFAULT_N))
+    dataset = uniform(card, seed=20260806, extent=Rect(0.0, 0.0, side, side))
+    mix = LoadMix(nwc=0.60, knwc=0.10, insert=0.18, delete=0.12)
+    env = {**os.environ,
+           "PYTHONPATH": os.path.join(os.path.dirname(__file__), "..", "src")}
+
+    def make_twin():
+        star = NWCEngine(RStarTree.bulk_load(dataset.points, max_entries=50),
+                         Scheme.NWC_STAR, execution="numpy")
+        base = NWCEngine(RStarTree.bulk_load(dataset.points, max_entries=50),
+                         Scheme.NWC)
+        return ShardedVerifyTwin(star, base)
+
+    fleets: dict[int, dict] = {}
+    for shards in SHARD_FLEET_SIZES:
+        tmp = tempfile.mkdtemp(prefix=f"bench-shards-{shards}-")
+        procs: list = []
+        coordinator = None
+        try:
+            manifest = partition_dataset(dataset.points, shards, window,
+                                         tmp, dataset.extent)
+            addresses = []
+            for index in range(shards):
+                with socket.socket() as sock:
+                    sock.bind(("127.0.0.1", 0))
+                    port = sock.getsockname()[1]
+                procs.append(subprocess.Popen(
+                    [sys.executable, "-m", "repro", "shard-worker",
+                     "--dir", tmp, "--index", str(index),
+                     "--host", "127.0.0.1", "--port", str(port),
+                     "--max-inflight", str(workers),
+                     "--deadline", "60"],
+                    env=env, stderr=subprocess.DEVNULL))
+                addresses.append(("127.0.0.1", port))
+            for host, port in addresses:
+                wait_until_healthy(host, port, timeout_s=60.0)
+            # pool_limit=256 keeps most kNWC horizon guards sound on
+            # this dense workload; the escalating bounded refetch
+            # absorbs the rest without full enumerations.  The deadline
+            # covers the worst case of every closed-loop client issuing
+            # a kNWC at once on an oversubscribed box.
+            coordinator = coordinator_thread(
+                manifest, addresses,
+                config=CoordinatorConfig(max_inflight=workers,
+                                         pool_limit=256,
+                                         deadline_s=60.0)).start()
+            wait_until_healthy(coordinator.host, coordinator.port,
+                               timeout_s=60.0, shards=shards)
+            report = run_loadgen(
+                LoadgenConfig(port=coordinator.port, workers=workers,
+                              duration_s=duration_s, query_pool=16,
+                              length=window, width=window, n=DEFAULT_N,
+                              k=4, m=1, seed=17, mix=mix),
+                dataset, verify_engine=make_twin())
+            fleets[shards] = {
+                "shards": shards,
+                "requests": report.requests,
+                "sustained_qps": report.qps,
+                "latency_ms": report.latency,
+                "verified_responses": report.verified,
+                "mismatches": report.mismatches,
+                "errors": report.errors,
+                "shard_metrics": report.shard_metrics,
+            }
+        finally:
+            if coordinator is not None:
+                coordinator.stop()
+            for proc in procs:
+                proc.terminate()
+            for proc in procs:
+                try:
+                    proc.wait(timeout=15)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait(timeout=5)
+            shutil.rmtree(tmp, ignore_errors=True)
+
+    lone, wide = (fleets[s] for s in SHARD_FLEET_SIZES)
+    speedup = wide["sustained_qps"] / max(lone["sustained_qps"], 1e-9)
+    multicore = (os.cpu_count() or 1) >= SHARD_FLEET_SIZES[-1]
+    identity_ok = all(
+        fleet["mismatches"] == 0 and fleet["errors"] == 0
+        and fleet["verified_responses"] > 0
+        for fleet in fleets.values()
+    )
+    return {
+        "workers": workers,
+        "duration_s_per_fleet": duration_s,
+        "dataset": f"uniform, {card} objects, ~{2 * DEFAULT_N} per window",
+        "fleets": {str(s): fleets[s] for s in SHARD_FLEET_SIZES},
+        "speedup_4_vs_1": round(speedup, 2),
+        "speedup_floor": SHARD_SPEEDUP_FLOOR,
+        "multicore": multicore,
+        "speedup_ok": speedup > SHARD_SPEEDUP_FLOOR if multicore else True,
+        "identity_ok": identity_ok,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--card", type=int, default=50_000)
@@ -529,6 +666,7 @@ def main(argv=None) -> int:
         "tracing_overhead": time_tracing_overhead(tree, queries, args.repeats),
         "serving": time_serving(args.serve_duration),
         "durability": time_durability(args.serve_duration),
+        "sharding": time_sharding(args.serve_duration),
     }
     out = os.path.abspath(args.output)
     with open(out, "w") as handle:
@@ -551,6 +689,8 @@ def main(argv=None) -> int:
     durability = report["durability"]
     ok = ok and durability["interval_within_budget"]
     ok = ok and durability["errors"] == 0
+    sharding = report["sharding"]
+    ok = ok and sharding["identity_ok"] and sharding["speedup_ok"]
     return 0 if ok else 1
 
 

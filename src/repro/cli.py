@@ -19,8 +19,17 @@ Subcommands:
   crash-restarting process supervisor.
 * ``loadgen`` — drive a running server with closed-loop workers and
   report throughput and latency percentiles; ``--verify`` replays every
-  operation on a twin engine and counts answer mismatches, and
+  operation on a twin engine and counts answer mismatches
+  (``--verify-sharded`` uses the sharded coordinator's canon), and
   ``--retries`` rides out server restarts with idempotent resends.
+* ``partition`` — cut a generated dataset into density-balanced shard
+  page files plus a manifest (the input of sharded serving).
+* ``shard-serve`` — boot one worker process per shard over a partition
+  directory and serve the ordinary NDJSON protocol from a
+  scatter-gather coordinator; ``--attach`` reuses already-running
+  workers instead.
+* ``shard-worker`` — one shard's server process (started by
+  ``shard-serve``; rarely invoked by hand).
 """
 
 from __future__ import annotations
@@ -329,7 +338,19 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     # --size, --scheme and --execution), because the twin engine replays
     # every operation locally and compares answers byte for byte.
     dataset = _DATASETS[args.dataset](args.size)
-    twin = _make_engine(args, execution=args.execution) if args.verify else None
+    twin = None
+    if args.verify_sharded:
+        from .serve.loadgen import ShardedVerifyTwin
+
+        # The coordinator's canon: pruned columnar engine for NWC,
+        # unpruned baseline for kNWC (exact tie picks included).
+        star = _make_engine(args, execution=args.execution)
+        baseline_args = argparse.Namespace(**vars(args))
+        baseline_args.scheme = "NWC"
+        baseline = _make_engine(baseline_args)
+        twin = ShardedVerifyTwin(star, baseline)
+    elif args.verify:
+        twin = _make_engine(args, execution=args.execution)
     mix = LoadMix(nwc=args.mix_nwc, knwc=args.mix_knwc,
                   insert=args.mix_insert, delete=args.mix_delete)
     retry = None
@@ -354,6 +375,157 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     if report.mismatches or report.errors:
         return 1
     return 0
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    from .shard import partition_dataset
+
+    dataset = _DATASETS[args.dataset](args.size)
+    manifest = partition_dataset(
+        dataset.points, args.shards, args.halo, args.out_dir,
+        extent=dataset.extent, cell_size=args.cell_size,
+        dataset_name=f"{args.dataset}/{args.size}",
+    )
+    print(f"partitioned {args.dataset}/{args.size} into "
+          f"{manifest.shard_count} shard(s) under {args.out_dir} "
+          f"(halo {manifest.halo:g}, cuts {[round(c, 1) for c in manifest.cuts]})")
+    for info in manifest.shards:
+        print(f"  shard {info.index}: {info.owned} owned, "
+              f"{info.stored} stored -> {info.filename}")
+    return 0
+
+
+def _free_port(host: str) -> int:
+    """A currently-free TCP port on ``host`` (picked and released; the
+    tiny reuse race is the standard price of pre-assigning worker
+    ports so supervised restarts can rebind the same address)."""
+    import socket
+
+    with socket.socket() as sock:
+        sock.bind((host, 0))
+        return sock.getsockname()[1]
+
+
+def _cmd_shard_worker(args: argparse.Namespace) -> int:
+    if args.supervised:
+        from .serve.supervisor import Supervisor, SupervisorConfig
+
+        child_argv = [a for a in args.raw_argv if a != "--supervised"]
+        pid_file = (os.path.join(args.state_dir, "server.pid")
+                    if args.state_dir else None)
+        supervisor = Supervisor(
+            [sys.executable, "-m", "repro", *child_argv],
+            SupervisorConfig(max_restarts=args.max_restarts,
+                             pid_file=pid_file),
+        )
+        return supervisor.run()
+
+    import asyncio
+
+    from .serve import DurabilityConfig, ServeConfig
+    from .shard import ShardManifest, build_shard_server
+
+    metrics = MetricsRegistry()
+    manifest = ShardManifest.load(args.dir)
+    durability = None
+    if args.state_dir:
+        durability = DurabilityConfig(
+            state_dir=args.state_dir, fsync=args.wal_fsync,
+            fsync_interval_s=args.wal_fsync_interval,
+            checkpoint_every=args.checkpoint_every,
+        )
+    config = ServeConfig(
+        host=args.host, port=args.port,
+        max_inflight=args.max_inflight, max_queue=args.max_queue,
+        deadline_s=args.deadline,
+    )
+    server = build_shard_server(
+        manifest, args.dir, args.index, config=config,
+        state_dir=args.state_dir, durability=durability, metrics=metrics,
+    )
+
+    async def run() -> None:
+        await server.start()
+        if args.port_file:
+            _write_port_file(args.port_file, server.port)
+        print(f"shard {args.index}/{manifest.shard_count} serving "
+              f"{server.owned_size} owned object(s) on "
+              f"{config.host}:{server.port}", file=sys.stderr, flush=True)
+        await server.serve_forever()
+        print(f"shard {args.index} drained, exiting", file=sys.stderr)
+
+    asyncio.run(run())
+    return 0
+
+
+def _cmd_shard_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import subprocess
+
+    from .serve.client import wait_until_healthy
+    from .shard import CoordinatorConfig, ShardCoordinator, ShardManifest
+
+    manifest = ShardManifest.load(args.dir)
+    procs: list = []
+    if args.attach:
+        addresses = []
+        for spec in args.attach.split(","):
+            host, _, port = spec.strip().rpartition(":")
+            addresses.append((host or "127.0.0.1", int(port)))
+        if len(addresses) != manifest.shard_count:
+            print(f"error: --attach needs {manifest.shard_count} "
+                  f"address(es), got {len(addresses)}", file=sys.stderr)
+            return 2
+    else:
+        ports = [_free_port(args.host) for _ in range(manifest.shard_count)]
+        for index, port in enumerate(ports):
+            argv = [sys.executable, "-m", "repro", "shard-worker",
+                    "--dir", args.dir, "--index", str(index),
+                    "--host", args.host, "--port", str(port),
+                    "--max-inflight", str(args.worker_inflight)]
+            if args.state_root:
+                state_dir = os.path.join(args.state_root, f"shard-{index:03d}")
+                os.makedirs(state_dir, exist_ok=True)
+                argv += ["--state-dir", state_dir]
+            if args.supervise_workers:
+                argv += ["--supervised"]
+            procs.append(subprocess.Popen(argv))
+        addresses = [(args.host, port) for port in ports]
+
+    try:
+        for host, port in addresses:
+            wait_until_healthy(host, port, timeout_s=args.boot_timeout)
+        config = CoordinatorConfig(
+            host=args.host, port=args.port,
+            max_inflight=args.max_inflight, max_queue=args.max_queue,
+            deadline_s=args.deadline, cache_entries=args.cache_entries,
+            cache_ttl_s=args.cache_ttl, pool_limit=args.pool_limit,
+        )
+        coordinator = ShardCoordinator(manifest, addresses, config=config,
+                                       metrics=MetricsRegistry())
+
+        async def run() -> None:
+            await coordinator.start()
+            if args.port_file:
+                _write_port_file(args.port_file, coordinator.port)
+            print(f"coordinating {manifest.shard_count} shard(s) "
+                  f"({coordinator.size} objects) on "
+                  f"{config.host}:{coordinator.port}",
+                  file=sys.stderr, flush=True)
+            await coordinator.serve_forever()
+            print("coordinator drained, exiting", file=sys.stderr)
+
+        asyncio.run(run())
+        return 0
+    finally:
+        for proc in procs:
+            proc.terminate()
+        for proc in procs:
+            try:
+                proc.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -509,9 +681,101 @@ def build_parser() -> argparse.ArgumentParser:
                          "and count answer mismatches (the server must "
                          "have been started with the same dataset args); "
                          "exits 1 on any mismatch or request error")
+    lg.add_argument("--verify-sharded", action="store_true",
+                    help="like --verify but against the sharded "
+                         "coordinator's canon: the pruned engine for NWC "
+                         "and the unpruned baseline for kNWC")
     lg.add_argument("--json", default=None,
                     help="also write the report to this JSON file")
     lg.set_defaults(func=_cmd_loadgen)
+
+    par = sub.add_parser(
+        "partition",
+        help="cut a dataset into shard page files plus a manifest")
+    par.add_argument("--dataset", choices=sorted(_DATASETS), default="ca")
+    par.add_argument("--size", type=int, default=10_000,
+                     help="dataset cardinality")
+    par.add_argument("--shards", type=int, default=4,
+                     help="number of shards (vertical bands)")
+    par.add_argument("--halo", type=float, default=100.0,
+                     help="stored-band margin; every served query's "
+                          "window length must be <= this")
+    par.add_argument("--cell-size", type=float, default=25.0,
+                     help="density-grid cell size for cut selection")
+    par.add_argument("--out-dir", required=True,
+                     help="output directory (page files + manifest.json)")
+    par.set_defaults(func=_cmd_partition)
+
+    shs = sub.add_parser(
+        "shard-serve",
+        help="serve a partitioned dataset: one worker process per shard "
+             "behind a scatter-gather coordinator")
+    shs.add_argument("--dir", required=True,
+                     help="partition directory (from 'repro partition')")
+    shs.add_argument("--host", default="127.0.0.1")
+    shs.add_argument("--port", type=int, default=7654,
+                     help="coordinator bind port (0 = ephemeral)")
+    shs.add_argument("--max-inflight", type=int, default=16,
+                     help="concurrent scatter-gathers at the coordinator")
+    shs.add_argument("--max-queue", type=int, default=64)
+    shs.add_argument("--deadline", type=float, default=10.0,
+                     help="default per-request deadline in seconds")
+    shs.add_argument("--cache-entries", type=int, default=1024,
+                     help="coordinator result-cache capacity (workers "
+                          "never cache scatter ops)")
+    shs.add_argument("--cache-ttl", type=float, default=None)
+    shs.add_argument("--pool-limit", type=int, default=64,
+                     help="per-shard kNWC candidate pool size before an "
+                          "unbounded refetch is needed")
+    shs.add_argument("--worker-inflight", type=int, default=4,
+                     help="concurrent engine operations per shard worker")
+    shs.add_argument("--state-root", default=None,
+                     help="root directory of per-shard durable state "
+                          "(each worker gets <root>/shard-NNN with its "
+                          "own WAL and checkpoints)")
+    shs.add_argument("--supervise-workers", action="store_true",
+                     help="run each worker under a crash-restarting "
+                          "supervisor (rebinding the same port)")
+    shs.add_argument("--attach", default=None,
+                     help="comma-separated host:port list of already "
+                          "running shard workers (skips spawning)")
+    shs.add_argument("--boot-timeout", type=float, default=30.0,
+                     help="seconds to wait for each worker to serve")
+    shs.add_argument("--port-file", default=None,
+                     help="write the coordinator's bound port here once "
+                          "listening (for harnesses using --port 0)")
+    shs.set_defaults(func=_cmd_shard_serve)
+
+    shw = sub.add_parser(
+        "shard-worker",
+        help="one shard's server process (normally started by "
+             "shard-serve)")
+    shw.add_argument("--dir", required=True,
+                     help="partition directory holding manifest.json")
+    shw.add_argument("--index", type=int, required=True,
+                     help="shard index within the manifest")
+    shw.add_argument("--host", default="127.0.0.1")
+    shw.add_argument("--port", type=int, default=0,
+                     help="bind port (0 = ephemeral)")
+    shw.add_argument("--max-inflight", type=int, default=4)
+    shw.add_argument("--max-queue", type=int, default=64)
+    shw.add_argument("--deadline", type=float, default=10.0)
+    shw.add_argument("--state-dir", default=None,
+                     help="durable state directory (WAL + checkpoints) "
+                          "of this shard")
+    shw.add_argument("--wal-fsync", choices=["always", "interval", "never"],
+                     default="interval")
+    shw.add_argument("--wal-fsync-interval", type=float, default=0.05)
+    shw.add_argument("--checkpoint-every", type=int, default=0)
+    shw.add_argument("--port-file", default=None,
+                     help="write the bound port to this file once "
+                          "listening")
+    shw.add_argument("--supervised", action="store_true",
+                     help="run under a crash-restarting supervisor")
+    shw.add_argument("--max-restarts", type=int, default=0,
+                     help="give up after this many supervised restarts "
+                          "(0 = unlimited)")
+    shw.set_defaults(func=_cmd_shard_worker)
     return parser
 
 

@@ -38,7 +38,7 @@ from ..obs.metrics import DEFAULT_WORK_BUCKETS, MetricsRegistry
 from ..obs.trace import ATTRIBUTION_KEYS, NULL_TRACER
 from . import kernels
 from .errors import BatchStateError, EngineConfigError
-from .knwc import _rank_key, make_policy
+from .knwc import CandidatePool, KNWCCandidates, _rank_key, make_policy
 from .measures import DistanceMeasure
 from .query import KNWCQuery, NWCQuery
 from .regions import (
@@ -114,6 +114,37 @@ class _BestGroup:
 
     def finalize(self) -> tuple[ObjectGroup, ...]:
         return (self.group,) if self.group is not None else ()
+
+
+class _OrderedBestGroup(_BestGroup):
+    """:class:`_BestGroup` with a seeded prune bound and offer-order capture.
+
+    Used by the sharded search (:meth:`NWCEngine.nwc_ordered`): the bound
+    can start below ``inf`` so a coordinator-forwarded ``dist_best``
+    prunes remote shards, and the kept offer records its enumeration
+    order key (see :meth:`NWCEngine._offer_order`).  The single-engine
+    search keeps the enumeration-*first* candidate achieving the best
+    distance (later equal-distance offers are pruned by ``distance >=
+    bound()`` before they reach the policy), so a coordinator merging
+    shard answers picks the minimum ``(distance, order)`` — exactly the
+    instance, window included, the oracle would have kept.
+    """
+
+    def __init__(self, engine: "NWCEngine",
+                 initial_bound: float | None = None) -> None:
+        super().__init__()
+        self._engine = engine
+        self._initial = float("inf") if initial_bound is None else initial_bound
+        self.order: tuple[float, float] | None = None
+
+    def offer(self, group: ObjectGroup) -> None:
+        if self.group is None or _rank_key(group) < _rank_key(self.group):
+            self.group = group
+            self.order = self._engine._offer_order(group.window)
+
+    def bound(self) -> float:
+        best = self.group.distance if self.group is not None else float("inf")
+        return best if best < self._initial else self._initial
 
 
 class NWCEngine:
@@ -232,6 +263,15 @@ class NWCEngine:
         self._region_cache: kernels.RegionCache | None = None
         self._last_cache_hits = 0
         self._last_cache_misses = 0
+        # Sharded-search state: a half-open ``(x1, y1, x2, y2)`` rectangle
+        # restricting which objects may *anchor* windows (members still
+        # come from the whole tree), plus the anchor distance / frame
+        # orientation / query y of the enumerate call currently offering
+        # groups (see _OrderedBestGroup and _offer_order).
+        self._anchor_region: tuple[float, float, float, float] | None = None
+        self._offer_anchor = 0.0
+        self._offer_sy = 1.0
+        self._offer_qy = 0.0
         if self.flags.dep and self.grid is None:
             grid_extent = extent if extent is not None else _root_mbr_of(tree)
             if grid_extent is None:
@@ -419,6 +459,128 @@ class NWCEngine:
         return KNWCResult(groups=policy.finalize(), stats=self.tree.stats.snapshot())
 
     # ------------------------------------------------------------------
+    # Sharded execution primitives (scatter-gather serving)
+    # ------------------------------------------------------------------
+    def _offer_order(self, window: Rect) -> tuple[float, float]:
+        """Enumeration order key of the offer currently being made.
+
+        The search enumerates anchors in ascending distance from ``q``
+        (one contiguous block of offers per anchor, every execution
+        mode), and within an anchor the candidate windows ascend by the
+        top partner's frame-space y (``_enumerate_windows*`` sort region
+        members by frame y before pairing).  Both components are
+        properties of the *candidate*, not of tree shape, so order keys
+        are comparable between a shard and the single-engine oracle: the
+        merge key is ``(anchor distance, partner frame y)``, with the
+        second component recovered from the offered window's horizontal
+        edge.
+        """
+        sy = self._offer_sy
+        partner_y = window.y2 if sy > 0 else window.y1
+        return (self._offer_anchor, sy * (partner_y - self._offer_qy))
+
+    def nwc_ordered(
+        self,
+        query: NWCQuery,
+        bound: float | None = None,
+        anchor_region: tuple[float, float, float, float] | None = None,
+        reset_stats: bool = True,
+    ) -> tuple[NWCResult, tuple[float, float] | None]:
+        """One shard's slice of an NWC query, with its merge order key.
+
+        Same search as :meth:`nwc` except that (a) only objects inside
+        the half-open ``anchor_region`` rectangle may *anchor* candidate
+        windows — window members still come from the whole tree, so a
+        shard holding its owned region plus a halo evaluates every owned
+        window on the full membership — and (b) the prune bound can be
+        seeded with another shard's best.  Seed with
+        ``math.nextafter(d, inf)`` to keep candidates that tie ``d``
+        exactly: the coordinator needs equal-distance instances from
+        every shard to reproduce the oracle's kept window.
+
+        Returns ``(result, order)`` where ``order`` is the
+        :meth:`_offer_order` key of the kept offer (``None`` when
+        nothing was found).  The pruned single-engine search keeps the
+        enumeration-first candidate achieving the best distance, so the
+        coordinator's merge rule is: minimum ``(distance, order)``
+        across shard answers.
+        """
+        if reset_stats:
+            self.tree.stats.reset()
+        reason = self._unsatisfiable(query, None)
+        if reason is not None:
+            return NWCResult(group=None, stats=self.tree.stats.snapshot(),
+                             reason=reason), None
+        policy = _OrderedBestGroup(self, bound)
+        self._anchor_region = anchor_region
+        self._offer_qy = query.qy
+        try:
+            self._observed_search("nwc", query, policy, prune_windows=True)
+        finally:
+            self._anchor_region = None
+        return NWCResult(group=policy.group,
+                         stats=self.tree.stats.snapshot()), policy.order
+
+    def knwc_candidates(
+        self,
+        query: KNWCQuery,
+        limit: int | None,
+        bound: float | None = None,
+        anchor_region: tuple[float, float, float, float] | None = None,
+        reset_stats: bool = True,
+    ) -> KNWCCandidates:
+        """One shard's raw kNWC candidate pool for a cross-shard merge.
+
+        Collects the shard's top-``limit`` distinct candidate groups by
+        ``(distance, oids)`` rank *ignoring* the overlap constraint,
+        each with its :meth:`_offer_order` key.  The coordinator replays
+        the *unpruned baseline* selection — every instance of the
+        order-sorted union offered ungated to a fresh ExactGroupBuffer —
+        see ``repro.shard.merge`` for the replay and its exactness
+        argument.  ``bound`` seeds this shard's local prune bound;
+        ``anchor_region`` restricts anchors as in :meth:`nwc_ordered`.
+
+        ``horizon`` is the distance below which the pool is provably
+        complete (``None`` = fully complete): candidates at or beyond it
+        may have been evicted, rank-rejected, or search-pruned, so the
+        coordinator must re-fetch with ``limit=None`` whenever its
+        merged greedy selection is not strictly below every shard's
+        horizon.  A re-fetch may keep a ``bound`` above the replayed
+        kth distance — the pool is then complete below that bound and
+        reports it as the new horizon, letting the guard re-check
+        cheaply before falling back to a full enumeration.
+
+        Under the NEAREST_WINDOW measure the per-window MINDIST prefilter
+        can drop an instance whose *group* distance is below the bound
+        (the group's nearest covering window need not be the generated
+        one), which would break the horizon guarantee — so distance-based
+        pruning is disabled for that measure and completeness is governed
+        by pool capacity alone.
+        """
+        if reset_stats:
+            self.tree.stats.reset()
+        reason = self._unsatisfiable(query.base, None)
+        if reason is not None:
+            return KNWCCandidates(groups=(), orders=(), horizon=None,
+                                  reason=reason)
+        policy = CandidatePool(limit, order_source=self, initial_bound=bound)
+        prune = (
+            (self.flags.srr or self.flags.dip or self.flags.dep
+             or self.flags.iwp)
+            and query.base.measure is not DistanceMeasure.NEAREST_WINDOW
+        )
+        self._anchor_region = anchor_region
+        self._offer_qy = query.base.qy
+        try:
+            self._observed_search("knwc", query.base, policy,
+                                  prune_windows=prune, k=query.k, m=query.m)
+        finally:
+            self._anchor_region = None
+        return KNWCCandidates(groups=policy.finalize(),
+                              orders=policy.orders(),
+                              horizon=policy.horizon())
+
+    # ------------------------------------------------------------------
     # Batched execution
     # ------------------------------------------------------------------
     def nwc_batch(
@@ -590,6 +752,9 @@ class NWCEngine:
         tree = self.tree
         tracer = self.tracer
         qx, qy, length, width, n = q.qx, q.qy, q.length, q.width, q.n
+        anchor_region = self._anchor_region
+        if anchor_region is not None:
+            ax1, ay1, ax2, ay2 = anchor_region
         for p, dist_p, leaf in tree.incremental_nearest(qx, qy, node_filter=node_filter):
             if region is not None and not region.contains_object(p):
                 continue
@@ -600,7 +765,13 @@ class NWCEngine:
                 if attr is not None:
                     attr.srr_early_stop += 1
                 break
+            if anchor_region is not None and not (
+                ax1 <= p.x < ax2 and ay1 <= p.y < ay2
+            ):
+                continue
+            self._offer_anchor = dist_p
             frame = QuadrantFrame.for_object(qx, qy, p)
+            self._offer_sy = frame.sy
             sr = search_region(frame, p, length, width)
             if flags.srr:
                 shrunk = shrink_search_region(sr, bound)
@@ -696,6 +867,9 @@ class NWCEngine:
         root_mbr = flat.root_mbr
         if root_mbr is None:
             return
+        anchor_region = self._anchor_region
+        if anchor_region is not None:
+            ax1, ay1, ax2, ay2 = anchor_region
         # kind 0 = node, kind 1 = object; seq is unique so the trailing
         # payload fields are never compared.
         heap: list = [(root_mbr.mindist(qx, qy), 0, 0, 0, None)]
@@ -783,8 +957,14 @@ class NWCEngine:
                 if attr is not None:
                     attr.srr_early_stop += 1
                 break
+            if anchor_region is not None and not (
+                ax1 <= px < ax2 and ay1 <= py < ay2
+            ):
+                continue
+            self._offer_anchor = dist
             frame = QuadrantFrame(qx, qy, 1.0 if px >= qx else -1.0,
                                   1.0 if py >= qy else -1.0)
+            self._offer_sy = frame.sy
             sr = FrameRegion(frame.sx * (px - qx), frame.sy * (py - qy),
                              length, width, width, px, py)
             if flags.srr:

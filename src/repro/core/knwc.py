@@ -25,6 +25,7 @@ agnostic.  ``bound()`` — the distance of the current ``k``-th group (or
 from __future__ import annotations
 
 import bisect
+from dataclasses import dataclass
 from typing import Protocol
 
 from .results import ObjectGroup
@@ -151,6 +152,119 @@ class PaperGroupList:
 
     def finalize(self) -> tuple[ObjectGroup, ...]:
         return tuple(self._groups)
+
+
+@dataclass(frozen=True, slots=True)
+class KNWCCandidates:
+    """One shard's raw kNWC candidate pool (see ``knwc_candidates``).
+
+    Attributes:
+        groups: Top-``limit`` distinct candidates ascending by
+            ``(distance, oids)`` rank, overlap constraint NOT applied.
+        orders: Per-candidate enumeration order key of the kept (first)
+            offer — ``(anchor distance, partner frame y)``; the
+            coordinator sorts the merged pools by it to replay the
+            single-engine offer sequence.
+        horizon: Distance below which the pool is provably complete;
+            ``None`` when nothing was evicted, rank-rejected, or
+            search-pruned (the pool then holds *every* candidate the
+            shard's search enumerated).
+        reason: Unsatisfiability reason, as in ``KNWCResult``.
+    """
+
+    groups: tuple[ObjectGroup, ...]
+    orders: tuple[tuple[float, float], ...]
+    horizon: float | None
+    reason: str | None = None
+
+
+class CandidatePool:
+    """Top-``limit`` candidate window instances by rank, no overlap filter.
+
+    The raw material of a cross-shard kNWC merge: the single-engine
+    answer under distance ties depends on the exact offer sequence the
+    pruned search produced, so shards export raw candidates plus
+    enumeration order keys and let the coordinator *replay* the
+    single-engine policy over the order-sorted union (see
+    ``repro.shard.merge``).  Entries are window **instances** — the same
+    object group reached from two anchors is kept twice — because the
+    replay's bound-gating decides per instance which one the oracle's
+    dedupe would have kept; only exact ``(oids, window)`` duplicates are
+    dropped (those are impossible to tell apart and never both offered).
+
+    ``bound()`` prunes the shard search at the worst kept rank's
+    distance once the pool is full (or at the seeded coordinator bound
+    if lower), which keeps the pool exact for every rank below
+    :meth:`horizon`.  With ``limit=None`` the pool is unbounded and —
+    when unseeded — never prunes, so it captures the complete offer
+    stream (``horizon() is None``).
+    """
+
+    def __init__(self, limit: int | None, order_source=None,
+                 initial_bound: float | None = None) -> None:
+        if limit is not None and limit <= 0:
+            raise ValueError("limit must be positive")
+        self.limit = limit
+        self._source = order_source
+        self._seeded = initial_bound is not None
+        self._initial = float("inf") if initial_bound is None else initial_bound
+        self._keys: list[tuple[float, tuple[int, ...]]] = []
+        self._groups: list[ObjectGroup] = []
+        self._orders: list[tuple[float, float]] = []
+        self._seen: set[tuple[frozenset[int], object]] = set()
+        self._overflowed = False
+
+    def offer(self, group: ObjectGroup) -> None:
+        instance = (group.oids, group.window)
+        if instance in self._seen:
+            return
+        self._seen.add(instance)
+        key = _rank_key(group)
+        full = self.limit is not None and len(self._groups) == self.limit
+        if full and key >= self._keys[-1]:
+            self._overflowed = True
+            return
+        at = bisect.bisect_left(self._keys, key)
+        self._keys.insert(at, key)
+        self._groups.insert(at, group)
+        if self._source is not None:
+            order = self._source._offer_order(group.window)
+        else:
+            order = (0.0, 0.0)
+        self._orders.insert(at, order)
+        if full:
+            self._keys.pop()
+            self._groups.pop()
+            self._orders.pop()
+            self._overflowed = True
+
+    def bound(self) -> float:
+        if self.limit is not None and len(self._groups) == self.limit:
+            worst = self._keys[-1][0]
+            return worst if worst < self._initial else self._initial
+        return self._initial
+
+    def finalize(self) -> tuple[ObjectGroup, ...]:
+        return tuple(self._groups)
+
+    def orders(self) -> tuple[tuple[float, float], ...]:
+        return tuple(self._orders)
+
+    def horizon(self) -> float | None:
+        """Distance below which the pool is provably complete.
+
+        Everything the pool dropped — seed-pruned, search-pruned by
+        ``bound()``, rank-rejected, or evicted — had distance at least
+        the *final* ``bound()`` (the seed is constant and the worst kept
+        rank only tightens), so instances strictly below it are all
+        present.  ``None`` when the pool never filled and no seed was
+        given: the search then ran unpruned by distance and the pool
+        holds every instance enumerated.
+        """
+        if self._seeded or self._overflowed or (
+                self.limit is not None and len(self._groups) == self.limit):
+            return self.bound()
+        return None
 
 
 def make_policy(kind: str, k: int, m: int) -> GroupPolicy:

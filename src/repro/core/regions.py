@@ -162,6 +162,12 @@ def shrink_search_region(
     if dx >= dist_best:
         return None
     dy_budget = math.sqrt(dist_best * dist_best - dx * dx)
+    if dy_budget <= 0.0:
+        # dx < dist_best here, so a zero budget means dist_best**2
+        # underflowed (subnormal seeded bounds from a sharded probe).
+        # dist_best itself upper-bounds the exact budget, so substituting
+        # it keeps the shrink conservative.
+        dy_budget = dist_best
     # The lowest window already has bottom edge at ty_p - w; if even it
     # is too far below/above in y, nothing in the region qualifies.
     dy_low = max(0.0, region.y1, -region.ty_p)

@@ -139,10 +139,25 @@ class NullTracer:
     def end_span(self, span) -> None:
         return None
 
+    def span(self, name: str, attrs: dict | None = None) -> "_NullSpanContext":
+        return _NULL_SPAN
+
     @property
     def roots(self) -> tuple[Span, ...]:
         return ()
 
+
+class _NullSpanContext:
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpanContext()
 
 #: Shared instance: the default ``tracer`` of every instrumented class.
 NULL_TRACER = NullTracer()

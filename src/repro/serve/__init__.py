@@ -23,6 +23,7 @@ from .client import (
     RetryPolicy,
     ServeClient,
     ServeClientError,
+    ShardUnavailableError,
     wait_until_healthy,
 )
 from .durability import (
@@ -32,8 +33,10 @@ from .durability import (
     ServerState,
     recover,
 )
-from .loadgen import LoadMix, LoadReport, LoadgenConfig, run_loadgen
-from .server import QueryServer, ServeConfig, ServerThread
+from .loadgen import (LoadMix, LoadReport, LoadgenConfig,
+                      ShardedVerifyTwin, run_loadgen)
+from .server import (LineProtocolServer, QueryServer, ServeConfig,
+                     ServerThread, ServingThread)
 from .supervisor import Supervisor, SupervisorConfig
 
 __all__ = [
@@ -44,6 +47,7 @@ __all__ = [
     "DrainingError",
     "DurabilityConfig",
     "DurableState",
+    "LineProtocolServer",
     "LoadMix",
     "LoadReport",
     "LoadgenConfig",
@@ -56,6 +60,9 @@ __all__ = [
     "ServeClient",
     "ServeClientError",
     "ServeConfig",
+    "ServingThread",
+    "ShardUnavailableError",
+    "ShardedVerifyTwin",
     "ServerState",
     "ServerThread",
     "Supervisor",

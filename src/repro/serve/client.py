@@ -40,6 +40,7 @@ __all__ = [
     "RetryPolicy",
     "ServeClient",
     "ServeClientError",
+    "ShardUnavailableError",
     "wait_until_healthy",
 ]
 
@@ -79,6 +80,12 @@ class ConnectionLostError(ServeClientError):
     code = "connection_lost"
 
 
+class ShardUnavailableError(ServeClientError):
+    """A sharded coordinator could not reach a required shard worker."""
+
+    code = "shard_unavailable"
+
+
 class RemoteError(ServeClientError):
     """Any other server-reported failure (bad request, internal)."""
 
@@ -87,6 +94,7 @@ _ERROR_TYPES = {
     "overloaded": OverloadedError,
     "deadline_exceeded": DeadlineError,
     "draining": DrainingError,
+    "shard_unavailable": ShardUnavailableError,
 }
 
 
@@ -297,7 +305,8 @@ class ServeClient:
 
 
 def wait_until_healthy(host: str, port: int, timeout_s: float = 15.0,
-                       interval_s: float = 0.05) -> dict[str, Any]:
+                       interval_s: float = 0.05,
+                       shards: int | None = None) -> dict[str, Any]:
     """Poll ``health`` until the server answers (or raise ``TimeoutError``).
 
     Used by the load generator, the supervisor and CI to sequence "boot
@@ -310,6 +319,10 @@ def wait_until_healthy(host: str, port: int, timeout_s: float = 15.0,
         host, port: Server address.
         timeout_s: Give-up deadline.
         interval_s: Initial poll delay; grows towards 1s.
+        shards: When targeting a sharded coordinator, additionally wait
+            until its health report fans in at least this many shard
+            workers with status ``serving`` — a coordinator socket comes
+            up before its workers finish WAL recovery.
     """
     policy = BackoffPolicy(initial_s=interval_s, max_s=1.0)
     deadline = time.monotonic() + timeout_s
@@ -318,7 +331,17 @@ def wait_until_healthy(host: str, port: int, timeout_s: float = 15.0,
     for _attempt in retry_deadline(policy, deadline, rng):
         try:
             with ServeClient(host, port, timeout_s=timeout_s) as client:
-                return client.health()
+                health = client.health()
+            if shards is not None:
+                serving = sum(
+                    1 for entry in health.get("shards", [])
+                    if entry.get("status") == "serving"
+                )
+                if serving < shards:
+                    last_error = RemoteError(
+                        f"{serving}/{shards} shard workers serving")
+                    continue
+            return health
         except (OSError, ServeClientError) as exc:
             last_error = exc
     raise TimeoutError(

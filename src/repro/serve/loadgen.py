@@ -44,7 +44,8 @@ from .client import (
     wait_until_healthy,
 )
 
-__all__ = ["LoadMix", "LoadgenConfig", "LoadReport", "run_loadgen"]
+__all__ = ["LoadMix", "LoadgenConfig", "LoadReport", "ShardedVerifyTwin",
+           "run_loadgen"]
 
 #: Object ids the load generator inserts start here, far above any
 #: dataset oid, so generated updates never collide with seed objects.
@@ -162,6 +163,10 @@ class LoadReport:
     verified: int
     mismatches: int
     mismatch_examples: list[dict[str, Any]]
+    #: Server-side ``shard_*`` metric families (scatter fan-out, prune
+    #: skips, refetches), scraped after the run when the target is a
+    #: shard coordinator; empty against a single-engine server.
+    shard_metrics: dict[str, Any] = field(default_factory=dict)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -192,7 +197,48 @@ class LoadReport:
                 f"verified: {self.verified} responses, "
                 f"{self.mismatches} mismatches"
             )
+        if self.shard_metrics:
+            parts = []
+            for name, family in sorted(self.shard_metrics.items()):
+                for labels, value in family.get("values", {}).items():
+                    if isinstance(value, dict):  # histogram summary
+                        value = (f"n={value.get('count', 0)} "
+                                 f"mean={value.get('mean', 0.0):.2f}")
+                    tag = f"{name}{{{labels}}}" if labels else name
+                    parts.append(f"{tag}={value}")
+            lines.append("shards: " + "  ".join(parts))
         return "\n".join(lines)
+
+
+class ShardedVerifyTwin:
+    """Verification twin matching the shard coordinator's canon.
+
+    A coordinator answers NWC bit-identically to the pruned columnar
+    single engine, but kNWC bit-identically to the *unpruned baseline*
+    (the repo's exact-kNWC reference; pruned engines only agree on
+    distances, not on tie picks).  This twin delegates each op to the
+    engine the coordinator is exact against, and mirrors updates into
+    both.
+    """
+
+    def __init__(self, nwc_engine: NWCEngine, knwc_engine: NWCEngine) -> None:
+        self.nwc_engine = nwc_engine
+        self.knwc_engine = knwc_engine
+
+    def nwc(self, query):
+        return self.nwc_engine.nwc(query)
+
+    def knwc(self, query):
+        return self.knwc_engine.knwc(query)
+
+    def insert(self, obj) -> None:
+        self.nwc_engine.insert(obj)
+        self.knwc_engine.insert(obj)
+
+    def delete(self, obj) -> bool:
+        deleted = self.nwc_engine.delete(obj)
+        self.knwc_engine.delete(obj)
+        return deleted
 
 
 class _Worker:
@@ -349,7 +395,7 @@ class _Worker:
 def run_loadgen(
     config: LoadgenConfig,
     dataset: Dataset,
-    verify_engine: NWCEngine | None = None,
+    verify_engine: NWCEngine | ShardedVerifyTwin | None = None,
     metrics: MetricsRegistry | None = None,
 ) -> LoadReport:
     """Drive the server with ``config.workers`` closed-loop clients.
@@ -418,6 +464,14 @@ def run_loadgen(
     hit = [s[2] for s in query_samples if s[1]]
     miss = [s[2] for s in query_samples if not s[1]]
     mismatches = [m for w in workers for m in w.mismatches]
+    shard_metrics: dict[str, Any] = {}
+    try:
+        with ServeClient(config.host, config.port) as probe:
+            families = probe.metrics().get("metrics", {})
+        shard_metrics = {name: family for name, family in families.items()
+                         if name.startswith("shard_")}
+    except (ServeClientError, OSError):
+        pass  # server already gone; the report stands without the scrape
     return LoadReport(
         workers=config.workers,
         wall_s=round(wall, 4),
@@ -437,4 +491,5 @@ def run_loadgen(
         verified=sum(w.verified for w in workers),
         mismatches=len(mismatches),
         mismatch_examples=mismatches[:10],
+        shard_metrics=shard_metrics,
     )

@@ -34,7 +34,7 @@ from typing import Any
 
 from ..core import DistanceMeasure, KNWCQuery, KNWCResult, NWCQuery, NWCResult
 from ..core.results import ObjectGroup
-from ..geometry import PointObject
+from ..geometry import PointObject, Rect
 
 __all__ = [
     "ERROR_CODES",
@@ -42,9 +42,12 @@ __all__ = [
     "decode_line",
     "encode_line",
     "error_response",
+    "group_from_payload",
+    "parse_bound",
     "parse_knwc",
     "parse_nwc",
     "parse_point",
+    "parse_pool_limit",
     "parse_request_id",
     "serialize_knwc",
     "serialize_nwc",
@@ -58,6 +61,7 @@ ERROR_CODES = (
     "overloaded",         # admission control rejected the request
     "deadline_exceeded",  # the request expired before the engine ran it
     "draining",           # the server is shutting down gracefully
+    "shard_unavailable",  # a sharded coordinator lost a required shard
     "internal",           # unexpected failure; the message names the cause
 )
 
@@ -160,6 +164,35 @@ def parse_request_id(payload: dict[str, Any]) -> str | None:
     return req
 
 
+def parse_bound(payload: dict[str, Any]) -> float | None:
+    """The optional ``bound`` hint of a sharded scatter request.
+
+    A coordinator forwards its running best distance (already advanced
+    one ulp, see ``repro.shard.merge.next_bound``) so later shards prune
+    everything that cannot beat it.  Absent or ``null`` means unseeded.
+    """
+    bound = payload.get("bound")
+    if bound is None:
+        return None
+    if not isinstance(bound, (int, float)) or isinstance(bound, bool):
+        raise ProtocolError(f"field 'bound' must be a number, got {bound!r}")
+    bound = float(bound)
+    if math.isnan(bound) or bound <= 0.0:
+        raise ProtocolError("field 'bound' must be positive")
+    return bound
+
+
+def parse_pool_limit(payload: dict[str, Any]) -> int | None:
+    """The ``limit`` of a ``knwc_pool`` request; ``null`` = unbounded."""
+    limit = payload.get("limit")
+    if limit is None:
+        return None
+    if isinstance(limit, bool) or not isinstance(limit, int) or limit <= 0:
+        raise ProtocolError(
+            f"field 'limit' must be a positive integer or null, got {limit!r}")
+    return limit
+
+
 def parse_point(payload: dict[str, Any]) -> PointObject:
     """The :class:`PointObject` of an ``insert``/``delete`` request."""
     oid = _integer(payload, "oid")
@@ -179,6 +212,26 @@ def _serialize_group(group: ObjectGroup) -> dict[str, Any]:
         "window": [group.window.x1, group.window.y1,
                    group.window.x2, group.window.y2],
     }
+
+
+def group_from_payload(payload: dict[str, Any]) -> ObjectGroup:
+    """Rebuild the :class:`ObjectGroup` serialized by
+    ``_serialize_group`` — the inverse a scatter-gather coordinator
+    needs to merge shard answers.  ``json`` renders floats with
+    ``repr``, so the round trip is bit-exact and the rebuilt group
+    compares equal to the original.
+    """
+    try:
+        objects = tuple(
+            PointObject(int(o[0]), float(o[1]), float(o[2]))
+            for o in payload["objects"]
+        )
+        window = payload["window"]
+        rect = Rect(float(window[0]), float(window[1]),
+                    float(window[2]), float(window[3]))
+        return ObjectGroup(objects, float(payload["distance"]), rect)
+    except (KeyError, IndexError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed group payload: {exc}") from exc
 
 
 def serialize_nwc(result: NWCResult) -> dict[str, Any]:

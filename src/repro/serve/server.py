@@ -68,8 +68,8 @@ from .cache import DEFAULT_CACHE_ENTRIES, ResultCache
 from .durability import DEFAULT_DEDUPE_ENTRIES, DurableState
 from .protocol import ProtocolError, error_response
 
-__all__ = ["DeadlineExceeded", "ReadWriteScheduler", "ServeConfig",
-           "QueryServer", "ServerThread"]
+__all__ = ["DeadlineExceeded", "LineProtocolServer", "ReadWriteScheduler",
+           "ServeConfig", "QueryServer", "ServerThread", "ServingThread"]
 
 
 class DeadlineExceeded(Exception):
@@ -214,48 +214,44 @@ class ReadWriteScheduler:
             self.release(True)
 
 
-class QueryServer:
-    """The serving layer around one engine; see the module docstring."""
+class LineProtocolServer:
+    """Transport, dispatch and admission shared by every NDJSON server.
 
-    def __init__(
-        self,
-        engine: NWCEngine,
-        config: ServeConfig | None = None,
-        metrics: MetricsRegistry | None = None,
-        durable: DurableState | None = None,
-    ) -> None:
-        """Args:
-            engine: The engine to serve.  The server takes ownership:
-                nothing else may mutate the engine (or its tree) while
-                the server runs.  Build it with ``metrics=None`` — the
-                serve layer records its own metrics from the event-loop
-                thread, which keeps recording race-free.
-            config: Server tunables (defaults: :class:`ServeConfig`).
-            metrics: Registry backing the ``metrics`` op; created on
-                demand otherwise.
-            durable: WAL-backed durable state from
-                :func:`~repro.serve.durability.recover`; ``None`` serves
-                purely in-memory (acks do not survive a crash).  When
-                given, ``engine`` must be the engine that same
-                ``recover`` call rebuilt.
-        """
-        self.engine = engine
+    Owns everything that is *not* about a local engine: the asyncio
+    TCP listener and per-connection line loop, handler dispatch with
+    error mapping and request-id echo, admission control + deadlines,
+    the FIFO read/write scheduler, the blocking-work executor, the
+    request-id dedupe map and the request/latency metric families.
+
+    Subclasses — :class:`QueryServer` (one engine),
+    :class:`~repro.shard.worker.ShardServer` (one shard) and
+    :class:`~repro.shard.coordinator.ShardCoordinator` (no engine at
+    all) — contribute a ``_HANDLERS`` table and may extend ``_OPS`` /
+    ``_OUTCOMES`` so the metric families cover their extra ops.
+    """
+
+    _OPS: tuple[str, ...] = (
+        "nwc", "knwc", "insert", "delete", "snapshot", "checkpoint",
+        "health", "metrics", "unknown",
+    )
+    _OUTCOMES: tuple[str, ...] = (
+        "ok", "bad_request", "overloaded", "deadline_exceeded",
+        "draining", "internal",
+    )
+    _LATENCY_OPS: tuple[str, ...] = (
+        "nwc", "knwc", "insert", "delete", "snapshot", "checkpoint",
+    )
+    _HANDLERS: dict[str, Callable[["LineProtocolServer", dict], Awaitable[dict]]] = {}
+
+    def __init__(self, config: ServeConfig | None = None,
+                 metrics: MetricsRegistry | None = None) -> None:
         self.config = config or ServeConfig()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self.cache = ResultCache(
-            max_entries=self.config.cache_entries,
-            ttl_s=self.config.cache_ttl_s,
-            metrics=self.metrics,
-        )
-        self.durable = durable
-        if durable is not None:
-            self.version = durable.recovery.version
-            self._dedupe = durable.dedupe
-            self._dedupe_cap = durable.config.dedupe_entries
-        else:
-            self.version = 0
-            self._dedupe: OrderedDict[str, dict[str, Any]] = OrderedDict()
-            self._dedupe_cap = DEFAULT_DEDUPE_ENTRIES
+        self.cache: ResultCache | None = None
+        self.durable: DurableState | None = None
+        self.version = 0
+        self._dedupe: OrderedDict[str, dict[str, Any]] = OrderedDict()
+        self._dedupe_cap = DEFAULT_DEDUPE_ENTRIES
         self._checkpoint_lock = asyncio.Lock()
         self._auto_checkpoint_task: asyncio.Task | None = None
         self._scheduler = ReadWriteScheduler(self.config.max_inflight)
@@ -269,29 +265,21 @@ class QueryServer:
         self._started = time.monotonic()
         self._server: asyncio.base_events.Server | None = None
         self._conn_tasks: set[asyncio.Task] = set()
-        self._flags_key = (
-            self.engine.flags.srr, self.engine.flags.dip,
-            self.engine.flags.dep, self.engine.flags.iwp,
-            self.engine.execution,
-        )
         m = self.metrics
         self._m_requests = {
             (op, outcome): m.counter(
                 "serve_requests_total", "Requests by op and outcome",
                 labels={"op": op, "outcome": outcome},
             )
-            for op in ("nwc", "knwc", "insert", "delete", "snapshot",
-                       "checkpoint", "health", "metrics", "unknown")
-            for outcome in ("ok", "bad_request", "overloaded",
-                            "deadline_exceeded", "draining", "internal")
+            for op in type(self)._OPS
+            for outcome in type(self)._OUTCOMES
         }
         self._m_latency = {
             (op, source): m.histogram(
                 "serve_request_seconds", "Server-side request latency",
                 labels={"op": op, "source": source},
             )
-            for op in ("nwc", "knwc", "insert", "delete", "snapshot",
-                       "checkpoint")
+            for op in type(self)._LATENCY_OPS
             for source in ("engine", "cache")
         }
         self._m_deduped = m.counter(
@@ -484,6 +472,93 @@ class QueryServer:
         )
 
     # ------------------------------------------------------------------
+    # Request-id dedupe (idempotent update retries)
+    # ------------------------------------------------------------------
+    def _deduped(self, request_id: str | None) -> dict[str, Any] | None:
+        """The remembered ack of an already-applied request id, if any."""
+        if request_id is None:
+            return None
+        stored = self._dedupe.get(request_id)
+        if stored is None:
+            return None
+        self._dedupe.move_to_end(request_id)
+        self._m_deduped.inc()
+        # A copy: _handle_line stamps the connection's correlation id
+        # onto the response, which must not leak into the stored ack.
+        return dict(stored) | {"deduped": True}
+
+    def _remember(self, request_id: str | None,
+                  response: dict[str, Any]) -> None:
+        """LRU-record an acknowledged update for idempotent retries."""
+        if request_id is None:
+            return
+        self._dedupe[request_id] = dict(response)
+        self._dedupe.move_to_end(request_id)
+        while len(self._dedupe) > self._dedupe_cap:
+            self._dedupe.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # Generic ops
+    # ------------------------------------------------------------------
+    async def _op_metrics(self, payload: dict[str, Any]) -> dict[str, Any]:
+        self._refresh_pressure_gauges()
+        self._g_version.set(self.version)
+        if self.cache is not None:
+            self._g_cache_entries.set(len(self.cache))
+        fmt = payload.get("format", "json")
+        if fmt == "prometheus":
+            return {"ok": True, "op": "metrics", "format": fmt,
+                    "text": self.metrics.dump_metrics()}
+        if fmt == "json":
+            return {"ok": True, "op": "metrics", "format": fmt,
+                    "metrics": self.metrics.to_dict()}
+        raise ProtocolError(f"unknown metrics format {fmt!r}")
+
+
+class QueryServer(LineProtocolServer):
+    """The serving layer around one engine; see the module docstring."""
+
+    def __init__(
+        self,
+        engine: NWCEngine,
+        config: ServeConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+        durable: DurableState | None = None,
+    ) -> None:
+        """Args:
+            engine: The engine to serve.  The server takes ownership:
+                nothing else may mutate the engine (or its tree) while
+                the server runs.  Build it with ``metrics=None`` — the
+                serve layer records its own metrics from the event-loop
+                thread, which keeps recording race-free.
+            config: Server tunables (defaults: :class:`ServeConfig`).
+            metrics: Registry backing the ``metrics`` op; created on
+                demand otherwise.
+            durable: WAL-backed durable state from
+                :func:`~repro.serve.durability.recover`; ``None`` serves
+                purely in-memory (acks do not survive a crash).  When
+                given, ``engine`` must be the engine that same
+                ``recover`` call rebuilt.
+        """
+        super().__init__(config, metrics)
+        self.engine = engine
+        self.cache = ResultCache(
+            max_entries=self.config.cache_entries,
+            ttl_s=self.config.cache_ttl_s,
+            metrics=self.metrics,
+        )
+        self.durable = durable
+        if durable is not None:
+            self.version = durable.recovery.version
+            self._dedupe = durable.dedupe
+            self._dedupe_cap = durable.config.dedupe_entries
+        self._flags_key = (
+            self.engine.flags.srr, self.engine.flags.dip,
+            self.engine.flags.dep, self.engine.flags.iwp,
+            self.engine.execution,
+        )
+
+    # ------------------------------------------------------------------
     # Query ops
     # ------------------------------------------------------------------
     async def _op_nwc(self, payload: dict[str, Any]) -> dict[str, Any]:
@@ -544,29 +619,6 @@ class QueryServer:
     # ------------------------------------------------------------------
     # Update ops
     # ------------------------------------------------------------------
-    def _deduped(self, request_id: str | None) -> dict[str, Any] | None:
-        """The remembered ack of an already-applied request id, if any."""
-        if request_id is None:
-            return None
-        stored = self._dedupe.get(request_id)
-        if stored is None:
-            return None
-        self._dedupe.move_to_end(request_id)
-        self._m_deduped.inc()
-        # A copy: _handle_line stamps the connection's correlation id
-        # onto the response, which must not leak into the stored ack.
-        return dict(stored) | {"deduped": True}
-
-    def _remember(self, request_id: str | None,
-                  response: dict[str, Any]) -> None:
-        """LRU-record an acknowledged update for idempotent retries."""
-        if request_id is None:
-            return
-        self._dedupe[request_id] = dict(response)
-        self._dedupe.move_to_end(request_id)
-        while len(self._dedupe) > self._dedupe_cap:
-            self._dedupe.popitem(last=False)
-
     def _wal_append(self, record: dict[str, Any]) -> None:
         """Blocking WAL append (executor); no-op on in-memory servers."""
         if self.durable is not None:
@@ -786,20 +838,7 @@ class QueryServer:
             }
         return response
 
-    async def _op_metrics(self, payload: dict[str, Any]) -> dict[str, Any]:
-        self._refresh_pressure_gauges()
-        self._g_version.set(self.version)
-        self._g_cache_entries.set(len(self.cache))
-        fmt = payload.get("format", "json")
-        if fmt == "prometheus":
-            return {"ok": True, "op": "metrics", "format": fmt,
-                    "text": self.metrics.dump_metrics()}
-        if fmt == "json":
-            return {"ok": True, "op": "metrics", "format": fmt,
-                    "metrics": self.metrics.to_dict()}
-        raise ProtocolError(f"unknown metrics format {fmt!r}")
-
-    _HANDLERS: dict[str, Callable[["QueryServer", dict], Awaitable[dict]]] = {
+    _HANDLERS: dict[str, Callable[["LineProtocolServer", dict], Awaitable[dict]]] = {
         "nwc": _op_nwc,
         "knwc": _op_knwc,
         "insert": _op_insert,
@@ -807,30 +846,27 @@ class QueryServer:
         "snapshot": _op_snapshot,
         "checkpoint": _op_checkpoint,
         "health": _op_health,
-        "metrics": _op_metrics,
+        "metrics": LineProtocolServer._op_metrics,
     }
 
 
-class ServerThread:
-    """A :class:`QueryServer` on a background thread's event loop.
+class ServingThread:
+    """Any :class:`LineProtocolServer` on a background thread's loop.
 
     The in-process harness tests and benchmarks use: ``start()`` returns
     once the socket is bound (exposing ``host``/``port``), ``stop()``
     drains and joins.  Also usable as a context manager.
     """
 
-    def __init__(self, engine: NWCEngine, config: ServeConfig | None = None,
-                 metrics: MetricsRegistry | None = None,
-                 durable: DurableState | None = None) -> None:
-        self.server = QueryServer(engine, config=config, metrics=metrics,
-                                  durable=durable)
+    def __init__(self, server: LineProtocolServer) -> None:
+        self.server = server
         self._thread: threading.Thread | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._ready: threading.Event | None = None
         self.host = self.server.config.host
         self.port: int | None = None
 
-    def start(self) -> "ServerThread":
+    def start(self) -> "ServingThread":
         self._ready = threading.Event()
         self._failure: BaseException | None = None
         self._thread = threading.Thread(
@@ -865,8 +901,20 @@ class ServerThread:
             self._thread.join(timeout=30.0)
             self._thread = None
 
-    def __enter__(self) -> "ServerThread":
+    def __enter__(self) -> "ServingThread":
         return self.start()
 
     def __exit__(self, *exc_info) -> None:
         self.stop()
+
+
+class ServerThread(ServingThread):
+    """A :class:`QueryServer` on a background thread (see
+    :class:`ServingThread`); kept as the convenience constructor the
+    tests and benchmarks were written against."""
+
+    def __init__(self, engine: NWCEngine, config: ServeConfig | None = None,
+                 metrics: MetricsRegistry | None = None,
+                 durable: DurableState | None = None) -> None:
+        super().__init__(QueryServer(engine, config=config, metrics=metrics,
+                                     durable=durable))

@@ -1,0 +1,839 @@
+"""Scatter-gather coordinator: the sharded engine's client-facing face.
+
+A :class:`ShardCoordinator` speaks the exact NDJSON protocol of a
+single-engine :class:`~repro.serve.server.QueryServer` — same ops, same
+response shapes, bit-identical ``result`` payloads — but owns no engine.
+Instead it holds one :class:`ShardLink` (a pooled, retrying asyncio
+connection) per shard worker and answers queries by staged scatter-
+gather (see :mod:`repro.shard.merge` for the correctness argument):
+
+1. **Probe** the shard with the smallest distance lower bound
+   (usually the one whose band contains the query point) unseeded.
+2. **Prune**: shards whose lower bound exceeds the running best
+   strictly are skipped outright (``shard_prune_skips_total``).
+3. **Fan out** to the remaining shards in parallel, forwarding the
+   running best advanced one ulp as the ``bound`` hint (point measures
+   only; NEAREST_WINDOW scatters unseeded), then merge.
+4. For kNWC, gather per-shard candidate pools and *replay* the greedy
+   selection over their rank-sorted union; if the result is not
+   provably below every shard's completeness horizon, refetch the
+   stale pools with an escalating bound — first complete-below one
+   ulp above the replayed kth distance (shards still prune), then
+   unbounded as the fallback (``shard_refetches_total``).
+
+Updates route by stored-band membership: every shard whose band
+(owned ± halo) contains the object applies the update through its own
+WAL, under the coordinator's exclusive write slot.  The update-aware
+semantic cache lives here — shard workers skip caching scatter ops —
+keyed on the coordinator's dataset version and invalidated with the
+same shield radii as the single-engine server, so a cache hit is
+bit-identical to re-scattering.
+
+A shard that stays unreachable after retries surfaces as the typed
+``shard_unavailable`` error; clients that prefer availability over
+exactness may send ``"partial": true`` on queries to accept merged
+results over the reachable shards (flagged ``"partial": true`` in the
+response and never cached).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import dataclasses
+import math
+import random
+import time
+import uuid
+from collections import deque
+from dataclasses import dataclass
+from types import SimpleNamespace
+from typing import Any
+
+from ..obs.trace import NULL_TRACER
+from ..serve import protocol
+from ..serve.backoff import BackoffPolicy
+from ..serve.cache import ResultCache
+from ..serve.protocol import ProtocolError, error_response
+from ..serve.server import (DeadlineExceeded, LineProtocolServer,
+                            ServeConfig, ServingThread)
+from . import merge
+from .partition import ShardManifest
+
+__all__ = ["CoordinatorConfig", "ShardCallError", "ShardCoordinator",
+           "ShardLink", "coordinator_thread"]
+
+
+#: Read-buffer limit for coordinator→worker links.  Client request
+#: lines are capped at :data:`~repro.serve.protocol.MAX_LINE_BYTES`
+#: (1 MiB), but a worker's ``knwc_pool`` *response* legitimately grows
+#: with ``pool_limit × n`` serialized objects — and an unbounded
+#: horizon refetch ships a shard's entire candidate enumeration.
+SHARD_LINE_BYTES = 64 << 20
+
+
+class ShardCallError(Exception):
+    """A shard request failed terminally (retries exhausted or a
+    non-retryable shard-side error)."""
+
+    def __init__(self, index: int, code: str, message: str) -> None:
+        super().__init__(f"shard {index}: [{code}] {message}")
+        self.index = index
+        self.code = code
+
+
+@dataclass(frozen=True, slots=True)
+class CoordinatorConfig(ServeConfig):
+    """Coordinator tunables (extends the common serve tunables).
+
+    Attributes:
+        pool_limit: Per-shard kNWC candidate pool size for the bounded
+            first round; larger pools refetch less, smaller pools ship
+            less.
+        shard_attempts: Tries per shard call before the request fails
+            with ``shard_unavailable`` (reconnects count; a supervisor
+            restarting a worker typically lands within the backoff).
+        shard_backoff_s: Initial retry backoff between shard attempts.
+        shard_timeout_s: Per-attempt socket timeout for calls without a
+            client deadline (health fan-in, boot).
+    """
+
+    pool_limit: int = 64
+    shard_attempts: int = 4
+    shard_backoff_s: float = 0.05
+    shard_timeout_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        # slots=True rebuilds the class, breaking zero-argument super()
+        # inside dataclass methods; name the base explicitly.
+        ServeConfig.__post_init__(self)
+        if self.pool_limit < 1:
+            raise ValueError("pool_limit must be at least 1")
+        if self.shard_attempts < 1:
+            raise ValueError("shard_attempts must be at least 1")
+
+
+class ShardLink:
+    """Pooled NDJSON connections to one shard worker (asyncio side).
+
+    ``call`` opens connections on demand, reuses idle ones, and retries
+    transport failures (plus ``draining``/``overloaded`` shard answers)
+    with jittered backoff — safe because every forwarded op is either a
+    pure read or an update carrying a request id the worker's WAL
+    dedupes.  Terminal failures raise :class:`ShardCallError`; a client
+    deadline expiring raises :class:`DeadlineExceeded`.
+    """
+
+    def __init__(self, index: int, host: str, port: int,
+                 attempts: int = 4, backoff_s: float = 0.05,
+                 timeout_s: float = 10.0) -> None:
+        self.index = index
+        self.host = host
+        self.port = port
+        self.attempts = attempts
+        self.timeout_s = timeout_s
+        self._backoff = BackoffPolicy(initial_s=backoff_s, max_s=1.0)
+        self._rng = random.Random()
+        self._free: deque[tuple[asyncio.StreamReader, asyncio.StreamWriter]] = deque()
+
+    async def call(self, payload: dict[str, Any],
+                   deadline: float | None = None) -> dict[str, Any]:
+        loop = asyncio.get_running_loop()
+        last_error: Exception | None = None
+        for attempt in range(self.attempts):
+            if attempt:
+                await asyncio.sleep(self._backoff.delay(attempt - 1, self._rng))
+            if deadline is not None and loop.time() >= deadline:
+                raise DeadlineExceeded
+            budget = (self.timeout_s if deadline is None
+                      else max(0.001, deadline - loop.time()))
+            conn = None
+            try:
+                conn = await self._acquire(budget)
+                reader, writer = conn
+                writer.write(protocol.encode_line(payload))
+                await writer.drain()
+                line = await asyncio.wait_for(reader.readline(), budget)
+                if not line:
+                    raise ConnectionError("connection closed by shard")
+                response = protocol.decode_line(line)
+            except ProtocolError as exc:
+                self._discard(conn)
+                last_error = exc
+                continue
+            except ValueError as exc:
+                # readline overran SHARD_LINE_BYTES: the response is
+                # deterministic, a retry would overrun again.
+                self._discard(conn)
+                raise ShardCallError(
+                    self.index, "internal",
+                    f"response exceeded {SHARD_LINE_BYTES} bytes: {exc}",
+                ) from exc
+            except asyncio.TimeoutError:
+                if conn is not None:
+                    self._discard(conn)
+                if deadline is not None:
+                    raise DeadlineExceeded from None
+                last_error = TimeoutError(
+                    f"shard call timed out after {self.timeout_s}s")
+                continue
+            except (ConnectionError, OSError) as exc:
+                if conn is not None:
+                    self._discard(conn)
+                last_error = exc
+                continue
+            self._release(conn)
+            if response.get("ok"):
+                return response
+            error = response.get("error") or {}
+            code = error.get("code", "internal")
+            message = error.get("message", "unknown shard error")
+            if code in ("draining", "overloaded"):
+                last_error = ShardCallError(self.index, code, message)
+                continue
+            raise ShardCallError(self.index, code, message)
+        raise ShardCallError(self.index, "unavailable",
+                             f"after {self.attempts} attempt(s): {last_error}")
+
+    async def _acquire(self, budget: float):
+        while self._free:
+            reader, writer = self._free.popleft()
+            if not writer.is_closing():
+                return reader, writer
+        return await asyncio.wait_for(
+            asyncio.open_connection(self.host, self.port,
+                                    limit=SHARD_LINE_BYTES),
+            budget,
+        )
+
+    def _release(self, conn) -> None:
+        self._free.append(conn)
+
+    def _discard(self, conn) -> None:
+        _reader, writer = conn
+        with contextlib.suppress(Exception):
+            writer.close()
+
+    def close(self) -> None:
+        while self._free:
+            self._discard(self._free.popleft())
+
+
+class ShardCoordinator(LineProtocolServer):
+    """The serving layer over a fleet of shard workers; no local engine.
+
+    Args:
+        manifest: The partition layout the workers were built from.
+        addresses: One ``(host, port)`` per shard, in shard order.
+        config: Coordinator tunables.
+        metrics: Registry backing the ``metrics`` op (and the fan-out /
+            prune counters).
+        tracer: Optional :class:`~repro.obs.trace.QueryTracer`; scatter
+            stages are recorded as spans.
+    """
+
+    _OUTCOMES = LineProtocolServer._OUTCOMES + ("shard_unavailable",)
+
+    def __init__(self, manifest: ShardManifest,
+                 addresses: list[tuple[str, int]],
+                 config: CoordinatorConfig | None = None,
+                 metrics=None, tracer=None) -> None:
+        if len(addresses) != manifest.shard_count:
+            raise ValueError(
+                f"need {manifest.shard_count} shard addresses, "
+                f"got {len(addresses)}")
+        super().__init__(config or CoordinatorConfig(), metrics)
+        self.manifest = manifest
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        self.cache = ResultCache(
+            max_entries=self.config.cache_entries,
+            ttl_s=self.config.cache_ttl_s,
+            metrics=self.metrics,
+        )
+        self.links = [
+            ShardLink(i, host, port,
+                      attempts=self.config.shard_attempts,
+                      backoff_s=self.config.shard_backoff_s,
+                      timeout_s=self.config.shard_timeout_s)
+            for i, (host, port) in enumerate(addresses)
+        ]
+        self.size = 0
+        self._size_known = False
+        # Cache keys must never collide with a single-engine server's
+        # (different pruning trajectories, same answers — but reason
+        # parity and stats differ); the sharded tag keeps them apart.
+        self._flags_key = ("sharded", manifest.shard_count, manifest.halo)
+        self._lower_bounds_cache: dict[tuple[float, float], tuple[float, ...]] = {}
+        m = self.metrics
+        self._m_prune_skips = m.counter(
+            "shard_prune_skips_total",
+            "Shards skipped because their distance lower bound exceeded "
+            "the running best")
+        self._m_fanout = m.histogram(
+            "shard_fanout", "Shard workers contacted per query",
+            buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0))
+        self._m_refetches = m.counter(
+            "shard_refetches_total",
+            "kNWC pools refetched after a horizon violation (escalating "
+            "bound, unbounded fallback)")
+        self._m_partial = m.counter(
+            "shard_partial_results_total",
+            "Queries answered degraded (partial=true) with shards down")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Fan in shard healths (strict: every worker must answer), then
+        bind the client socket.
+
+        Booting against live workers pins the coordinator's initial
+        dataset version (the sum of shard versions — monotone across
+        coordinator restarts because shards recover theirs from their
+        WALs) and the global logical size (the sum of *owned* sizes;
+        stored sizes would double-count halo copies).
+        """
+        healths = await asyncio.gather(
+            *(link.call({"op": "health"}) for link in self.links)
+        )
+        self.version = sum(h["version"] for h in healths)
+        self.size = sum(h["shard"]["owned_size"] for h in healths)
+        self._size_known = True
+        await super().start()
+
+    async def drain(self) -> None:
+        await super().drain()
+        for link in self.links:
+            link.close()
+
+    # ------------------------------------------------------------------
+    # Query ops
+    # ------------------------------------------------------------------
+    def _check_window(self, query) -> None:
+        if query.length > self.manifest.halo:
+            raise ProtocolError(
+                f"window length {query.length} exceeds the partition halo "
+                f"{self.manifest.halo}; repartition with a larger --halo")
+
+    def _lower_bounds(self, qx: float, length: float) -> tuple[float, ...]:
+        key = (qx, length)
+        bounds = self._lower_bounds_cache.get(key)
+        if bounds is None:
+            bounds = tuple(
+                merge.shard_lower_bound(qx, length,
+                                        self.manifest.owned_interval(i))
+                for i in range(self.manifest.shard_count)
+            )
+            if len(self._lower_bounds_cache) > 4096:
+                self._lower_bounds_cache.clear()
+            self._lower_bounds_cache[key] = bounds
+        return bounds
+
+    @staticmethod
+    def _partial_requested(payload: dict[str, Any]) -> bool:
+        partial = payload.get("partial", False)
+        if not isinstance(partial, bool):
+            raise ProtocolError("field 'partial' must be a boolean")
+        return partial
+
+    async def _op_nwc(self, payload: dict[str, Any]) -> dict[str, Any]:
+        query = protocol.parse_nwc(payload)
+        self._check_window(query)
+        partial_ok = self._partial_requested(payload)
+        key = ("nwc", query.qx, query.qy, query.length, query.width,
+               query.n, query.measure.value, self._flags_key)
+        refused = self._check_admission()
+        if refused is not None:
+            return refused
+        start = time.perf_counter()
+        with self._admitted():
+            cached = self.cache.get(key, self.version)
+            self._g_cache_entries.set(len(self.cache))
+            if cached is not None:
+                self._m_latency[("nwc", "cache")].observe(
+                    time.perf_counter() - start)
+                return {"ok": True, "op": "nwc", "version": self.version,
+                        "cached": True, "result": cached}
+            deadline = self._deadline(payload)
+            async with self._scheduler.read(deadline):
+                self._refresh_pressure_gauges()
+                version = self.version
+                if query.n > self.size:
+                    best, accesses, meta, failed = None, 0, {
+                        "fanout": 0, "skipped": self.manifest.shard_count,
+                    }, []
+                    answer = {"found": False, "group": None,
+                              "reason": "n exceeds dataset size"}
+                else:
+                    best, accesses, meta, failed = await self._scatter_nwc(
+                        query, deadline)
+                    if failed and not partial_ok:
+                        return error_response(
+                            "shard_unavailable",
+                            f"shard(s) {sorted(failed)} unreachable")
+                    answer = {
+                        "found": best is not None,
+                        "group": (protocol._serialize_group(best)
+                                  if best is not None else None),
+                        "reason": None,
+                    }
+            if failed:
+                self._m_partial.inc()
+                meta = dict(meta) | {"failed": sorted(failed)}
+            else:
+                shim = SimpleNamespace(
+                    found=best is not None,
+                    distance=best.distance if best is not None else math.inf)
+                insert_radius, delete_radius = protocol.shield_radii_nwc(
+                    query, shim)
+                self.cache.put(key, version, answer, query.qx, query.qy,
+                               query.n, insert_radius, delete_radius)
+            self._g_cache_entries.set(len(self.cache))
+            self._m_latency[("nwc", "engine")].observe(
+                time.perf_counter() - start)
+            response = {"ok": True, "op": "nwc", "version": version,
+                        "cached": False, "result": answer,
+                        "stats": {"node_accesses": accesses},
+                        "shards": meta}
+            if failed:
+                response["partial"] = True
+            return response
+
+    async def _scatter_nwc(self, query, deadline):
+        """Staged NWC scatter; returns ``(best, accesses, meta, failed)``."""
+        bounds = self._lower_bounds(query.qx, query.length)
+        order = sorted(range(len(self.links)), key=lambda i: (bounds[i], i))
+        winners: list[tuple[Any, Any]] = []
+        failed: list[int] = []
+        accesses = 0
+        contacted = 0
+        base = {"op": "nwc_scatter", "x": query.qx, "y": query.qy,
+                "length": query.length, "width": query.width,
+                "n": query.n, "measure": query.measure.value}
+
+        def absorb(response) -> None:
+            nonlocal accesses
+            result = response["result"]
+            group = (protocol.group_from_payload(result["group"])
+                     if result.get("group") else None)
+            raw_order = response.get("order")
+            winners.append(
+                (group, None if raw_order is None else tuple(raw_order)))
+            accesses += response.get("stats", {}).get("node_accesses", 0)
+
+        probe = order[0]
+        with self.tracer.span("shard.probe", {"shard": probe}):
+            try:
+                absorb(await self.links[probe].call(dict(base), deadline))
+                contacted += 1
+            except ShardCallError:
+                failed.append(probe)
+        best, _ = merge.merge_nwc(winners)
+        skipped = 0
+        rest = []
+        for i in order[1:]:
+            if best is not None and bounds[i] > best.distance:
+                skipped += 1
+                continue
+            rest.append(i)
+        if rest:
+            fan = dict(base)
+            if best is not None and merge.seedable(query.measure):
+                fan["bound"] = merge.next_bound(best.distance)
+            with self.tracer.span("shard.fanout", {"shards": len(rest)}):
+                responses = await asyncio.gather(
+                    *(self.links[i].call(dict(fan), deadline) for i in rest),
+                    return_exceptions=True,
+                )
+            for i, response in zip(rest, responses):
+                if isinstance(response, ShardCallError):
+                    failed.append(i)
+                elif isinstance(response, BaseException):
+                    raise response
+                else:
+                    absorb(response)
+                    contacted += 1
+        best, _ = merge.merge_nwc(winners)
+        self._m_prune_skips.inc(skipped)
+        self._m_fanout.observe(contacted)
+        meta = {"fanout": contacted, "skipped": skipped}
+        return best, accesses, meta, failed
+
+    async def _op_knwc(self, payload: dict[str, Any]) -> dict[str, Any]:
+        query, maintenance = protocol.parse_knwc(payload)
+        if maintenance != "exact":
+            raise ProtocolError(
+                "sharded serving supports maintenance='exact' only (the "
+                "'paper' policy is offer-sequence dependent and has no "
+                "shard-exact replay)")
+        self._check_window(query.base)
+        partial_ok = self._partial_requested(payload)
+        base = query.base
+        key = ("knwc", base.qx, base.qy, base.length, base.width, base.n,
+               base.measure.value, query.k, query.m, maintenance,
+               self._flags_key)
+        refused = self._check_admission()
+        if refused is not None:
+            return refused
+        start = time.perf_counter()
+        with self._admitted():
+            cached = self.cache.get(key, self.version)
+            self._g_cache_entries.set(len(self.cache))
+            if cached is not None:
+                self._m_latency[("knwc", "cache")].observe(
+                    time.perf_counter() - start)
+                return {"ok": True, "op": "knwc", "version": self.version,
+                        "cached": True, "result": cached}
+            deadline = self._deadline(payload)
+            async with self._scheduler.read(deadline):
+                self._refresh_pressure_gauges()
+                version = self.version
+                if base.n > self.size:
+                    groups, accesses, meta, failed = (), 0, {
+                        "fanout": 0, "skipped": self.manifest.shard_count,
+                    }, []
+                    answer = {"groups": [],
+                              "reason": "n exceeds dataset size"}
+                else:
+                    groups, accesses, meta, failed = await self._scatter_knwc(
+                        query, deadline)
+                    if failed and not partial_ok:
+                        return error_response(
+                            "shard_unavailable",
+                            f"shard(s) {sorted(failed)} unreachable")
+                    answer = {
+                        "groups": [protocol._serialize_group(g)
+                                   for g in groups],
+                        "reason": None,
+                    }
+            if failed:
+                self._m_partial.inc()
+                meta = dict(meta) | {"failed": sorted(failed)}
+            else:
+                shim = SimpleNamespace(groups=tuple(groups))
+                insert_radius, delete_radius = protocol.shield_radii_knwc(
+                    query, shim)
+                self.cache.put(key, version, answer, base.qx, base.qy,
+                               base.n, insert_radius, delete_radius)
+            self._g_cache_entries.set(len(self.cache))
+            self._m_latency[("knwc", "engine")].observe(
+                time.perf_counter() - start)
+            response = {"ok": True, "op": "knwc", "version": version,
+                        "cached": False, "result": answer,
+                        "stats": {"node_accesses": accesses},
+                        "shards": meta}
+            if failed:
+                response["partial"] = True
+            return response
+
+    async def _scatter_knwc(self, query, deadline):
+        """Two-stage kNWC scatter with horizon-guarded replay."""
+        base = query.base
+        bounds = self._lower_bounds(base.qx, base.length)
+        order = sorted(range(len(self.links)), key=lambda i: (bounds[i], i))
+        limit = self.config.pool_limit
+        request = {"op": "knwc_pool", "x": base.qx, "y": base.qy,
+                   "length": base.length, "width": base.width, "n": base.n,
+                   "k": query.k, "m": query.m,
+                   "measure": base.measure.value, "limit": limit}
+        accesses = 0
+        contacted = 0
+        failed: list[int] = []
+        # pools[i] = (orders, groups, horizon); None = not yet fetched
+        pools: list[tuple | None] = [None] * len(self.links)
+
+        def decode(response):
+            nonlocal accesses
+            pool = response["pool"]
+            groups = [protocol.group_from_payload(g) for g in pool["groups"]]
+            orders = [tuple(o) for o in pool["orders"]]
+            accesses += response.get("stats", {}).get("node_accesses", 0)
+            return orders, groups, pool["horizon"]
+
+        probe = order[0]
+        with self.tracer.span("shard.probe", {"shard": probe}):
+            try:
+                pools[probe] = decode(
+                    await self.links[probe].call(dict(request), deadline))
+                contacted += 1
+            except ShardCallError:
+                failed.append(probe)
+        seed = None
+        kth = None
+        if pools[probe] is not None and merge.seedable(base.measure):
+            selected = merge.replay(query.k, query.m, [pools[probe][:2]])
+            if len(selected) == query.k:
+                kth = selected[-1].distance
+                seed = merge.next_bound(kth)
+        skipped: list[int] = []
+        rest = []
+        for i in order[1:]:
+            if kth is not None and bounds[i] > kth:
+                # A skipped shard's (empty) pool is complete below its
+                # lower bound — the horizon guard accounts for it.
+                pools[i] = ((), (), bounds[i])
+                skipped.append(i)
+                continue
+            rest.append(i)
+        if rest:
+            fan = dict(request)
+            if seed is not None:
+                fan["bound"] = seed
+            with self.tracer.span("shard.fanout", {"shards": len(rest)}):
+                responses = await asyncio.gather(
+                    *(self.links[i].call(dict(fan), deadline) for i in rest),
+                    return_exceptions=True,
+                )
+            for i, response in zip(rest, responses):
+                if isinstance(response, ShardCallError):
+                    failed.append(i)
+                elif isinstance(response, BaseException):
+                    raise response
+                else:
+                    pools[i] = decode(response)
+                    contacted += 1
+        live = [p for p in pools if p is not None]
+        result = merge.replay(query.k, query.m, [p[:2] for p in live])
+        rounds = 0
+        while not merge.horizon_sound(result, query.k, [p[2] for p in live]):
+            # Escalating refetch.  Round one is *bounded*: when the
+            # replayed selection is full but reaches past some pool's
+            # horizon, completing every stale pool up to one ulp above
+            # the replayed kth distance usually suffices — the shards
+            # still prune at the target, and the guard re-checks the
+            # next replay.  Only a selection that deepens past the
+            # target (cross-shard overlap rejections push the true kth
+            # higher) or one that never filled needs the unbounded
+            # round, which ships complete enumerations.
+            target = None
+            if rounds == 0 and len(result) == query.k:
+                target = merge.next_bound(result[-1].distance)
+            refetch = [i for i, p in enumerate(pools)
+                       if p is not None and p[2] is not None
+                       and (target is None or p[2] < target)]
+            again = dict(request)
+            again["limit"] = None
+            if target is not None:
+                again["bound"] = target
+            with self.tracer.span("shard.refetch",
+                                  {"shards": len(refetch),
+                                   "bounded": target is not None}):
+                responses = await asyncio.gather(
+                    *(self.links[i].call(dict(again), deadline)
+                      for i in refetch),
+                    return_exceptions=True,
+                )
+            for i, response in zip(refetch, responses):
+                if isinstance(response, ShardCallError):
+                    if i not in failed:
+                        failed.append(i)
+                    pools[i] = None
+                elif isinstance(response, BaseException):
+                    raise response
+                else:
+                    pools[i] = decode(response)
+                    contacted += 1
+            self._m_refetches.inc(len(refetch))
+            rounds += 1
+            live = [p for p in pools if p is not None]
+            result = merge.replay(query.k, query.m, [p[:2] for p in live])
+            if target is None:
+                break  # complete enumerations: nothing left to fetch
+        self._m_prune_skips.inc(len(skipped))
+        self._m_fanout.observe(contacted)
+        meta = {"fanout": contacted, "skipped": len(skipped)}
+        return result, accesses, meta, failed
+
+    # ------------------------------------------------------------------
+    # Update ops
+    # ------------------------------------------------------------------
+    async def _fan_update(self, op: str, obj, request_id: str | None,
+                          deadline: float):
+        """Forward one update to every shard storing the object.
+
+        Each forwarded request carries an idempotency id — the client's
+        when given, a coordinator-generated one otherwise — so the
+        per-shard WAL dedupe absorbs the link layer's retries.  Returns
+        the per-shard acks in target order.
+        """
+        rid = request_id or f"coord-{uuid.uuid4().hex[:20]}"
+        targets = self.manifest.affected(obj.x)
+        sub = {"op": op, "oid": obj.oid, "x": obj.x, "y": obj.y, "req": rid}
+        responses = await asyncio.gather(
+            *(self.links[i].call(dict(sub), deadline) for i in targets),
+            return_exceptions=True,
+        )
+        acks = {}
+        failed = []
+        for i, response in zip(targets, responses):
+            if isinstance(response, ShardCallError):
+                failed.append(i)
+            elif isinstance(response, BaseException):
+                raise response
+            else:
+                acks[i] = response
+        return targets, acks, failed
+
+    async def _op_insert(self, payload: dict[str, Any]) -> dict[str, Any]:
+        obj = protocol.parse_point(payload)
+        request_id = protocol.parse_request_id(payload)
+        refused = self._check_admission()
+        if refused is not None:
+            return refused
+        start = time.perf_counter()
+        with self._admitted():
+            deadline = self._deadline(payload)
+            async with self._scheduler.write(deadline):
+                self._refresh_pressure_gauges()
+                replayed = self._deduped(request_id)
+                if replayed is not None:
+                    return replayed
+                targets, _acks, failed = await self._fan_update(
+                    "insert", obj, request_id, deadline)
+                if failed:
+                    # Some shards may already have applied: the dataset
+                    # changed, so advance the version (invalidating any
+                    # cached answer the torn write could affect) before
+                    # failing the request.  A client retry with the same
+                    # request id is absorbed by the shard WAL dedupe.
+                    self.version += 1
+                    self.cache.note_insert(obj.x, obj.y, self.version)
+                    return error_response(
+                        "shard_unavailable",
+                        f"insert reached {len(targets) - len(failed)}/"
+                        f"{len(targets)} shard(s); {sorted(failed)} down")
+                self.version += 1
+                self.size += 1
+                self.cache.note_insert(obj.x, obj.y, self.version)
+                response = {"ok": True, "op": "insert",
+                            "version": self.version, "size": self.size,
+                            "shards": list(targets)}
+                self._remember(request_id, response)
+            self._g_version.set(self.version)
+            self._g_cache_entries.set(len(self.cache))
+            self._m_latency[("insert", "engine")].observe(
+                time.perf_counter() - start)
+            return response
+
+    async def _op_delete(self, payload: dict[str, Any]) -> dict[str, Any]:
+        obj = protocol.parse_point(payload)
+        request_id = protocol.parse_request_id(payload)
+        refused = self._check_admission()
+        if refused is not None:
+            return refused
+        start = time.perf_counter()
+        with self._admitted():
+            deadline = self._deadline(payload)
+            async with self._scheduler.write(deadline):
+                self._refresh_pressure_gauges()
+                replayed = self._deduped(request_id)
+                if replayed is not None:
+                    return replayed
+                targets, acks, failed = await self._fan_update(
+                    "delete", obj, request_id, deadline)
+                if failed:
+                    self.version += 1
+                    self.cache.note_delete(obj.x, obj.y, self.version,
+                                           self.size)
+                    return error_response(
+                        "shard_unavailable",
+                        f"delete reached {len(targets) - len(failed)}/"
+                        f"{len(targets)} shard(s); {sorted(failed)} down")
+                owner = self.manifest.route(obj.x)
+                deleted = bool(acks[owner].get("deleted"))
+                if deleted:
+                    self.version += 1
+                    self.size -= 1
+                    self.cache.note_delete(obj.x, obj.y, self.version,
+                                           self.size)
+                response = {"ok": True, "op": "delete",
+                            "version": self.version, "deleted": deleted,
+                            "size": self.size, "shards": list(targets)}
+                self._remember(request_id, response)
+            self._g_version.set(self.version)
+            self._g_cache_entries.set(len(self.cache))
+            self._m_latency[("delete", "engine")].observe(
+                time.perf_counter() - start)
+            return response
+
+    # ------------------------------------------------------------------
+    # Maintenance ops
+    # ------------------------------------------------------------------
+    async def _op_checkpoint(self, payload: dict[str, Any]) -> dict[str, Any]:
+        refused = self._check_admission()
+        if refused is not None:
+            return refused
+        with self._admitted():
+            deadline = self._deadline(payload)
+            responses = await asyncio.gather(
+                *(link.call({"op": "checkpoint"}, deadline)
+                  for link in self.links),
+                return_exceptions=True,
+            )
+            shards = []
+            for i, response in enumerate(responses):
+                if isinstance(response, ShardCallError):
+                    return error_response(
+                        "shard_unavailable",
+                        f"checkpoint failed on shard {i}: {response}")
+                if isinstance(response, BaseException):
+                    raise response
+                shards.append({"shard": i, "seq": response.get("seq"),
+                               "checkpoint": response.get("checkpoint")})
+            return {"ok": True, "op": "checkpoint", "version": self.version,
+                    "shards": shards}
+
+    async def _op_health(self, payload: dict[str, Any]) -> dict[str, Any]:
+        responses = await asyncio.gather(
+            *(link.call({"op": "health"}) for link in self.links),
+            return_exceptions=True,
+        )
+        shards = []
+        for i, response in enumerate(responses):
+            if isinstance(response, (ShardCallError, DeadlineExceeded)):
+                shards.append({"shard": i, "status": "unreachable"})
+            elif isinstance(response, BaseException):
+                raise response
+            else:
+                shards.append({
+                    "shard": i,
+                    "status": response.get("status"),
+                    "version": response.get("version"),
+                    "size": response.get("size"),
+                    "owned_size": response.get("shard", {}).get("owned_size"),
+                })
+        return {
+            "ok": True,
+            "op": "health",
+            "status": "draining" if self._draining else "serving",
+            "version": self.version,
+            "size": self.size,
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "active": self._active,
+            "max_inflight": self.config.max_inflight,
+            "max_queue": self.config.max_queue,
+            "cache": dataclasses.asdict(self.cache.stats())
+                     | {"hit_rate": self.cache.stats().hit_rate},
+            "shards": shards,
+        }
+
+    _HANDLERS = {
+        "nwc": _op_nwc,
+        "knwc": _op_knwc,
+        "insert": _op_insert,
+        "delete": _op_delete,
+        "checkpoint": _op_checkpoint,
+        "health": _op_health,
+        "metrics": LineProtocolServer._op_metrics,
+    }
+
+
+def coordinator_thread(manifest: ShardManifest,
+                       addresses: list[tuple[str, int]],
+                       config: CoordinatorConfig | None = None,
+                       metrics=None, tracer=None) -> ServingThread:
+    """A :class:`ShardCoordinator` on a background thread (the
+    in-process harness tests and benchmarks use)."""
+    return ServingThread(ShardCoordinator(manifest, addresses,
+                                          config=config, metrics=metrics,
+                                          tracer=tracer))

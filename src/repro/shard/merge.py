@@ -1,0 +1,174 @@
+"""Coordinator-side merge rules for sharded scatter-gather (pure logic).
+
+Shards own disjoint half-open anchor bands ``[lo, hi)`` on the x axis
+and store their band plus a halo of at least the query length on each
+side, so every window whose *anchor* (the paper's generating object)
+lies in a shard's band is fully materialized inside that shard.  Each
+window instance therefore has exactly one owning shard, and a shard-
+local search restricted to its band (``anchor_region``) enumerates
+exactly the instances the single-engine oracle generates from those
+anchors.  Merging is then a question of reproducing the oracle's
+*selection* over the disjoint union of per-shard enumerations:
+
+**NWC, point measures (MAX/MIN/AVG).**  The oracle keeps the first
+instance (in enumeration order) achieving the optimal distance d*.  The
+coordinator takes each shard's best ``(group, order)`` and picks the
+minimum under ``(distance, order)``; the order key — ``(anchor
+distance, signed partner offset)`` — is a pure function of the instance,
+so it is globally comparable and tree-shape independent.  Seeding later
+shards with ``next_bound(best.distance)`` (one ulp above the running
+best) is safe: a seeded shard still reports every instance at distance
+*equal* to the running best, so order tie-breaking sees every d*
+instance, while everything strictly worse is pruned.
+
+**NWC, NEAREST_WINDOW.**  The measure is not monotone in the member
+distances, so the oracle's tie pick among equal-distance windows is
+trajectory dependent.  The scatter goes out *unseeded* and the same
+``(distance, order)`` rule picks a deterministic winner: the merged
+distance equals the oracle's exactly (any instance surviving the
+oracle's pruning survives the shard's looser local pruning), while the
+winning window is the deterministic order-first pick — mirroring the
+repo-wide convention that NEAREST_WINDOW answers agree on distance.
+
+**kNWC (all measures).**  The canonical answer is Definition 3's greedy
+selection over the full candidate universe — what the *unpruned*
+baseline engine and ``knwc_bruteforce`` compute.  Each shard exports a
+rank-ordered candidate pool plus per-instance order keys and a
+*horizon*: the distance below which its pool is provably complete.  The
+coordinator replays the greedy selection over the rank-sorted union
+(:func:`replay`); :func:`horizon_sound` accepts the result only when
+every selected group sits strictly below every shard's horizon —
+otherwise the coordinator refetches the truncated shards unbounded and
+unseeded, obtaining complete enumerations.  Distance is a pure function
+of the group under every measure, so all instances of a group share one
+rank and a selected group's instances are never half-missing.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from ..core.knwc import ExactGroupBuffer
+from ..core.measures import DistanceMeasure
+from ..core.results import ObjectGroup
+
+__all__ = [
+    "OrderKey",
+    "horizon_sound",
+    "merge_nwc",
+    "next_bound",
+    "replay",
+    "seedable",
+    "shard_lower_bound",
+]
+
+#: The enumeration order key of one window instance:
+#: ``(anchor distance, signed partner offset)``.
+OrderKey = tuple[float, float]
+
+
+def seedable(measure: DistanceMeasure) -> bool:
+    """Whether a running best may be forwarded as a shard prune bound.
+
+    Point measures are monotone in the member distances, so pruning at
+    one ulp above the running best preserves every potential winner.
+    NEAREST_WINDOW windows can beat their members' distances, and the
+    mindist prefilter inside a seeded shard could drop an instance the
+    deterministic tie-break needs — so NEAREST_WINDOW scatters unseeded.
+    """
+    return measure is not DistanceMeasure.NEAREST_WINDOW
+
+
+def next_bound(distance: float) -> float:
+    """The prune bound encoding "strictly worse than ``distance``".
+
+    Engine searches keep candidates with ``dist < bound``; forwarding
+    one ulp above the running best keeps equal-distance candidates
+    eligible so the global order tie-break stays exact.
+    """
+    return math.nextafter(distance, math.inf)
+
+
+def merge_nwc(
+    winners: Iterable[tuple[ObjectGroup | None, OrderKey | None]],
+) -> tuple[ObjectGroup | None, OrderKey | None]:
+    """Fold per-shard NWC winners into the global ``(group, order)``.
+
+    The minimum under ``(distance, order)`` — distance first, then the
+    global enumeration order key as the deterministic tie-break the
+    single-engine search applies implicitly by keeping the first
+    optimal instance it meets.
+    """
+    best: ObjectGroup | None = None
+    best_order: OrderKey | None = None
+    for group, order in winners:
+        if group is None:
+            continue
+        if best is None or (group.distance, order) < (best.distance, best_order):
+            best, best_order = group, order
+    return best, best_order
+
+
+def replay(
+    k: int,
+    m: int,
+    pools: Iterable[tuple[Sequence[OrderKey], Sequence[ObjectGroup]]],
+) -> tuple[ObjectGroup, ...]:
+    """Definition 3's greedy selection over the union of shard pools.
+
+    Instances are sorted by their enumeration order key and offered
+    ungated to a fresh :class:`ExactGroupBuffer` — the selection is a
+    pure function of the candidate *set* (rank ordering), so offering
+    everything reproduces the unpruned baseline engine's answer
+    whenever the union is complete below every selected rank
+    (:func:`horizon_sound` checks exactly that).
+    """
+    stream: list[tuple[OrderKey, ObjectGroup]] = []
+    for orders, groups in pools:
+        stream.extend(zip(orders, groups))
+    stream.sort(key=lambda item: item[0])
+    buffer = ExactGroupBuffer(k, m)
+    for _order, group in stream:
+        buffer.offer(group)
+    return buffer.finalize()
+
+
+def horizon_sound(result: Sequence[ObjectGroup], k: int,
+                  horizons: Iterable[float | None]) -> bool:
+    """Whether a replayed selection is provably the global answer.
+
+    ``horizons`` carries one entry per shard: ``None`` when the shard's
+    pool holds its complete enumeration, else the distance below which
+    it is complete (a skipped shard contributes its lower bound — its
+    "pool" is trivially complete below that).  The selection is sound
+    iff it is full (``k`` groups) and its worst distance lies strictly
+    below every horizon: then no dropped instance can rank at or before
+    any selected group, so the greedy walk never sees a difference.
+    """
+    finite = [h for h in horizons if h is not None]
+    if not finite:
+        return True
+    return len(result) == k and result[-1].distance < min(finite)
+
+
+def shard_lower_bound(qx: float, length: float,
+                      owned: tuple[float, float]) -> float:
+    """Lower bound on any distance a shard can answer with.
+
+    A shard owning anchors in ``[lo, hi)`` only generates windows whose
+    x range lies inside ``[lo - length, hi + length]``; under every
+    measure the answer distance is at least the x distance from the
+    query to that band (members sit inside the window, and the
+    NEAREST_WINDOW measure is the distance to the window itself).  A
+    shard whose bound exceeds the running best strictly cannot affect
+    the merge — even distance ties are impossible — and is skipped.
+    """
+    lo, hi = owned
+    lo -= length
+    hi += length
+    if qx < lo:
+        return lo - qx
+    if qx > hi:
+        return qx - hi
+    return 0.0

@@ -1,0 +1,264 @@
+"""Per-shard worker: one columnar engine behind the serve protocol.
+
+A :class:`ShardServer` is a :class:`~repro.serve.server.QueryServer`
+over one shard's slice of the dataset, extended with the two scatter
+ops a coordinator fans out:
+
+* ``nwc_scatter`` — :meth:`~repro.core.engine.NWCEngine.nwc_ordered`
+  restricted to the shard's anchor band, optionally seeded with a
+  ``bound`` forwarded from faster shards; answers carry the merge
+  order key.
+* ``knwc_pool`` — :meth:`~repro.core.engine.NWCEngine.knwc_candidates`:
+  a rank-ordered raw candidate pool with per-instance order keys and
+  the completeness horizon.
+
+Scatter ops bypass the per-worker result cache (their answers depend on
+the coordinator-supplied bound); the coordinator owns the semantic
+cache instead.  Everything else — the plain query ops, update ops with
+WAL-before-apply durability, request-id dedupe, checkpointing, drain —
+is inherited unchanged, so one shard worker is operationally identical
+to a single-engine server (PR 7's supervisor restarts it with its WAL
+intact).
+
+At boot the worker mmap-loads its shard page file as a read-only
+:class:`~repro.index.FlatRTree` (zero-copy: replicas of the same shard
+share the page cache) next to the mutable R*-tree that absorbs updates;
+the engine transparently falls back to an in-memory rebuild once the
+first update dirties the snapshot.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any
+
+from ..core import NWCEngine
+from ..core.schemes import Scheme
+from ..index import FlatRTree, load_tree
+from ..serve import protocol
+from ..serve.durability import DurabilityConfig, recover
+from ..serve.server import QueryServer, ServeConfig
+from .partition import ShardManifest
+
+__all__ = ["ShardServer", "build_shard_server", "make_shard_engine"]
+
+
+def make_shard_engine(
+    manifest: ShardManifest,
+    directory: str,
+    index: int,
+    tree=None,
+    scheme: Scheme = Scheme.NWC_STAR,
+    execution: str = "columnar",
+    metrics=None,
+    tracer=None,
+) -> NWCEngine:
+    """Build shard ``index``'s engine.
+
+    With ``tree=None`` the shard page file is the source of truth: the
+    mutable R*-tree is loaded from it and the columnar snapshot is
+    mmap-ed zero-copy (`FlatRTree.from_page_file` produces the same
+    array layout as an in-memory conversion, so fresh-built and
+    mmap-loaded shards answer bit-identically).  A recovered checkpoint
+    ``tree`` (see :func:`~repro.serve.durability.recover`) skips the
+    mmap — its snapshot is rebuilt in memory on first use.
+
+    The DEP grid is built over the *dataset* extent, so empty and
+    sparse shards get a valid (all-zero) grid instead of a failed
+    root-MBR probe.
+    """
+    if tree is None:
+        path = manifest.shard_path(directory, index)
+        tree = load_tree(path)
+        flat = None
+        if execution == "columnar" and tree.size:
+            flat = FlatRTree.from_page_file(path, stats=tree.stats)
+        return NWCEngine(tree, scheme=scheme, extent=manifest.extent,
+                         execution=execution, flat=flat,
+                         metrics=metrics, tracer=tracer)
+    return NWCEngine(tree, scheme=scheme, extent=manifest.extent,
+                     execution=execution, metrics=metrics, tracer=tracer)
+
+
+class ShardServer(QueryServer):
+    """A query server bound to one shard of a :class:`ShardManifest`."""
+
+    _OPS = QueryServer._OPS + ("nwc_scatter", "knwc_pool")
+    _LATENCY_OPS = QueryServer._LATENCY_OPS + ("nwc_scatter", "knwc_pool")
+
+    def __init__(self, engine: NWCEngine, manifest: ShardManifest,
+                 shard_index: int, config: ServeConfig | None = None,
+                 metrics=None, durable=None) -> None:
+        super().__init__(engine, config=config, metrics=metrics,
+                         durable=durable)
+        # The scatter entry points (nwc_ordered / knwc_candidates)
+        # thread query-local state — the anchor restriction and the
+        # order-key origin — through engine instance fields, so two
+        # engine calls interleaved on executor threads would corrupt
+        # each other's merge order keys.  A shard worker therefore pins
+        # engine work to one thread at a time; read parallelism comes
+        # from the process fleet, not from threads within one shard.
+        self._engine_lock = threading.Lock()
+        self.manifest = manifest
+        self.shard_index = shard_index
+        self.anchor_region = manifest.anchor_region(shard_index)
+        lo, hi = manifest.owned_interval(shard_index)
+        self._owned_lo, self._owned_hi = lo, hi
+        # Logical (owned) size: halo copies excluded.  Counted over the
+        # recovered tree, so it is exact after WAL replay too.
+        self.owned_size = sum(
+            1 for obj in engine.tree.iter_objects() if self._owns(obj.x)
+        )
+
+    def _owns(self, x: float) -> bool:
+        return self._owned_lo <= x < self._owned_hi
+
+    async def _run(self, fn, *args):
+        def serialized():
+            with self._engine_lock:
+                return fn(*args)
+        return await super()._run(serialized)
+
+    # ------------------------------------------------------------------
+    # Scatter ops
+    # ------------------------------------------------------------------
+    async def _op_nwc_scatter(self, payload: dict[str, Any]) -> dict[str, Any]:
+        query = protocol.parse_nwc(payload)
+        bound = protocol.parse_bound(payload)
+        refused = self._check_admission()
+        if refused is not None:
+            return refused
+        start = time.perf_counter()
+        with self._admitted():
+            deadline = self._deadline(payload)
+            async with self._scheduler.read(deadline):
+                self._refresh_pressure_gauges()
+                result, order = await self._run(
+                    lambda: self.engine.nwc_ordered(
+                        query, bound=bound,
+                        anchor_region=self.anchor_region,
+                    )
+                )
+                version = self.version
+            self._m_latency[("nwc_scatter", "engine")].observe(
+                time.perf_counter() - start)
+            return {
+                "ok": True, "op": "nwc_scatter", "version": version,
+                "shard": self.shard_index,
+                "result": protocol.serialize_nwc(result),
+                "order": None if order is None else list(order),
+                "stats": {"node_accesses": result.node_accesses},
+            }
+
+    async def _op_knwc_pool(self, payload: dict[str, Any]) -> dict[str, Any]:
+        query, _maintenance = protocol.parse_knwc(payload)
+        limit = protocol.parse_pool_limit(payload)
+        bound = protocol.parse_bound(payload)
+        refused = self._check_admission()
+        if refused is not None:
+            return refused
+        start = time.perf_counter()
+        with self._admitted():
+            deadline = self._deadline(payload)
+            async with self._scheduler.read(deadline):
+                self._refresh_pressure_gauges()
+
+                def run():
+                    pool = self.engine.knwc_candidates(
+                        query, limit, bound=bound,
+                        anchor_region=self.anchor_region,
+                    )
+                    accesses = self.engine.tree.stats.snapshot().get(
+                        "node_accesses", 0)
+                    return pool, accesses
+
+                (pool, accesses) = await self._run(run)
+                version = self.version
+            self._m_latency[("knwc_pool", "engine")].observe(
+                time.perf_counter() - start)
+            return {
+                "ok": True, "op": "knwc_pool", "version": version,
+                "shard": self.shard_index,
+                "pool": {
+                    "groups": [protocol._serialize_group(g)
+                               for g in pool.groups],
+                    "orders": [list(order) for order in pool.orders],
+                    "horizon": pool.horizon,
+                    "reason": pool.reason,
+                },
+                "stats": {"node_accesses": accesses},
+            }
+
+    # ------------------------------------------------------------------
+    # Inherited ops, shard-aware
+    # ------------------------------------------------------------------
+    async def _op_health(self, payload: dict[str, Any]) -> dict[str, Any]:
+        response = await super()._op_health(payload)
+        lo, hi = self._owned_lo, self._owned_hi
+        response["shard"] = {
+            "index": self.shard_index,
+            "owned_size": self.owned_size,
+            # JSON cannot carry infinities; edge shards report null.
+            "owned": [None if lo == float("-inf") else lo,
+                      None if hi == float("inf") else hi],
+        }
+        return response
+
+    def _apply_insert(self, obj) -> None:
+        super()._apply_insert(obj)
+        if self._owns(obj.x):
+            self.owned_size += 1
+
+    def _apply_delete(self, obj) -> bool:
+        deleted = super()._apply_delete(obj)
+        if deleted and self._owns(obj.x):
+            self.owned_size -= 1
+        return deleted
+
+    _HANDLERS = {
+        **QueryServer._HANDLERS,
+        "nwc_scatter": _op_nwc_scatter,
+        "knwc_pool": _op_knwc_pool,
+        "health": _op_health,
+    }
+
+
+def build_shard_server(
+    manifest: ShardManifest,
+    directory: str,
+    index: int,
+    config: ServeConfig | None = None,
+    state_dir: str | None = None,
+    durability: DurabilityConfig | None = None,
+    scheme: Scheme = Scheme.NWC_STAR,
+    execution: str = "columnar",
+    metrics=None,
+    tracer=None,
+) -> ShardServer:
+    """Construct a (possibly durable) worker for shard ``index``.
+
+    With a ``state_dir`` the worker recovers checkpoint + WAL tail
+    exactly like a single-engine durable server — each shard owns an
+    independent WAL, so one shard's crash replays only its own updates.
+    """
+    if index < 0 or index >= manifest.shard_count:
+        raise ValueError(
+            f"shard index {index} out of range 0..{manifest.shard_count - 1}")
+    durable = None
+    if state_dir is not None:
+        cfg = durability or DurabilityConfig(state_dir=state_dir)
+        engine, durable = recover(
+            cfg,
+            lambda tree: make_shard_engine(
+                manifest, directory, index, tree=tree, scheme=scheme,
+                execution=execution, metrics=metrics, tracer=tracer,
+            ),
+            metrics=metrics,
+        )
+    else:
+        engine = make_shard_engine(manifest, directory, index, scheme=scheme,
+                                   execution=execution, metrics=metrics,
+                                   tracer=tracer)
+    return ShardServer(engine, manifest, index, config=config,
+                       metrics=metrics, durable=durable)

@@ -1,0 +1,279 @@
+"""Property tests: the coordinator's staged scatter-gather merge is
+bit-identical to the single-engine oracle.
+
+The scatter is simulated in-process against real shard engines — the
+same staged exchange the coordinator performs over TCP: probe the
+closest shard first, seed the fan-out with one ulp above its best,
+skip shards whose x-band lower bound cannot beat it, and (for kNWC)
+refetch truncated pools when the horizon guard rejects the replay.
+Randomized over partitions (including empty shards), measures, and
+``k`` larger than any per-shard pool, for both fresh-built and
+mmap-loaded shard engines.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import NWCEngine
+from repro.core.measures import DistanceMeasure
+from repro.core.query import KNWCQuery, NWCQuery
+from repro.core.schemes import Scheme
+from repro.geometry import Rect
+from repro.index import RStarTree
+from repro.shard import (
+    ShardManifest,
+    horizon_sound,
+    make_shard_engine,
+    merge_nwc,
+    next_bound,
+    partition_dataset,
+    replay,
+    seedable,
+    shard_lower_bound,
+)
+from tests.conftest import make_clustered_points, make_uniform_points
+
+EXTENT = Rect(0, 0, 1000, 1000)
+HALO = 40.0  # >= every query length issued below
+
+POINT_MEASURES = (DistanceMeasure.MAX, DistanceMeasure.MIN,
+                  DistanceMeasure.AVG)
+ALL_MEASURES = POINT_MEASURES + (DistanceMeasure.NEAREST_WINDOW,)
+
+
+def _group_key(group):
+    return (tuple(sorted(group.oids)), group.distance,
+            (group.window.x1, group.window.y1,
+             group.window.x2, group.window.y2))
+
+
+class World:
+    """One dataset sharded one way, with its single-engine oracles."""
+
+    def __init__(self, name, points, manifest: ShardManifest, engines):
+        self.name = name
+        self.points = points
+        self.manifest = manifest
+        self.engines = engines
+        tree = RStarTree.bulk_load(points)
+        # Pruned oracle: canonical for NWC (keeps the first optimal
+        # instance in enumeration order, like the merge's order key).
+        self.oracle = NWCEngine(RStarTree.bulk_load(points),
+                                scheme=Scheme.NWC_STAR, extent=EXTENT)
+        # Unpruned baseline: canonical for exact kNWC (Definition 3's
+        # greedy selection over the full candidate universe — the repo
+        # pins bit-exactness to this engine, see test_property_engine).
+        self.baseline = NWCEngine(tree, scheme=Scheme.NWC, extent=EXTENT)
+
+    # ------------------------------------------------------------------
+    # The coordinator's staged exchange, in miniature
+    # ------------------------------------------------------------------
+    def scatter_nwc(self, query: NWCQuery):
+        manifest = self.manifest
+        bounds = [shard_lower_bound(query.qx, query.length,
+                                    manifest.owned_interval(i))
+                  for i in range(manifest.shard_count)]
+        order = sorted(range(manifest.shard_count),
+                       key=lambda i: (bounds[i], i))
+        probe = order[0]
+        result, okey = self.engines[probe].nwc_ordered(
+            query, anchor_region=manifest.anchor_region(probe))
+        winners = [(result.group, okey)]
+        best, _ = merge_nwc(winners)
+        seed = None
+        if best is not None and seedable(query.measure):
+            seed = next_bound(best.distance)
+        skipped = 0
+        for i in order[1:]:
+            if best is not None and bounds[i] > best.distance:
+                skipped += 1
+                continue
+            result, okey = self.engines[i].nwc_ordered(
+                query, bound=seed, anchor_region=manifest.anchor_region(i))
+            winners.append((result.group, okey))
+        merged, _ = merge_nwc(winners)
+        return merged, skipped
+
+    def scatter_knwc(self, query: KNWCQuery, limit: int):
+        manifest = self.manifest
+        base = query.base
+        bounds = [shard_lower_bound(base.qx, base.length,
+                                    manifest.owned_interval(i))
+                  for i in range(manifest.shard_count)]
+        order = sorted(range(manifest.shard_count),
+                       key=lambda i: (bounds[i], i))
+        probe = order[0]
+        pools: list[tuple] = [None] * manifest.shard_count
+        pool = self.engines[probe].knwc_candidates(
+            query, limit, anchor_region=manifest.anchor_region(probe))
+        pools[probe] = (pool.orders, pool.groups, pool.horizon)
+        selected = replay(query.k, query.m, [(pool.orders, pool.groups)])
+        seed = None
+        kth = None
+        if len(selected) == query.k:
+            kth = selected[-1].distance
+            if seedable(base.measure):
+                seed = next_bound(kth)
+        skipped = 0
+        for i in order[1:]:
+            if kth is not None and bounds[i] > kth:
+                # Skipped shard: empty pool, complete below its bound.
+                pools[i] = ((), (), bounds[i])
+                skipped += 1
+                continue
+            pool = self.engines[i].knwc_candidates(
+                query, limit, bound=seed,
+                anchor_region=manifest.anchor_region(i))
+            pools[i] = (pool.orders, pool.groups, pool.horizon)
+        result = replay(query.k, query.m,
+                        [(orders, groups) for orders, groups, _ in pools])
+        refetched = 0
+        rounds = 0
+        # The coordinator's escalating refetch: bounded at one ulp
+        # above the replayed kth first, unbounded as the fallback.
+        while not horizon_sound(result, query.k, [h for _, _, h in pools]):
+            target = None
+            if rounds == 0 and len(result) == query.k:
+                target = next_bound(result[-1].distance)
+            for i, (_, _, horizon) in enumerate(pools):
+                if horizon is None or (target is not None
+                                       and horizon >= target):
+                    continue
+                pool = self.engines[i].knwc_candidates(
+                    query, None, bound=target,
+                    anchor_region=manifest.anchor_region(i))
+                pools[i] = (pool.orders, pool.groups, pool.horizon)
+                refetched += 1
+            rounds += 1
+            result = replay(query.k, query.m,
+                            [(orders, groups) for orders, groups, _ in pools])
+            if target is None:
+                assert horizon_sound(result, query.k,
+                                     [h for _, _, h in pools])
+                break
+        return result, skipped, refetched
+
+
+def _build_world(name, tmp_path, points, shards, mode):
+    manifest = partition_dataset(points, shards, HALO, tmp_path, EXTENT,
+                                 cell_size=25.0)
+    if mode == "mmap":
+        engines = [make_shard_engine(manifest, str(tmp_path), i)
+                   for i in range(shards)]
+    else:
+        engines = []
+        for i in range(shards):
+            lo, hi = manifest.stored_interval(i)
+            stored = [p for p in points if lo <= p.x <= hi]
+            tree = (RStarTree.bulk_load(stored) if stored else RStarTree())
+            engines.append(NWCEngine(tree, scheme=Scheme.NWC_STAR,
+                                     extent=EXTENT))
+    return World(name, points, manifest, engines)
+
+
+WORLD_SPECS = [
+    # (id, shards, mode, point factory)
+    ("uniform-2-mmap", 2, "mmap",
+     lambda: make_uniform_points(240, seed=7)),
+    ("uniform-4-fresh", 4, "fresh",
+     lambda: make_uniform_points(240, seed=21)),
+    ("clustered-3-mmap", 3, "mmap",
+     lambda: make_clustered_points(240, clusters=3, seed=33)),
+    # All data in x <= 120 with 5 shards: several shards are empty.
+    ("skewed-5-fresh", 5, "fresh",
+     lambda: make_uniform_points(160, span=120.0, seed=55)),
+]
+
+
+@pytest.fixture(scope="module", params=WORLD_SPECS,
+                ids=[spec[0] for spec in WORLD_SPECS])
+def world(request, tmp_path_factory):
+    name, shards, mode, factory = request.param
+    tmp = tmp_path_factory.mktemp(f"shards-{name}")
+    return _build_world(name, tmp, factory(), shards, mode)
+
+
+def _random_queries(world, rng, count):
+    span = 1000.0 if world.points[0].x > 150 else 200.0
+    for _ in range(count):
+        yield (rng.uniform(0, span), rng.uniform(0, span),
+               rng.uniform(15, 40), rng.uniform(10, 30), rng.randint(2, 4))
+
+
+def test_nwc_point_measures_bit_identical(world):
+    rng = random.Random(4242)
+    found = 0
+    for qx, qy, length, width, n in _random_queries(world, rng, 10):
+        for measure in POINT_MEASURES:
+            query = NWCQuery(qx, qy, length, width, n, measure)
+            merged, _ = world.scatter_nwc(query)
+            oracle = world.oracle.nwc(query)
+            if oracle.group is None:
+                assert merged is None
+            else:
+                found += 1
+                assert merged is not None
+                assert _group_key(merged) == _group_key(oracle.group)
+    assert found > 0  # the trial set must actually exercise answers
+
+
+def test_nwc_nearest_window_distance_exact(world):
+    rng = random.Random(77)
+    found = 0
+    for qx, qy, length, width, n in _random_queries(world, rng, 10):
+        query = NWCQuery(qx, qy, length, width, n,
+                         DistanceMeasure.NEAREST_WINDOW)
+        merged, _ = world.scatter_nwc(query)
+        oracle = world.oracle.nwc(query)
+        assert (merged is not None) == oracle.found
+        if oracle.found:
+            found += 1
+            # Tie pick may differ (trajectory-dependent measure); the
+            # repo-wide NEAREST_WINDOW convention is distance equality.
+            assert merged.distance == oracle.distance
+    assert found > 0
+
+
+def test_knwc_matches_unpruned_baseline(world):
+    rng = random.Random(990)
+    refetches = 0
+    nonempty = 0
+    for qx, qy, length, width, n in _random_queries(world, rng, 8):
+        for measure in ALL_MEASURES:
+            k = rng.choice((1, 3, 8))
+            m = rng.choice((0, n - 1))
+            query = KNWCQuery.make(qx, qy, length, width, n, k, m, measure)
+            # limit=2 truncates every pool well below k=8, forcing the
+            # horizon guard to reject the first replay and refetch.
+            merged, _, refetched = world.scatter_knwc(query, limit=2)
+            refetches += refetched
+            canon = world.baseline.knwc(query)
+            assert [_group_key(g) for g in merged] == \
+                [_group_key(g) for g in canon.groups]
+            nonempty += bool(canon.groups)
+    assert nonempty > 0
+    assert refetches > 0  # the guard path must actually run
+
+
+def test_knwc_prune_skips_occur_without_breaking_identity(world):
+    # A query hugging the left edge makes far shards' lower bounds
+    # exceed the kth distance; identity must survive the skips.  Skips
+    # are only *guaranteed* on dense uniform data with enough shards
+    # (elsewhere the kth distance may legitimately reach every band).
+    if world.manifest.shard_count < 3:
+        pytest.skip("needs enough shards for a far one to be skipped")
+    rng = random.Random(11)
+    skips = 0
+    for _ in range(6):
+        query = KNWCQuery.make(rng.uniform(0, 60), rng.uniform(0, 200),
+                               30.0, 20.0, 2, 2, 1, DistanceMeasure.MAX)
+        merged, skipped, _ = world.scatter_knwc(query, limit=16)
+        skips += skipped
+        canon = world.baseline.knwc(query)
+        assert [_group_key(g) for g in merged] == \
+            [_group_key(g) for g in canon.groups]
+    if world.name == "uniform-4-fresh":
+        assert skips > 0

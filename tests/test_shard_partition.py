@@ -1,0 +1,142 @@
+"""Partitioner invariants: density-balanced cuts, half-open routing,
+halo membership, page-file round trips and empty shards."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.geometry import Rect
+from repro.grid import DensityGrid
+from repro.index import load_tree
+from repro.shard import (
+    ShardInfo,
+    ShardManifest,
+    choose_cuts,
+    partition_dataset,
+    shard_filename,
+)
+from tests.conftest import make_clustered_points, make_uniform_points
+
+EXTENT = Rect(0, 0, 1000, 1000)
+
+
+def _partition(tmp_path, points, shards, halo=50.0):
+    return partition_dataset(points, shards, halo, tmp_path, EXTENT,
+                             cell_size=25.0, dataset_name="test")
+
+
+class TestChooseCuts:
+    def test_balanced_on_skewed_data(self):
+        points = make_clustered_points(900, clusters=3, seed=11)
+        grid = DensityGrid.build(points, EXTENT, 25.0)
+        cuts = choose_cuts(grid, 3)
+        assert len(cuts) == 2
+        assert list(cuts) == sorted(cuts)
+        edges = (-math.inf, *cuts, math.inf)
+        shares = [
+            sum(1 for p in points if edges[i] <= p.x < edges[i + 1])
+            for i in range(3)
+        ]
+        # Cuts land on cell boundaries, so balance is within one
+        # column's mass of perfect, not exact.
+        assert max(shares) - min(shares) < len(points) / 2
+
+    def test_empty_dataset_falls_back_to_equal_width(self):
+        grid = DensityGrid.build([], EXTENT, 25.0)
+        assert choose_cuts(grid, 4) == (250.0, 500.0, 750.0)
+
+    def test_single_shard_has_no_cuts(self):
+        grid = DensityGrid.build(make_uniform_points(50), EXTENT, 25.0)
+        assert choose_cuts(grid, 1) == ()
+
+    def test_all_mass_in_one_column_still_strictly_increasing(self):
+        points = make_uniform_points(200, span=20.0)  # one 25-unit column
+        grid = DensityGrid.build(points, EXTENT, 25.0)
+        cuts = choose_cuts(grid, 4)
+        assert len(cuts) == 3
+        assert all(b > a for a, b in zip(cuts, cuts[1:]))
+
+
+class TestManifest:
+    def test_validation(self):
+        shards = tuple(ShardInfo(i, shard_filename(i), 0, 0) for i in range(3))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            ShardManifest(cuts=(500.0, 500.0), halo=50.0, extent=EXTENT,
+                          cell_size=25.0, dataset="", shards=shards)
+        with pytest.raises(ValueError, match="halo"):
+            ShardManifest(cuts=(300.0, 600.0), halo=0.0, extent=EXTENT,
+                          cell_size=25.0, dataset="", shards=shards)
+        with pytest.raises(ValueError, match="one cut fewer"):
+            ShardManifest(cuts=(300.0,), halo=50.0, extent=EXTENT,
+                          cell_size=25.0, dataset="", shards=shards)
+
+    def test_route_is_half_open(self):
+        shards = tuple(ShardInfo(i, shard_filename(i), 0, 0) for i in range(3))
+        manifest = ShardManifest(cuts=(300.0, 600.0), halo=50.0,
+                                 extent=EXTENT, cell_size=25.0, dataset="",
+                                 shards=shards)
+        assert manifest.route(0.0) == 0
+        assert manifest.route(299.999) == 0
+        assert manifest.route(300.0) == 1  # exactly on a cut: right shard
+        assert manifest.route(600.0) == 2
+        assert manifest.route(10_000.0) == 2
+
+    def test_owned_intervals_tile_the_line(self):
+        shards = tuple(ShardInfo(i, shard_filename(i), 0, 0) for i in range(3))
+        manifest = ShardManifest(cuts=(300.0, 600.0), halo=50.0,
+                                 extent=EXTENT, cell_size=25.0, dataset="",
+                                 shards=shards)
+        assert manifest.owned_interval(0) == (-math.inf, 300.0)
+        assert manifest.owned_interval(1) == (300.0, 600.0)
+        assert manifest.owned_interval(2) == (600.0, math.inf)
+        assert manifest.stored_interval(1) == (250.0, 650.0)
+
+    def test_affected_covers_owner_and_halo_copies(self):
+        shards = tuple(ShardInfo(i, shard_filename(i), 0, 0) for i in range(3))
+        manifest = ShardManifest(cuts=(300.0, 600.0), halo=50.0,
+                                 extent=EXTENT, cell_size=25.0, dataset="",
+                                 shards=shards)
+        assert manifest.affected(100.0) == (0,)
+        assert manifest.affected(270.0) == (0, 1)  # in shard 1's halo
+        assert manifest.affected(300.0) == (0, 1)
+        assert manifest.affected(450.0) == (1,)
+        assert manifest.affected(640.0) == (1, 2)
+        # route() always appears in affected()
+        for x in (0.0, 250.0, 300.0, 599.0, 600.0, 651.0, 999.0):
+            assert manifest.route(x) in manifest.affected(x)
+
+
+class TestPartitionDataset:
+    def test_ownership_partitions_and_halo_duplicates(self, tmp_path):
+        points = make_uniform_points(300, seed=3)
+        manifest = _partition(tmp_path, points, 3)
+        assert sum(s.owned for s in manifest.shards) == len(points)
+        for index, info in enumerate(manifest.shards):
+            lo, hi = manifest.stored_interval(index)
+            expected = [p for p in points if lo <= p.x <= hi]
+            assert info.stored == len(expected)
+            tree = load_tree(manifest.shard_path(tmp_path, index))
+            assert {o.oid for o in tree.iter_objects()} == \
+                {p.oid for p in expected}
+
+    def test_save_load_round_trip(self, tmp_path):
+        points = make_uniform_points(100, seed=5)
+        manifest = _partition(tmp_path, points, 2)
+        assert ShardManifest.load(tmp_path) == manifest
+
+    def test_empty_shards_are_legal(self, tmp_path):
+        # All the data lives in x <= 20; 5 shards leave several empty.
+        points = make_uniform_points(80, span=20.0, seed=9)
+        manifest = _partition(tmp_path, points, 5)
+        assert sum(s.owned for s in manifest.shards) == len(points)
+        assert any(s.stored == 0 for s in manifest.shards)
+        for index, info in enumerate(manifest.shards):
+            tree = load_tree(manifest.shard_path(tmp_path, index))
+            assert tree.size == info.stored
+
+    def test_rejects_bad_halo(self, tmp_path):
+        with pytest.raises(ValueError, match="halo"):
+            partition_dataset(make_uniform_points(10), 2, -1.0, tmp_path,
+                              EXTENT)
