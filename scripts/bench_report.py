@@ -624,6 +624,129 @@ def time_sharding(duration_s: float, workers: int = 4) -> dict:
     }
 
 
+def _baseline_observe_request(self, op, outcome, seconds):
+    """``_observe_request`` minus the SLO accounting (pre-obs shape)."""
+    self._m_requests[(op, outcome)].inc()
+
+
+def _baseline_trace_context(self, payload):
+    """``_trace_context`` with the trace-envelope parse removed."""
+    return None
+
+
+def time_coordinator_obs(repeats: int) -> dict:
+    """Cost of the fleet-observability hooks on the sharded serve path.
+
+    The tentpole added two seams to every coordinator request —
+    ``_trace_context`` (parse the optional trace envelope) and
+    ``_observe_request`` (SLO accounting on top of the outcome
+    counter) — and untraced requests must not pay for tracing they did
+    not ask for.  Same discipline as :func:`time_tracing_overhead`:
+    one in-process single-shard fleet, the *same coordinator instance*
+    A/B'd by shadowing both seams with their pre-obs shapes
+    (``types.MethodType``), paired alternating rounds with the GC off,
+    and the ≤2% budget gated on the sign-test 95% lower bound of the
+    median ratio.  Requests are untraced cache hits batched inside the
+    server loop, so the per-request cost is the protocol dispatch the
+    seams sit on, not TCP or thread-handoff noise.
+    """
+    import asyncio
+    import shutil
+
+    from repro.serve import protocol as serve_protocol
+    from repro.serve.server import ServingThread
+    from repro.shard import (
+        CoordinatorConfig,
+        build_shard_server,
+        coordinator_thread,
+        partition_dataset,
+    )
+
+    card = 1_000
+    side = math.sqrt(card / DENSITY)
+    dataset = uniform(card, seed=20260806, extent=Rect(0.0, 0.0, side, side))
+    tmp = tempfile.mkdtemp(prefix="bench-coord-obs-")
+    worker = None
+    coordinator = None
+    try:
+        manifest = partition_dataset(dataset.points, 1, DEFAULT_WINDOW, tmp,
+                                     dataset.extent)
+        worker = ServingThread(build_shard_server(manifest, tmp, 0)).start()
+        coordinator = coordinator_thread(
+            manifest, [(worker.host, worker.port)],
+            config=CoordinatorConfig()).start()
+        server = coordinator.server
+        loop = coordinator._loop
+        x, y = side / 2.0, side / 2.0
+        line = serve_protocol.encode_line(
+            {"op": "nwc", "x": x, "y": y, "length": DEFAULT_WINDOW,
+             "width": DEFAULT_WINDOW, "n": DEFAULT_N})
+
+        async def batch(count):
+            for _ in range(count):
+                response = await server._handle_line(line)
+                assert response["ok"], response
+
+        def run(count):
+            asyncio.run_coroutine_threadsafe(batch(count), loop).result()
+
+        run(2)  # prime the coordinator cache; all timed requests hit
+        t0 = time.perf_counter()
+        run(50)
+        per_request = (time.perf_counter() - t0) / 50
+        # ~0.1 s per timed side (see time_tracing_overhead for why).
+        count = max(100, min(10_000, round(0.1 / max(per_request, 1e-9))))
+        rounds = max(repeats, 41)
+        ratios = []
+        base_times = []
+        off_times = []
+        gc.collect()
+        gc.disable()
+        try:
+            for i in range(rounds):
+                times = {}
+                for mode in (("base", "off") if i % 2 == 0
+                             else ("off", "base")):
+                    if mode == "base":
+                        server._observe_request = types.MethodType(
+                            _baseline_observe_request, server)
+                        server._trace_context = types.MethodType(
+                            _baseline_trace_context, server)
+                    t0 = time.perf_counter()
+                    run(count)
+                    times[mode] = time.perf_counter() - t0
+                    if mode == "base":
+                        del server._observe_request
+                        del server._trace_context
+                ratios.append(times["off"] / times["base"])
+                base_times.append(times["base"])
+                off_times.append(times["off"])
+        finally:
+            gc.enable()
+    finally:
+        if coordinator is not None:
+            coordinator.stop()
+        if worker is not None:
+            worker.stop()
+        shutil.rmtree(tmp, ignore_errors=True)
+    overhead = 100.0 * (statistics.median(ratios) - 1.0)
+    ordered = sorted(ratios)
+    k = max(0, math.floor((len(ordered) - 1) / 2.0
+                          - 1.96 * math.sqrt(len(ordered)) / 2.0))
+    overhead_lower = 100.0 * (ordered[k] - 1.0)
+    return {
+        "requests_per_round": count,
+        "baseline_us_per_request": round(
+            statistics.median(base_times) / count * 1e6, 2),
+        "disabled_us_per_request": round(
+            statistics.median(off_times) / count * 1e6, 2),
+        "disabled_overhead_pct": round(overhead, 2),
+        "disabled_overhead_ci_lower_pct": round(overhead_lower, 2),
+        "disabled_overhead_budget_pct": TRACING_OVERHEAD_BUDGET_PCT,
+        "within_budget": overhead_lower <= TRACING_OVERHEAD_BUDGET_PCT,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--card", type=int, default=50_000)
@@ -664,6 +787,7 @@ def main(argv=None) -> int:
         "parallel_sweep": time_parallel_sweep(args.jobs, args.repeats),
         "storage_formats": time_storage_formats(tree, args.repeats),
         "tracing_overhead": time_tracing_overhead(tree, queries, args.repeats),
+        "coordinator_obs": time_coordinator_obs(args.repeats),
         "serving": time_serving(args.serve_duration),
         "durability": time_durability(args.serve_duration),
         "sharding": time_sharding(args.serve_duration),
@@ -681,8 +805,9 @@ def main(argv=None) -> int:
     ok = ok and columnar["mmap_identical_results"]
     ok = ok and columnar["speedup_vs_numpy"] >= 1.5
     ok = ok and report["parallel_sweep"]["speedup_ok"]
-    # The A/B guard always runs now; a null here is itself a failure.
+    # The A/B guards always run now; a null here is itself a failure.
     ok = ok and report["tracing_overhead"]["within_budget"] is True
+    ok = ok and report["coordinator_obs"]["within_budget"] is True
     serving = report["serving"]
     ok = ok and serving["mismatches"] == 0 and serving["errors"] == 0
     ok = ok and serving["cache_hit_faster"]

@@ -11,7 +11,11 @@ Subcommands:
   dataset (handy for exploration).
 * ``trace`` — run one query with the tracer attached and pretty-print
   its span tree; ``--explain`` summarizes which optimizations fired,
-  ``--jsonl`` appends the structured trace to a sink file.
+  ``--jsonl`` appends the structured trace to a sink file.  With
+  ``--port`` the query goes to a running server instead: the client
+  sends a trace context and renders the returned span tree — against a
+  shard coordinator that is one stitched cross-process trace with
+  per-shard RPC attribution.
 * ``serve`` — expose an engine over TCP (newline-delimited JSON) with
   the update-aware result cache and admission control; ``--state-dir``
   adds write-ahead logging with checkpoint/compaction so acknowledged
@@ -30,6 +34,9 @@ Subcommands:
   workers instead.
 * ``shard-worker`` — one shard's server process (started by
   ``shard-serve``; rarely invoked by hand).
+* ``fleet-status`` — one-shot (or ``--watch``) table of per-shard
+  qps, p99, prune/refetch rates, WAL lag and SLO burn, computed from
+  two fleet-scope metric scrapes of a running shard coordinator.
 """
 
 from __future__ import annotations
@@ -65,6 +72,7 @@ from .obs import (
     QueryTracer,
     explain,
     format_span_tree,
+    span_from_dict,
     write_jsonl,
 )
 from .storage import StorageError
@@ -229,7 +237,76 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_remote(args: argparse.Namespace) -> int:
+    """Trace one query against a running server (``trace --port``).
+
+    The client mints a trace context, attaches it to the query, and
+    renders the span tree the server returns — against a shard
+    coordinator that is the stitched cross-process trace whose root
+    I/O equals the sum of the shard subtrees.
+    """
+    from .obs.context import TraceContext, new_span_id, new_trace_id
+    from .serve.client import ServeClient, ServeClientError
+
+    ctx = TraceContext(new_trace_id(), new_span_id())
+    try:
+        with ServeClient(args.host, args.port) as client:
+            if args.k > 1:
+                response = client.knwc(args.x, args.y, args.length,
+                                       args.width, args.n, args.k, args.m,
+                                       trace=ctx.to_wire())
+            else:
+                response = client.nwc(args.x, args.y, args.length,
+                                      args.width, args.n,
+                                      trace=ctx.to_wire())
+    except (OSError, ServeClientError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    envelope = response.get("trace") or {}
+    if envelope.get("span") is None:
+        print("error: server returned no trace", file=sys.stderr)
+        return 2
+    root = span_from_dict(envelope["span"])
+    result = response.get("result") or {}
+    print(f"trace {envelope.get('trace_id')} from {args.host}:{args.port} "
+          f"(version {response.get('version')})")
+    if args.k > 1:
+        groups = result.get("groups", [])
+        print(f"{len(groups)} group(s); node accesses: "
+              f"{response.get('stats', {}).get('node_accesses')}")
+        for rank, group in enumerate(groups, 1):
+            oids = ", ".join(str(oid) for oid in
+                             sorted(o[0] for o in group["objects"]))
+            print(f"  #{rank}: dist={group['distance']:.2f} objects=[{oids}]")
+    elif result.get("found"):
+        group = result["group"]
+        oids = ", ".join(str(oid) for oid in
+                         sorted(o[0] for o in group["objects"]))
+        print(f"dist={group['distance']:.2f} objects=[{oids}]")
+        print(f"node accesses: "
+              f"{response.get('stats', {}).get('node_accesses')}")
+    else:
+        print("no qualified window exists")
+    print()
+    print(format_span_tree(root))
+    if envelope.get("dropped_spans"):
+        print(f"({envelope['dropped_spans']} span(s) dropped server-side)",
+              file=sys.stderr)
+    if args.explain:
+        print()
+        print(explain(root))
+    if args.jsonl:
+        write_jsonl([root], args.jsonl)
+        print(f"trace appended to {args.jsonl}", file=sys.stderr)
+    if args.metrics:
+        print("note: --metrics is local-only; scrape the server's "
+              "'metrics' op (or 'fleet-status') instead", file=sys.stderr)
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.port is not None:
+        return _trace_remote(args)
     tracer = QueryTracer()
     metrics = MetricsRegistry()
     engine = _make_engine(args, tracer=tracer, metrics=metrics,
@@ -528,6 +605,69 @@ def _cmd_shard_serve(args: argparse.Namespace) -> int:
                 proc.wait()
 
 
+def _render_fleet_table(rows, wal_lag: dict) -> str:
+    lines = [f"{'shard':<12} {'qps':>8} {'p99 ms':>9} {'err':>5} "
+             f"{'prune/s':>9} {'refetch/s':>10} {'slo burn':>9} "
+             f"{'wal lag':>8}"]
+    for row in rows:
+        lag = wal_lag.get(row["shard"])
+        lines.append(
+            f"{row['shard']:<12} {row['qps']:>8.1f} {row['p99_ms']:>9.2f} "
+            f"{row['errors']:>5} {row['prune_per_s']:>9.2f} "
+            f"{row['refetch_per_s']:>10.2f} {row['slo_burn']:>9.2f} "
+            f"{'-' if lag is None else lag:>8}")
+    return "\n".join(lines)
+
+
+def _cmd_fleet_status(args: argparse.Namespace) -> int:
+    import time
+
+    from .obs.fleet import fleet_rows, state_to_registry
+    from .serve.client import ServeClient, ServeClientError
+
+    try:
+        client = ServeClient(args.host, args.port)
+    except OSError as exc:
+        print(f"error: cannot connect to {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+    with client:
+        try:
+            health = client.health()
+            if "shards" not in health:
+                print(f"error: {args.host}:{args.port} is not a shard "
+                      "coordinator (no per-shard health); fleet-status "
+                      "needs one", file=sys.stderr)
+                return 2
+
+            def scrape():
+                response = client.metrics(fmt="state", scope="fleet")
+                return state_to_registry(response["state"]), response
+
+            before, _ = scrape()
+            while True:
+                time.sleep(args.interval)
+                after, raw = scrape()
+                health = client.health()
+                wal_lag = {str(entry["shard"]): entry.get("wal_lag")
+                           for entry in health.get("shards", [])}
+                rows = fleet_rows(before, after, args.interval)
+                print(f"fleet @ {args.host}:{args.port}  "
+                      f"shards scraped: {raw.get('shards_scraped')}  "
+                      f"unreachable: {raw.get('unreachable')}  "
+                      f"version: {health.get('version')}")
+                print(_render_fleet_table(rows, wal_lag))
+                if not args.watch:
+                    return 0
+                print()
+                before = after
+        except KeyboardInterrupt:
+            return 0
+        except ServeClientError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -592,6 +732,12 @@ def build_parser() -> argparse.ArgumentParser:
     trc.add_argument("--metrics", default=None,
                      help="write the query's metrics to this file "
                           "(JSON; a .prom suffix selects Prometheus text)")
+    trc.add_argument("--host", default="127.0.0.1",
+                     help="server host for remote tracing (with --port)")
+    trc.add_argument("--port", type=int, default=None,
+                     help="trace against a running server instead of a "
+                          "local engine: send a trace context and render "
+                          "the returned (possibly sharded) span tree")
     trc.set_defaults(func=_cmd_trace)
 
     def add_dataset_args(p: argparse.ArgumentParser) -> None:
@@ -776,6 +922,20 @@ def build_parser() -> argparse.ArgumentParser:
                      help="give up after this many supervised restarts "
                           "(0 = unlimited)")
     shw.set_defaults(func=_cmd_shard_worker)
+
+    fls = sub.add_parser(
+        "fleet-status",
+        help="per-shard qps/p99/prune/WAL-lag/SLO-burn table from a "
+             "running shard coordinator")
+    fls.add_argument("--host", default="127.0.0.1")
+    fls.add_argument("--port", type=int, default=7654,
+                     help="coordinator port")
+    fls.add_argument("--interval", type=float, default=1.0,
+                     help="seconds between the two metric scrapes each "
+                          "rate is computed over")
+    fls.add_argument("--watch", action="store_true",
+                     help="refresh continuously until interrupted")
+    fls.set_defaults(func=_cmd_fleet_status)
     return parser
 
 

@@ -1,4 +1,4 @@
-"""Observability: metrics registry, query tracing, attribution.
+"""Observability: metrics registry, query tracing, attribution, SLOs.
 
 ``repro.obs`` is the telemetry layer of the reproduction-turned-system:
 :mod:`repro.obs.metrics` aggregates counters/gauges/latency histograms
@@ -8,8 +8,23 @@ per-optimization attribution (SRR/DIP/DEP/IWP).  Both are dependency-
 free and optional: every instrumented constructor defaults to
 :data:`~repro.obs.trace.NULL_TRACER` / ``metrics=None``, which keeps
 the hot paths at their un-instrumented cost.
+
+Three modules extend the story across process boundaries:
+:mod:`repro.obs.context` carries trace identity over the wire,
+:mod:`repro.obs.fleet` merges per-process registries into one exact
+fleet view, and :mod:`repro.obs.slo` turns latency objectives into
+error-budget burn accounting.
 """
 
+from .context import TraceContext, new_span_id, new_trace_id
+from .fleet import (
+    fleet_rows,
+    merge_fleet,
+    merge_into,
+    registry_state,
+    rollup,
+    state_to_registry,
+)
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS,
     DEFAULT_WORK_BUCKETS,
@@ -18,6 +33,7 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
 )
+from .slo import DEFAULT_OBJECTIVES, SLORecorder, default_objectives
 from .trace import (
     ATTRIBUTION_KEYS,
     NULL_TRACER,
@@ -26,6 +42,7 @@ from .trace import (
     Span,
     explain,
     format_span_tree,
+    span_from_dict,
     span_to_dict,
     write_jsonl,
 )
@@ -34,6 +51,7 @@ __all__ = [
     "ATTRIBUTION_KEYS",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_OBJECTIVES",
     "DEFAULT_WORK_BUCKETS",
     "Gauge",
     "Histogram",
@@ -41,9 +59,21 @@ __all__ = [
     "NULL_TRACER",
     "NullTracer",
     "QueryTracer",
+    "SLORecorder",
     "Span",
+    "TraceContext",
+    "default_objectives",
     "explain",
+    "fleet_rows",
     "format_span_tree",
+    "merge_fleet",
+    "merge_into",
+    "new_span_id",
+    "new_trace_id",
+    "registry_state",
+    "rollup",
+    "span_from_dict",
     "span_to_dict",
+    "state_to_registry",
     "write_jsonl",
 ]

@@ -1,0 +1,86 @@
+"""Cross-process trace context: the ids a trace carries over the wire.
+
+A distributed trace is one logical span tree whose nodes live in
+different processes.  What travels between them is *not* spans — each
+process keeps its own subtree and returns it in the response envelope —
+but a tiny correlation context in the Dapper style:
+
+* ``trace_id`` — shared by every span of one end-to-end request;
+* ``span_id`` — the caller's span the callee should parent under;
+* ``sampled`` — whether this request records spans at all (an unsampled
+  context propagates ids without paying for tracing).
+
+:class:`Span` objects themselves never carry ids; the ids live only in
+the wire envelope (request field ``trace``, response field ``trace``),
+which keeps the in-process tracer unchanged and the wire format
+explicit.  See :mod:`repro.serve.protocol` for where the context is
+parsed and :mod:`repro.shard.coordinator` for how subtrees returned by
+shard workers are stitched under one root.
+"""
+
+from __future__ import annotations
+
+import uuid
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+__all__ = ["TraceContext", "new_span_id", "new_trace_id"]
+
+#: Upper bound on accepted id lengths — ids are opaque strings, but the
+#: wire parser must not let a hostile client ship kilobytes per field.
+_MAX_ID_CHARS = 64
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex-char trace id."""
+    return uuid.uuid4().hex
+
+
+def new_span_id() -> str:
+    """A fresh 16-hex-char span id."""
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceContext:
+    """The propagated identity of one distributed trace.
+
+    Attributes:
+        trace_id: Identifier shared by every process in the trace.
+        span_id: The sender's span id — the parent for whatever spans
+            the receiver records.
+        sampled: Whether span recording is on for this request.
+    """
+
+    trace_id: str
+    span_id: str
+    sampled: bool = True
+
+    def child(self) -> "TraceContext":
+        """The context to forward on an outgoing call: same trace,
+        fresh span id, same sampling decision."""
+        return TraceContext(self.trace_id, new_span_id(), self.sampled)
+
+    def to_wire(self) -> dict[str, Any]:
+        """The JSON-ready wire form (request/response ``trace`` field)."""
+        return {"trace_id": self.trace_id, "span_id": self.span_id,
+                "sampled": self.sampled}
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, Any]) -> "TraceContext":
+        """Parse a wire ``trace`` object; raises ``ValueError`` when
+        malformed (the serve layer maps that to ``bad_request``)."""
+        if not isinstance(payload, Mapping):
+            raise ValueError("trace context must be an object")
+        trace_id = payload.get("trace_id")
+        span_id = payload.get("span_id")
+        for name, value in (("trace_id", trace_id), ("span_id", span_id)):
+            if not isinstance(value, str) or not value:
+                raise ValueError(f"trace {name} must be a non-empty string")
+            if len(value) > _MAX_ID_CHARS:
+                raise ValueError(
+                    f"trace {name} exceeds {_MAX_ID_CHARS} characters")
+        sampled = payload.get("sampled", True)
+        if not isinstance(sampled, bool):
+            raise ValueError("trace 'sampled' must be a boolean")
+        return cls(trace_id, span_id, sampled)

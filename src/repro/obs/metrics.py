@@ -68,13 +68,22 @@ def _label_key(labels: Mapping[str, object] | None) -> tuple[tuple[str, str], ..
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format: backslash first,
+    then double-quote and newline."""
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _escape_help(text: str) -> str:
+    """Escape a HELP string per the exposition format (backslash and
+    newline only — quotes are legal in help text)."""
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
 def _render_labels(key: tuple[tuple[str, str], ...]) -> str:
     if not key:
         return ""
-    escaped = (
-        (name, value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n"))
-        for name, value in key
-    )
+    escaped = ((name, _escape_label_value(value)) for name, value in key)
     return "{" + ",".join(f'{name}="{value}"' for name, value in escaped) + "}"
 
 
@@ -300,7 +309,7 @@ class MetricsRegistry:
         lines: list[str] = []
         for family in self._iter_families():
             if family.help:
-                lines.append(f"# HELP {family.name} {family.help}")
+                lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
             lines.append(f"# TYPE {family.name} {family.kind}")
             for key in sorted(family.children):
                 metric = family.children[key]

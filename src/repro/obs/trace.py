@@ -56,6 +56,7 @@ __all__ = [
     "Span",
     "explain",
     "format_span_tree",
+    "span_from_dict",
     "span_to_dict",
     "write_jsonl",
 ]
@@ -319,6 +320,31 @@ def span_to_dict(span: Span) -> dict:
     }
 
 
+def span_from_dict(payload: Mapping) -> Span:
+    """Rebuild a :class:`Span` subtree from :func:`span_to_dict` output.
+
+    This is how a trace crosses a process boundary: shard workers ship
+    their subtree in the response envelope as the dict form and the
+    coordinator grafts the rebuilt spans under its stitched root.
+    Malformed payloads raise ``ValueError``.
+    """
+    if not isinstance(payload, Mapping):
+        raise ValueError("span payload must be an object")
+    try:
+        span = Span(str(payload.get("name", "")), dict(payload.get("attrs") or {}))
+        span.duration = float(payload.get("duration_s", 0.0))
+        span.io = {str(k): int(v) for k, v in (payload.get("io") or {}).items()}
+        span.counts = {str(k): int(v)
+                       for k, v in (payload.get("counts") or {}).items()}
+    except (TypeError, AttributeError) as exc:
+        raise ValueError(f"malformed span payload: {exc}") from exc
+    children = payload.get("children") or ()
+    if not isinstance(children, (list, tuple)):
+        raise ValueError("span children must be a list")
+    span.children = [span_from_dict(child) for child in children]
+    return span
+
+
 def write_jsonl(spans: Iterable[Span], path_or_file: str | os.PathLike[str] | IO[str]) -> int:
     """Write one JSON object per root span per line; returns the count.
 
@@ -372,6 +398,20 @@ def explain(span: Span) -> str:
     if measure_s:
         lines.append(f"  measure computation: {measure_s * 1e3:.3f}ms "
                      f"({_subtree_attr_sum(span, 'measure_calls'):.0f} calls)")
+    rpcs = [child for child in span.children if child.name.startswith("rpc:")]
+    if rpcs:
+        lines.append("  per-shard attribution (stitched trace):")
+        for child in rpcs:
+            attrs = child.attrs
+            rpc_ms = float(attrs.get("rpc_s", child.duration) or 0.0) * 1e3
+            engine_ms = float(attrs.get("engine_s", 0.0) or 0.0) * 1e3
+            net_ms = float(attrs.get("net_s", 0.0) or 0.0) * 1e3
+            lines.append(
+                f"    shard {attrs.get('shard', '?')!s:>3} {child.name[4:]:<14} "
+                f"[{attrs.get('stage', '?')}]  rpc {rpc_ms:.3f}ms = "
+                f"engine {engine_ms:.3f}ms + net/queue {net_ms:.3f}ms  "
+                f"node_accesses={child.io.get('node_accesses', 0)}"
+            )
     return "\n".join(lines)
 
 

@@ -245,19 +245,23 @@ class ServeClient:
     # ------------------------------------------------------------------
     def nwc(self, x: float, y: float, length: float, width: float, n: int,
             measure: str | None = None,
-            deadline_ms: float | None = None) -> dict[str, Any]:
+            deadline_ms: float | None = None,
+            trace: dict[str, Any] | None = None) -> dict[str, Any]:
         payload: dict[str, Any] = {"op": "nwc", "x": x, "y": y,
                                    "length": length, "width": width, "n": n}
         if measure is not None:
             payload["measure"] = measure
         if deadline_ms is not None:
             payload["deadline_ms"] = deadline_ms
+        if trace is not None:
+            payload["trace"] = trace
         return self.call(payload)
 
     def knwc(self, x: float, y: float, length: float, width: float, n: int,
              k: int, m: int = 0, maintenance: str = "exact",
              measure: str | None = None,
-             deadline_ms: float | None = None) -> dict[str, Any]:
+             deadline_ms: float | None = None,
+             trace: dict[str, Any] | None = None) -> dict[str, Any]:
         payload: dict[str, Any] = {"op": "knwc", "x": x, "y": y,
                                    "length": length, "width": width,
                                    "n": n, "k": k, "m": m,
@@ -266,6 +270,8 @@ class ServeClient:
             payload["measure"] = measure
         if deadline_ms is not None:
             payload["deadline_ms"] = deadline_ms
+        if trace is not None:
+            payload["trace"] = trace
         return self.call(payload)
 
     def _update(self, payload: dict[str, Any]) -> dict[str, Any]:
@@ -300,8 +306,14 @@ class ServeClient:
     def health(self) -> dict[str, Any]:
         return self.call({"op": "health"})
 
-    def metrics(self, fmt: str = "json") -> dict[str, Any]:
-        return self.call({"op": "metrics", "format": fmt})
+    def metrics(self, fmt: str = "json",
+                scope: str | None = None) -> dict[str, Any]:
+        """Scrape metrics.  ``scope="fleet"`` (coordinators only) merges
+        every worker's registry into one ``shard``-labelled view."""
+        payload: dict[str, Any] = {"op": "metrics", "format": fmt}
+        if scope is not None:
+            payload["scope"] = scope
+        return self.call(payload)
 
 
 def wait_until_healthy(host: str, port: int, timeout_s: float = 15.0,

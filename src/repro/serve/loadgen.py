@@ -167,6 +167,12 @@ class LoadReport:
     #: skips, refetches), scraped after the run when the target is a
     #: shard coordinator; empty against a single-engine server.
     shard_metrics: dict[str, Any] = field(default_factory=dict)
+    #: Fleet-scope scrape summary (coordinator targets only): shard
+    #: count scraped, unreachable shards, and the label-dropped rollup
+    #: of merged families — so cross-process counters like
+    #: ``shard_prune_skips_total`` are reported once, coherently,
+    #: instead of per-process fragments.
+    fleet: dict[str, Any] = field(default_factory=dict)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -207,6 +213,10 @@ class LoadReport:
                     tag = f"{name}{{{labels}}}" if labels else name
                     parts.append(f"{tag}={value}")
             lines.append("shards: " + "  ".join(parts))
+        if self.fleet:
+            lines.append(
+                f"fleet: {self.fleet.get('shards_scraped', 0)} shards "
+                f"scraped, unreachable: {self.fleet.get('unreachable', [])}")
         return "\n".join(lines)
 
 
@@ -465,11 +475,22 @@ def run_loadgen(
     miss = [s[2] for s in query_samples if not s[1]]
     mismatches = [m for w in workers for m in w.mismatches]
     shard_metrics: dict[str, Any] = {}
+    fleet: dict[str, Any] = {}
     try:
         with ServeClient(config.host, config.port) as probe:
             families = probe.metrics().get("metrics", {})
-        shard_metrics = {name: family for name, family in families.items()
-                         if name.startswith("shard_")}
+            shard_metrics = {name: family
+                             for name, family in families.items()
+                             if name.startswith("shard_")}
+            if shard_metrics:
+                # Coordinator target: also take the merged fleet view so
+                # cross-process counters appear once, not per-fragment.
+                merged = probe.metrics(scope="fleet")
+                fleet = {
+                    "shards_scraped": merged.get("shards_scraped", 0),
+                    "unreachable": merged.get("unreachable", []),
+                    "rollup": merged.get("rollup", {}),
+                }
     except (ServeClientError, OSError):
         pass  # server already gone; the report stands without the scrape
     return LoadReport(
@@ -492,4 +513,5 @@ def run_loadgen(
         mismatches=len(mismatches),
         mismatch_examples=mismatches[:10],
         shard_metrics=shard_metrics,
+        fleet=fleet,
     )

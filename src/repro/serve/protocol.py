@@ -12,6 +12,15 @@ response plus ``"deduped": true`` instead of applying the update again
 ``ok`` — ``true`` with op-specific payload fields, or ``false`` with a
 typed ``error`` object (``code`` from :data:`ERROR_CODES`).
 
+Any request may carry a ``trace`` object (``trace_id``, ``span_id``,
+``sampled`` — see :class:`repro.obs.context.TraceContext`): a sampled
+context makes the server record a span tree for the request and return
+it (serialized, with its I/O deltas) under ``trace`` in the response,
+parented at the caller's ``span_id``.  The ``metrics`` op accepts
+``format`` (``json``/``prometheus``/``state``) and ``scope``
+(``local``, or ``fleet`` on a shard coordinator, which scatter-scrapes
+every worker and merges the registries under a ``shard`` label).
+
 Query answers are serialized deterministically: ``json`` renders floats
 with ``repr``, which round-trips IEEE doubles exactly, so a cached
 response compares bit-identical to a freshly computed one whenever the
@@ -35,6 +44,7 @@ from typing import Any
 from ..core import DistanceMeasure, KNWCQuery, KNWCResult, NWCQuery, NWCResult
 from ..core.results import ObjectGroup
 from ..geometry import PointObject, Rect
+from ..obs.context import TraceContext
 
 __all__ = [
     "ERROR_CODES",
@@ -49,6 +59,7 @@ __all__ = [
     "parse_point",
     "parse_pool_limit",
     "parse_request_id",
+    "parse_trace",
     "serialize_knwc",
     "serialize_nwc",
     "shield_radii_knwc",
@@ -191,6 +202,24 @@ def parse_pool_limit(payload: dict[str, Any]) -> int | None:
         raise ProtocolError(
             f"field 'limit' must be a positive integer or null, got {limit!r}")
     return limit
+
+
+def parse_trace(payload: dict[str, Any]) -> TraceContext | None:
+    """The optional distributed-trace context of any request.
+
+    Absent or ``null`` means untraced; malformed contexts are a
+    :class:`ProtocolError` (→ ``bad_request``), never silently dropped,
+    so a caller who asked for a trace cannot lose it to a typo.
+    """
+    raw = payload.get("trace")
+    if raw is None:
+        return None
+    if not isinstance(raw, dict):
+        raise ProtocolError("field 'trace' must be an object or null")
+    try:
+        return TraceContext.from_wire(raw)
+    except ValueError as exc:
+        raise ProtocolError(f"malformed trace context: {exc}") from exc
 
 
 def parse_point(payload: dict[str, Any]) -> PointObject:

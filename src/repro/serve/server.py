@@ -60,7 +60,11 @@ from typing import Any, Awaitable, Callable
 
 from ..core import NWCEngine, NWCError
 from ..index import save_tree
+from ..obs.context import TraceContext
+from ..obs.fleet import registry_state
 from ..obs.metrics import MetricsRegistry
+from ..obs.slo import SLORecorder, default_objectives
+from ..obs.trace import QueryTracer, span_to_dict
 from ..storage import StorageError
 from ..storage.wal import crash_point
 from . import protocol
@@ -296,6 +300,8 @@ class LineProtocolServer:
                                   "Monotone dataset version")
         self._g_cache_entries = m.gauge("serve_cache_entries",
                                         "Live result-cache entries")
+        self.slo = SLORecorder(
+            m, default_objectives(type(self)._LATENCY_OPS))
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -405,6 +411,7 @@ class LineProtocolServer:
         if handler is None:
             self._m_requests[("unknown", "bad_request")].inc()
             return error_response("bad_request", f"unknown op {op!r}", request_id)
+        start = time.perf_counter()
         try:
             response = await handler(self, payload)
             outcome = "ok" if response.get("ok") else response["error"]["code"]
@@ -418,10 +425,21 @@ class LineProtocolServer:
             response, outcome = error_response(
                 "internal", f"{type(exc).__name__}: {exc}"
             ), "internal"
-        self._m_requests[(op, outcome)].inc()
+        self._observe_request(op, outcome, time.perf_counter() - start)
         if request_id is not None:
             response["id"] = request_id
         return response
+
+    def _observe_request(self, op: str, outcome: str, seconds: float) -> None:
+        """The single request-accounting seam: outcome counter + SLO.
+        One override point covers plain servers, shard workers and the
+        coordinator alike (and the bench overhead guard shadows it)."""
+        self._m_requests[(op, outcome)].inc()
+        self.slo.record(op, seconds, error=(outcome != "ok"))
+
+    def _trace_context(self, payload: dict[str, Any]) -> TraceContext | None:
+        """The request's distributed-trace context, if any."""
+        return protocol.parse_trace(payload)
 
     # ------------------------------------------------------------------
     # Admission + deadlines
@@ -501,6 +519,11 @@ class LineProtocolServer:
     # Generic ops
     # ------------------------------------------------------------------
     async def _op_metrics(self, payload: dict[str, Any]) -> dict[str, Any]:
+        scope = payload.get("scope", "local")
+        if scope != "local":
+            raise ProtocolError(
+                f"metrics scope {scope!r} is not served here — 'fleet' "
+                "requires a shard coordinator")
         self._refresh_pressure_gauges()
         self._g_version.set(self.version)
         if self.cache is not None:
@@ -512,7 +535,41 @@ class LineProtocolServer:
         if fmt == "json":
             return {"ok": True, "op": "metrics", "format": fmt,
                     "metrics": self.metrics.to_dict()}
+        if fmt == "state":
+            # The lossless structural form fleet aggregation merges
+            # (to_dict() summarizes histograms, which cannot be merged).
+            return {"ok": True, "op": "metrics", "format": fmt,
+                    "state": registry_state(self.metrics)}
         raise ProtocolError(f"unknown metrics format {fmt!r}")
+
+    # ------------------------------------------------------------------
+    # Traced engine execution
+    # ------------------------------------------------------------------
+    def _trace_engine_call(self, run: Callable) -> tuple[Any, Any, int]:
+        """Run ``run()`` with a per-request tracer on the engine
+        (executor thread).  The caller must hold a slot that makes the
+        engine's IOStats delta attributable to this call alone; the
+        tracer swap is restored even when the engine raises."""
+        tracer = QueryTracer()
+        engine = self.engine  # type: ignore[attr-defined]
+        previous = engine.tracer
+        engine.tracer = tracer
+        try:
+            result = run()
+        finally:
+            engine.tracer = previous
+        return result, tracer.last, tracer.dropped_spans
+
+    @staticmethod
+    def _trace_envelope(ctx: TraceContext, root, dropped: int) -> dict[str, Any]:
+        """The response ``trace`` field: the recorded subtree, parented
+        at the caller's span id."""
+        return {
+            "trace_id": ctx.trace_id,
+            "parent": ctx.span_id,
+            "span": span_to_dict(root) if root is not None else None,
+            "dropped_spans": dropped,
+        }
 
 
 class QueryServer(LineProtocolServer):
@@ -589,32 +646,52 @@ class QueryServer(LineProtocolServer):
 
     async def _answer_query(self, payload, op, key, run, serialize,
                             radii, n, qx, qy) -> dict[str, Any]:
+        ctx = self._trace_context(payload)
+        traced = ctx is not None and ctx.sampled
         refused = self._check_admission()
         if refused is not None:
             return refused
         start = time.perf_counter()
         with self._admitted():
-            cached = self.cache.get(key, self.version)
-            self._g_cache_entries.set(len(self.cache))
-            if cached is not None:
-                self._m_latency[(op, "cache")].observe(
-                    time.perf_counter() - start)
-                return {"ok": True, "op": op, "version": self.version,
-                        "cached": True, "result": cached}
+            if not traced:
+                cached = self.cache.get(key, self.version)
+                self._g_cache_entries.set(len(self.cache))
+                if cached is not None:
+                    self._m_latency[(op, "cache")].observe(
+                        time.perf_counter() - start)
+                    return {"ok": True, "op": op, "version": self.version,
+                            "cached": True, "result": cached}
             deadline = self._deadline(payload)
-            async with self._scheduler.read(deadline):
-                self._refresh_pressure_gauges()
-                result = await self._run(run)
-                version = self.version  # stable while any reader runs
+            if traced:
+                # Exclusive slot: the engine's IOStats are process-global,
+                # so nothing else may touch the engine while the trace's
+                # I/O deltas are being attributed.  The query itself is a
+                # pure read — the answer is bit-identical either way —
+                # and the cache is bypassed so the trace always shows a
+                # real engine run.
+                async with self._scheduler.write(deadline):
+                    self._refresh_pressure_gauges()
+                    result, root, dropped = await self._run(
+                        self._trace_engine_call, run)
+                    version = self.version
+            else:
+                async with self._scheduler.read(deadline):
+                    self._refresh_pressure_gauges()
+                    result = await self._run(run)
+                    version = self.version  # stable while any reader runs
             answer = serialize(result)
-            insert_radius, delete_radius = radii(result)
-            self.cache.put(key, version, answer, qx, qy, n,
-                           insert_radius, delete_radius)
-            self._g_cache_entries.set(len(self.cache))
+            if not traced:
+                insert_radius, delete_radius = radii(result)
+                self.cache.put(key, version, answer, qx, qy, n,
+                               insert_radius, delete_radius)
+                self._g_cache_entries.set(len(self.cache))
             self._m_latency[(op, "engine")].observe(time.perf_counter() - start)
-            return {"ok": True, "op": op, "version": version, "cached": False,
-                    "result": answer,
-                    "stats": {"node_accesses": result.node_accesses}}
+            response = {"ok": True, "op": op, "version": version,
+                        "cached": False, "result": answer,
+                        "stats": {"node_accesses": result.node_accesses}}
+            if traced:
+                response["trace"] = self._trace_envelope(ctx, root, dropped)
+            return response
 
     # ------------------------------------------------------------------
     # Update ops

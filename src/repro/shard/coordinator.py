@@ -34,6 +34,18 @@ A shard that stays unreachable after retries surfaces as the typed
 exactness may send ``"partial": true`` on queries to accept merged
 results over the reachable shards (flagged ``"partial": true`` in the
 response and never cached).
+
+The coordinator is also the fleet's observability hub.  A sampled
+``trace`` context on a query bypasses the cache, forwards a child
+context on every shard RPC, and stitches the workers' returned span
+subtrees under one root whose RPC spans split wall time into engine vs
+net/queue and whose I/O deltas are the key-wise **sum of the shard
+subtrees** — the cross-process form of the tracer's conservation
+invariant (pruned and failed shards contribute exactly zero).  And
+``metrics {"scope": "fleet"}`` scatter-scrapes every worker's registry
+in the lossless ``state`` form and merges them (exactly — fixed
+histogram buckets) under a ``shard`` label, with a label-dropped
+``rollup`` so fleet totals appear once.
 """
 
 from __future__ import annotations
@@ -50,7 +62,9 @@ from dataclasses import dataclass
 from types import SimpleNamespace
 from typing import Any
 
-from ..obs.trace import NULL_TRACER
+from ..obs.context import TraceContext
+from ..obs.fleet import merge_fleet, registry_state, rollup
+from ..obs.trace import NULL_TRACER, Span, span_from_dict
 from ..serve import protocol
 from ..serve.backoff import BackoffPolicy
 from ..serve.cache import ResultCache
@@ -219,6 +233,73 @@ class ShardLink:
             self._discard(self._free.popleft())
 
 
+#: Render order of stitched RPC spans (matches scatter staging).
+_STAGE_ORDER = {"probe": 0, "fanout": 1, "refetch": 2}
+
+
+class _TraceRecorder:
+    """Per-request collector that stitches shard subtrees into one trace.
+
+    The coordinator cannot use :class:`~repro.obs.trace.QueryTracer`
+    here — fan-out RPCs complete concurrently under ``asyncio.gather``,
+    which would violate its strict stack nesting — so RPC spans are
+    built by hand: one ``rpc:<op>`` span per successful shard call,
+    carrying the worker's returned subtree as its only child and the
+    subtree's I/O as its own (the RPC did no I/O itself).  ``finish``
+    sums the children key-wise into the root, which makes the stitched
+    root obey the same conservation invariant as an in-process trace:
+    root I/O deltas == sum of shard-reported result stats, with pruned
+    and failed shards contributing exactly zero.
+    """
+
+    __slots__ = ("ctx", "dropped", "_entries", "_seq", "_start")
+
+    def __init__(self, ctx: TraceContext) -> None:
+        self.ctx = ctx
+        self.dropped = 0
+        self._entries: list[tuple[int, int, int, Span]] = []
+        self._seq = 0
+        self._start = time.perf_counter()
+
+    def record(self, stage: str, shard: int, op: str, rpc_s: float,
+               response: dict[str, Any]) -> None:
+        """Record one successful shard RPC and graft its subtree."""
+        envelope = response.get("trace") or {}
+        payload = envelope.get("span")
+        child = span_from_dict(payload) if payload else None
+        engine_s = child.duration if child is not None else 0.0
+        span = Span(f"rpc:{op}", {
+            "shard": shard,
+            "stage": stage,
+            "rpc_s": rpc_s,
+            "engine_s": engine_s,
+            "net_s": max(0.0, rpc_s - engine_s),
+        })
+        span.duration = rpc_s
+        if child is not None:
+            span.io = dict(child.io)
+            span.children.append(child)
+        self.dropped += int(envelope.get("dropped_spans") or 0)
+        self._entries.append(
+            (_STAGE_ORDER.get(stage, 9), shard, self._seq, span))
+        self._seq += 1
+
+    def finish(self, name: str, attrs: dict | None = None) -> Span:
+        """The stitched root: children in (stage, shard) order, I/O
+        summed key-wise over every recorded RPC span."""
+        root = Span(name, attrs)
+        root.duration = time.perf_counter() - self._start
+        children = [entry[3] for entry in sorted(
+            self._entries, key=lambda entry: entry[:3])]
+        io: dict[str, int] = {}
+        for span in children:
+            for key, value in span.io.items():
+                io[key] = io.get(key, 0) + value
+        root.io = io
+        root.children = children
+        return root
+
+
 class ShardCoordinator(LineProtocolServer):
     """The serving layer over a fleet of shard workers; no local engine.
 
@@ -336,10 +417,29 @@ class ShardCoordinator(LineProtocolServer):
             raise ProtocolError("field 'partial' must be a boolean")
         return partial
 
+    async def _shard_call(self, recorder: _TraceRecorder | None, stage: str,
+                          index: int, payload: dict[str, Any],
+                          deadline: float | None) -> dict[str, Any]:
+        """One shard RPC, traced when ``recorder`` is set: forwards a
+        child trace context and records an ``rpc:<op>`` span splitting
+        wall time into worker engine time vs net/queue remainder."""
+        if recorder is None:
+            return await self.links[index].call(dict(payload), deadline)
+        traced = dict(payload)
+        traced["trace"] = recorder.ctx.child().to_wire()
+        start = time.perf_counter()
+        response = await self.links[index].call(traced, deadline)
+        recorder.record(stage, index, str(payload.get("op")),
+                        time.perf_counter() - start, response)
+        return response
+
     async def _op_nwc(self, payload: dict[str, Any]) -> dict[str, Any]:
         query = protocol.parse_nwc(payload)
         self._check_window(query)
         partial_ok = self._partial_requested(payload)
+        ctx = self._trace_context(payload)
+        traced = ctx is not None and ctx.sampled
+        recorder = _TraceRecorder(ctx) if traced else None
         key = ("nwc", query.qx, query.qy, query.length, query.width,
                query.n, query.measure.value, self._flags_key)
         refused = self._check_admission()
@@ -347,13 +447,14 @@ class ShardCoordinator(LineProtocolServer):
             return refused
         start = time.perf_counter()
         with self._admitted():
-            cached = self.cache.get(key, self.version)
-            self._g_cache_entries.set(len(self.cache))
-            if cached is not None:
-                self._m_latency[("nwc", "cache")].observe(
-                    time.perf_counter() - start)
-                return {"ok": True, "op": "nwc", "version": self.version,
-                        "cached": True, "result": cached}
+            if not traced:
+                cached = self.cache.get(key, self.version)
+                self._g_cache_entries.set(len(self.cache))
+                if cached is not None:
+                    self._m_latency[("nwc", "cache")].observe(
+                        time.perf_counter() - start)
+                    return {"ok": True, "op": "nwc", "version": self.version,
+                            "cached": True, "result": cached}
             deadline = self._deadline(payload)
             async with self._scheduler.read(deadline):
                 self._refresh_pressure_gauges()
@@ -366,7 +467,7 @@ class ShardCoordinator(LineProtocolServer):
                               "reason": "n exceeds dataset size"}
                 else:
                     best, accesses, meta, failed = await self._scatter_nwc(
-                        query, deadline)
+                        query, deadline, recorder)
                     if failed and not partial_ok:
                         return error_response(
                             "shard_unavailable",
@@ -380,7 +481,7 @@ class ShardCoordinator(LineProtocolServer):
             if failed:
                 self._m_partial.inc()
                 meta = dict(meta) | {"failed": sorted(failed)}
-            else:
+            elif not traced:
                 shim = SimpleNamespace(
                     found=best is not None,
                     distance=best.distance if best is not None else math.inf)
@@ -397,9 +498,18 @@ class ShardCoordinator(LineProtocolServer):
                         "shards": meta}
             if failed:
                 response["partial"] = True
+            if recorder is not None:
+                root = recorder.finish("query:nwc", {
+                    "kind": "nwc", "sharded": True,
+                    "shards": self.manifest.shard_count,
+                    "fanout": meta.get("fanout", 0),
+                    "skipped": meta.get("skipped", 0),
+                })
+                response["trace"] = self._trace_envelope(
+                    ctx, root, recorder.dropped)
             return response
 
-    async def _scatter_nwc(self, query, deadline):
+    async def _scatter_nwc(self, query, deadline, recorder=None):
         """Staged NWC scatter; returns ``(best, accesses, meta, failed)``."""
         bounds = self._lower_bounds(query.qx, query.length)
         order = sorted(range(len(self.links)), key=lambda i: (bounds[i], i))
@@ -424,7 +534,8 @@ class ShardCoordinator(LineProtocolServer):
         probe = order[0]
         with self.tracer.span("shard.probe", {"shard": probe}):
             try:
-                absorb(await self.links[probe].call(dict(base), deadline))
+                absorb(await self._shard_call(
+                    recorder, "probe", probe, base, deadline))
                 contacted += 1
             except ShardCallError:
                 failed.append(probe)
@@ -442,7 +553,8 @@ class ShardCoordinator(LineProtocolServer):
                 fan["bound"] = merge.next_bound(best.distance)
             with self.tracer.span("shard.fanout", {"shards": len(rest)}):
                 responses = await asyncio.gather(
-                    *(self.links[i].call(dict(fan), deadline) for i in rest),
+                    *(self._shard_call(recorder, "fanout", i, fan, deadline)
+                      for i in rest),
                     return_exceptions=True,
                 )
             for i, response in zip(rest, responses):
@@ -468,6 +580,9 @@ class ShardCoordinator(LineProtocolServer):
                 "shard-exact replay)")
         self._check_window(query.base)
         partial_ok = self._partial_requested(payload)
+        ctx = self._trace_context(payload)
+        traced = ctx is not None and ctx.sampled
+        recorder = _TraceRecorder(ctx) if traced else None
         base = query.base
         key = ("knwc", base.qx, base.qy, base.length, base.width, base.n,
                base.measure.value, query.k, query.m, maintenance,
@@ -477,13 +592,14 @@ class ShardCoordinator(LineProtocolServer):
             return refused
         start = time.perf_counter()
         with self._admitted():
-            cached = self.cache.get(key, self.version)
-            self._g_cache_entries.set(len(self.cache))
-            if cached is not None:
-                self._m_latency[("knwc", "cache")].observe(
-                    time.perf_counter() - start)
-                return {"ok": True, "op": "knwc", "version": self.version,
-                        "cached": True, "result": cached}
+            if not traced:
+                cached = self.cache.get(key, self.version)
+                self._g_cache_entries.set(len(self.cache))
+                if cached is not None:
+                    self._m_latency[("knwc", "cache")].observe(
+                        time.perf_counter() - start)
+                    return {"ok": True, "op": "knwc", "version": self.version,
+                            "cached": True, "result": cached}
             deadline = self._deadline(payload)
             async with self._scheduler.read(deadline):
                 self._refresh_pressure_gauges()
@@ -496,7 +612,7 @@ class ShardCoordinator(LineProtocolServer):
                               "reason": "n exceeds dataset size"}
                 else:
                     groups, accesses, meta, failed = await self._scatter_knwc(
-                        query, deadline)
+                        query, deadline, recorder)
                     if failed and not partial_ok:
                         return error_response(
                             "shard_unavailable",
@@ -509,7 +625,7 @@ class ShardCoordinator(LineProtocolServer):
             if failed:
                 self._m_partial.inc()
                 meta = dict(meta) | {"failed": sorted(failed)}
-            else:
+            elif not traced:
                 shim = SimpleNamespace(groups=tuple(groups))
                 insert_radius, delete_radius = protocol.shield_radii_knwc(
                     query, shim)
@@ -524,9 +640,18 @@ class ShardCoordinator(LineProtocolServer):
                         "shards": meta}
             if failed:
                 response["partial"] = True
+            if recorder is not None:
+                root = recorder.finish("query:knwc", {
+                    "kind": "knwc", "sharded": True,
+                    "shards": self.manifest.shard_count,
+                    "fanout": meta.get("fanout", 0),
+                    "skipped": meta.get("skipped", 0),
+                })
+                response["trace"] = self._trace_envelope(
+                    ctx, root, recorder.dropped)
             return response
 
-    async def _scatter_knwc(self, query, deadline):
+    async def _scatter_knwc(self, query, deadline, recorder=None):
         """Two-stage kNWC scatter with horizon-guarded replay."""
         base = query.base
         bounds = self._lower_bounds(base.qx, base.length)
@@ -553,8 +678,8 @@ class ShardCoordinator(LineProtocolServer):
         probe = order[0]
         with self.tracer.span("shard.probe", {"shard": probe}):
             try:
-                pools[probe] = decode(
-                    await self.links[probe].call(dict(request), deadline))
+                pools[probe] = decode(await self._shard_call(
+                    recorder, "probe", probe, request, deadline))
                 contacted += 1
             except ShardCallError:
                 failed.append(probe)
@@ -581,7 +706,8 @@ class ShardCoordinator(LineProtocolServer):
                 fan["bound"] = seed
             with self.tracer.span("shard.fanout", {"shards": len(rest)}):
                 responses = await asyncio.gather(
-                    *(self.links[i].call(dict(fan), deadline) for i in rest),
+                    *(self._shard_call(recorder, "fanout", i, fan, deadline)
+                      for i in rest),
                     return_exceptions=True,
                 )
             for i, response in zip(rest, responses):
@@ -619,7 +745,7 @@ class ShardCoordinator(LineProtocolServer):
                                   {"shards": len(refetch),
                                    "bounded": target is not None}):
                 responses = await asyncio.gather(
-                    *(self.links[i].call(dict(again), deadline)
+                    *(self._shard_call(recorder, "refetch", i, again, deadline)
                       for i in refetch),
                     return_exceptions=True,
                 )
@@ -783,6 +909,49 @@ class ShardCoordinator(LineProtocolServer):
             return {"ok": True, "op": "checkpoint", "version": self.version,
                     "shards": shards}
 
+    async def _op_metrics(self, payload: dict[str, Any]) -> dict[str, Any]:
+        scope = payload.get("scope", "local")
+        if scope == "local":
+            return await super()._op_metrics(payload)
+        if scope != "fleet":
+            raise ProtocolError(f"unknown metrics scope {scope!r}")
+        fmt = payload.get("format", "json")
+        if fmt not in ("json", "prometheus", "state"):
+            raise ProtocolError(f"unknown metrics format {fmt!r}")
+        self._refresh_pressure_gauges()
+        self._g_version.set(self.version)
+        if self.cache is not None:
+            self._g_cache_entries.set(len(self.cache))
+        responses = await asyncio.gather(
+            *(link.call({"op": "metrics", "format": "state"})
+              for link in self.links),
+            return_exceptions=True,
+        )
+        scrapes: list[tuple[dict[str, str], dict]] = [
+            ({"shard": "coordinator"}, registry_state(self.metrics)),
+        ]
+        unreachable: list[int] = []
+        for i, response in enumerate(responses):
+            if isinstance(response, (ShardCallError, DeadlineExceeded)):
+                unreachable.append(i)
+            elif isinstance(response, BaseException):
+                raise response
+            else:
+                scrapes.append(({"shard": str(i)}, response["state"]))
+        merged = merge_fleet(scrapes)
+        response = {"ok": True, "op": "metrics", "scope": "fleet",
+                    "format": fmt, "shards_scraped": len(scrapes) - 1,
+                    "unreachable": unreachable}
+        if fmt == "prometheus":
+            return response | {"text": merged.dump_metrics()}
+        if fmt == "state":
+            return response | {"state": registry_state(merged)}
+        # JSON ships both views: the shard-labelled merge for per-shard
+        # drill-down and the label-dropped rollup where each fleet-wide
+        # counter appears exactly once.
+        return response | {"metrics": merged.to_dict(),
+                           "rollup": rollup(merged).to_dict()}
+
     async def _op_health(self, payload: dict[str, Any]) -> dict[str, Any]:
         responses = await asyncio.gather(
             *(link.call({"op": "health"}) for link in self.links),
@@ -801,6 +970,8 @@ class ShardCoordinator(LineProtocolServer):
                     "version": response.get("version"),
                     "size": response.get("size"),
                     "owned_size": response.get("shard", {}).get("owned_size"),
+                    "wal_lag": response.get("durability", {}).get(
+                        "records_since_checkpoint"),
                 })
         return {
             "ok": True,
@@ -824,7 +995,7 @@ class ShardCoordinator(LineProtocolServer):
         "delete": _op_delete,
         "checkpoint": _op_checkpoint,
         "health": _op_health,
-        "metrics": LineProtocolServer._op_metrics,
+        "metrics": _op_metrics,
     }
 
 

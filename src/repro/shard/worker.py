@@ -126,6 +126,8 @@ class ShardServer(QueryServer):
     async def _op_nwc_scatter(self, payload: dict[str, Any]) -> dict[str, Any]:
         query = protocol.parse_nwc(payload)
         bound = protocol.parse_bound(payload)
+        ctx = self._trace_context(payload)
+        traced = ctx is not None and ctx.sampled
         refused = self._check_admission()
         if refused is not None:
             return refused
@@ -134,27 +136,41 @@ class ShardServer(QueryServer):
             deadline = self._deadline(payload)
             async with self._scheduler.read(deadline):
                 self._refresh_pressure_gauges()
-                result, order = await self._run(
-                    lambda: self.engine.nwc_ordered(
+
+                def run():
+                    return self.engine.nwc_ordered(
                         query, bound=bound,
                         anchor_region=self.anchor_region,
                     )
-                )
+
+                if traced:
+                    # _run serializes engine work behind _engine_lock,
+                    # so the tracer swap + query is atomic and the
+                    # I/O delta belongs to this query alone.
+                    (result, order), root, dropped = await self._run(
+                        self._trace_engine_call, run)
+                else:
+                    result, order = await self._run(run)
                 version = self.version
             self._m_latency[("nwc_scatter", "engine")].observe(
                 time.perf_counter() - start)
-            return {
+            response = {
                 "ok": True, "op": "nwc_scatter", "version": version,
                 "shard": self.shard_index,
                 "result": protocol.serialize_nwc(result),
                 "order": None if order is None else list(order),
                 "stats": {"node_accesses": result.node_accesses},
             }
+            if traced:
+                response["trace"] = self._trace_envelope(ctx, root, dropped)
+            return response
 
     async def _op_knwc_pool(self, payload: dict[str, Any]) -> dict[str, Any]:
         query, _maintenance = protocol.parse_knwc(payload)
         limit = protocol.parse_pool_limit(payload)
         bound = protocol.parse_bound(payload)
+        ctx = self._trace_context(payload)
+        traced = ctx is not None and ctx.sampled
         refused = self._check_admission()
         if refused is not None:
             return refused
@@ -173,11 +189,15 @@ class ShardServer(QueryServer):
                         "node_accesses", 0)
                     return pool, accesses
 
-                (pool, accesses) = await self._run(run)
+                if traced:
+                    (pool, accesses), root, dropped = await self._run(
+                        self._trace_engine_call, run)
+                else:
+                    (pool, accesses) = await self._run(run)
                 version = self.version
             self._m_latency[("knwc_pool", "engine")].observe(
                 time.perf_counter() - start)
-            return {
+            response = {
                 "ok": True, "op": "knwc_pool", "version": version,
                 "shard": self.shard_index,
                 "pool": {
@@ -189,6 +209,9 @@ class ShardServer(QueryServer):
                 },
                 "stats": {"node_accesses": accesses},
             }
+            if traced:
+                response["trace"] = self._trace_envelope(ctx, root, dropped)
+            return response
 
     # ------------------------------------------------------------------
     # Inherited ops, shard-aware

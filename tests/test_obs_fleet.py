@@ -1,0 +1,196 @@
+"""Unit tests for repro.obs.fleet: lossless registry state export,
+exact merge algebra (associative, commutative), histogram-merge
+quantile identity, rollups, and fleet-status rows."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.fleet import (
+    fleet_rows,
+    merge_fleet,
+    merge_into,
+    registry_state,
+    rollup,
+    state_to_registry,
+)
+
+BUCKETS = (0.001, 0.01, 0.1, 1.0)
+
+
+def make_registry(shard: int, observations) -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("requests_total", "Requests", {"op": "nwc"}).inc(
+        10 * (shard + 1))
+    reg.gauge("inflight", "Active requests").set(shard + 1)
+    hist = reg.histogram("latency_seconds", "Latency", buckets=BUCKETS)
+    for value in observations:
+        hist.observe(value)
+    return reg
+
+
+# Dyadic rationals: float addition over them is exact, so merge-order
+# independence can be asserted as string equality of the dumps.
+OBS = [
+    [i / 1024 for i in range(1, 40, 3)],
+    [i / 512 for i in range(1, 20, 2)],
+    [i / 256 for i in range(3, 30, 4)],
+]
+
+
+class TestStateRoundTrip:
+    def test_state_is_json_clean_and_lossless(self):
+        reg = make_registry(0, OBS[0])
+        state = registry_state(reg)
+        json.dumps(state)  # wire form must be JSON-serializable
+        rebuilt = state_to_registry(state)
+        assert rebuilt.dump_metrics() == reg.dump_metrics()
+
+    def test_empty_histogram_round_trips(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat_seconds", buckets=BUCKETS)
+        state = registry_state(reg)
+        # min/max of an empty histogram are ±inf internally; the wire
+        # form must carry null, not Infinity.
+        hist = state["families"][0]["children"][0]["hist"]
+        assert hist["min"] is None and hist["max"] is None
+        json.dumps(state)
+        rebuilt = state_to_registry(state)
+        assert rebuilt.dump_metrics() == reg.dump_metrics()
+
+    def test_malformed_state_rejected(self):
+        with pytest.raises(ValueError):
+            merge_into(MetricsRegistry(), {"not": "a state"})
+
+
+class TestMergeAlgebra:
+    def test_merge_is_commutative(self):
+        scrapes = [({"shard": str(i)}, registry_state(make_registry(i, obs)))
+                   for i, obs in enumerate(OBS)]
+        forward = merge_fleet(scrapes)
+        backward = merge_fleet(reversed(scrapes))
+        assert forward.dump_metrics() == backward.dump_metrics()
+
+    def test_merge_is_associative(self):
+        regs = [make_registry(i, obs) for i, obs in enumerate(OBS)]
+        states = [registry_state(reg) for reg in regs]
+        # (a + b) + c
+        left = MetricsRegistry()
+        merge_into(left, states[0])
+        merge_into(left, states[1])
+        ab = registry_state(left)
+        left2 = state_to_registry(ab)
+        merge_into(left2, states[2])
+        # a + (b + c)
+        right_inner = MetricsRegistry()
+        merge_into(right_inner, states[1])
+        merge_into(right_inner, states[2])
+        right = state_to_registry(states[0])
+        merge_into(right, registry_state(right_inner))
+        assert left2.dump_metrics() == right.dump_metrics()
+
+    def test_merged_quantiles_equal_concatenated_observations(self):
+        """Bucket-wise merge of per-shard histograms is exact: quantile
+        estimates equal those of one histogram fed every observation."""
+        merged = merge_fleet(
+            [({}, registry_state(make_registry(i, obs)))
+             for i, obs in enumerate(OBS)])
+        single = MetricsRegistry()
+        hist = single.histogram("latency_seconds", "Latency", buckets=BUCKETS)
+        for obs in OBS:
+            for value in obs:
+                hist.observe(value)
+        got = merged._families["latency_seconds"].children[()]
+        for q in (0.0, 0.25, 0.5, 0.9, 0.99, 1.0):
+            assert got.quantile(q) == hist.quantile(q)
+        assert got.count == hist.count
+        assert got.min == hist.min and got.max == hist.max
+
+    def test_counters_and_gauges_add(self):
+        merged = merge_fleet(
+            [({}, registry_state(make_registry(i, ()))) for i in range(3)])
+        values = merged.to_dict()
+        assert values["requests_total"]["values"]['{op="nwc"}'] == 60.0
+        assert values["inflight"]["values"][""] == 6.0
+
+    def test_bucket_bounds_mismatch_rejected(self):
+        a = MetricsRegistry()
+        a.histogram("lat_seconds", buckets=(1.0, 2.0)).observe(1.5)
+        b = MetricsRegistry()
+        b.histogram("lat_seconds", buckets=(1.0, 4.0)).observe(1.5)
+        target = state_to_registry(registry_state(a))
+        with pytest.raises(ValueError, match="bucket"):
+            merge_into(target, registry_state(b))
+
+    def test_empty_source_histogram_is_identity(self):
+        a = make_registry(0, OBS[0])
+        b = MetricsRegistry()
+        b.histogram("latency_seconds", "Latency", buckets=BUCKETS)
+        before = state_to_registry(registry_state(a)).dump_metrics()
+        merged = state_to_registry(registry_state(a))
+        merge_into(merged, registry_state(b))
+        hist = merged._families["latency_seconds"].children[()]
+        assert state_to_registry(registry_state(merged)).dump_metrics() \
+            .startswith("# HELP")
+        assert hist.count == len(OBS[0])
+        assert merged.dump_metrics() == before
+
+
+class TestRollup:
+    def test_rollup_drops_label_and_sums(self):
+        merged = merge_fleet(
+            [({"shard": str(i)}, registry_state(make_registry(i, obs)))
+             for i, obs in enumerate(OBS)])
+        rolled = rollup(merged, "shard")
+        values = rolled.to_dict()
+        assert values["requests_total"]["values"]['{op="nwc"}'] == 60.0
+        hist = rolled._families["latency_seconds"].children[()]
+        assert hist.count == sum(len(obs) for obs in OBS)
+        # Fleet total equals the sum of the shard-labelled fragments.
+        fragments = merged.to_dict()["requests_total"]["values"]
+        assert sum(fragments.values()) == 60.0
+
+
+class TestFleetRows:
+    def _snapshots(self):
+        def build(requests, skips):
+            reg = MetricsRegistry()
+            for shard, count in requests.items():
+                reg.counter("serve_requests_total", "Requests",
+                            {"shard": shard, "op": "nwc",
+                             "outcome": "ok"}).inc(count)
+                hist = reg.histogram(
+                    "serve_request_seconds", "Latency",
+                    {"shard": shard, "op": "nwc"}, buckets=BUCKETS)
+                for _ in range(int(count)):
+                    hist.observe(0.05)
+            for shard, count in skips.items():
+                reg.counter("shard_prune_skips_total", "Skips",
+                            {"shard": shard}).inc(count)
+            return reg
+
+        before = build({"coordinator": 10, "0": 4}, {"coordinator": 2})
+        after = build({"coordinator": 30, "0": 12}, {"coordinator": 10})
+        return before, after
+
+    def test_rows_report_windowed_rates(self):
+        before, after = self._snapshots()
+        rows = fleet_rows(before, after, interval_s=2.0)
+        by_shard = {row["shard"]: row for row in rows}
+        assert list(by_shard) == ["coordinator", "0"]  # sorted order
+        coord = by_shard["coordinator"]
+        assert coord["requests"] == 20.0
+        assert coord["qps"] == pytest.approx(10.0)
+        assert coord["prune_per_s"] == pytest.approx(4.0)
+        assert by_shard["0"]["qps"] == pytest.approx(4.0)
+        assert coord["p99_ms"] > 0.0
+
+    def test_empty_window_falls_back_to_cumulative_p99(self):
+        before, after = self._snapshots()
+        rows = fleet_rows(after, after, interval_s=1.0)
+        coord = next(r for r in rows if r["shard"] == "coordinator")
+        assert coord["requests"] == 0.0
+        assert coord["p99_ms"] > 0.0  # cumulative fallback

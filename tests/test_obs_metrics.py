@@ -180,6 +180,28 @@ class TestExport:
         text = reg.dump_metrics()
         assert r'q="a\"b\\c"' in text
 
+    def test_dump_metrics_hostile_values_golden(self):
+        """Exposition-format escaping: backslash, double quote and
+        newline in label values; backslash and newline in HELP text
+        (quotes are legal there).  Golden so a regression in either
+        escaper shows as a diff, not a silently corrupt scrape."""
+        reg = MetricsRegistry()
+        reg.counter("c_total", "Help with \\ backslash\nand newline",
+                    labels={"q": 'a"b\\c\nd'}).inc()
+        reg.gauge("g", 'Help with "quotes" kept').set(2)
+        assert reg.dump_metrics() == (
+            "# HELP c_total Help with \\\\ backslash\\nand newline\n"
+            "# TYPE c_total counter\n"
+            'c_total{q="a\\"b\\\\c\\nd"} 1\n'
+            '# HELP g Help with "quotes" kept\n'
+            "# TYPE g gauge\n"
+            "g 2\n"
+        )
+        # Every exposition line is physically one line: escaping kept
+        # the embedded newlines out of the line structure.
+        lines = reg.dump_metrics().strip().split("\n")
+        assert len(lines) == 6
+
     def test_empty_registry_dumps_empty(self):
         assert MetricsRegistry().dump_metrics() == ""
         assert MetricsRegistry().to_dict() == {}

@@ -1,0 +1,94 @@
+"""Unit tests for repro.obs.slo: breach accounting, burn-rate
+arithmetic, registry export, and the serve-layer seam."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.slo import DEFAULT_OBJECTIVES, SLORecorder, default_objectives
+
+
+class TestConstruction:
+    def test_default_objectives_fall_back(self):
+        objectives = default_objectives(("nwc", "custom_op"))
+        assert objectives["nwc"] == DEFAULT_OBJECTIVES["nwc"]
+        assert objectives["custom_op"] == 1.0
+
+    def test_validation(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            SLORecorder(reg, {"nwc": 0.1}, target=1.0)
+        with pytest.raises(ValueError):
+            SLORecorder(reg, {"nwc": 0.0})
+
+    def test_objective_gauges_exported_up_front(self):
+        reg = MetricsRegistry()
+        SLORecorder(reg, {"nwc": 0.25, "knwc": 1.0})
+        values = reg.to_dict()["slo_objective_seconds"]["values"]
+        assert values['{op="nwc"}'] == 0.25
+        assert values['{op="knwc"}'] == 1.0
+
+
+class TestRecording:
+    def test_breach_on_latency_or_error(self):
+        reg = MetricsRegistry()
+        slo = SLORecorder(reg, {"nwc": 0.25}, target=0.99)
+        slo.record("nwc", 0.1)            # within objective
+        slo.record("nwc", 0.3)            # latency breach
+        slo.record("nwc", 0.1, error=True)  # error breach
+        snap = slo.snapshot()["nwc"]
+        assert snap["requests"] == 3.0
+        assert snap["breaches"] == 2.0
+        # burn = (2/3) / 0.01
+        assert snap["burn_rate"] == pytest.approx((2 / 3) / 0.01)
+
+    def test_burn_rate_one_means_on_budget(self):
+        reg = MetricsRegistry()
+        slo = SLORecorder(reg, {"nwc": 0.25}, target=0.99)
+        for _ in range(99):
+            slo.record("nwc", 0.01)
+        slo.record("nwc", 1.0)  # exactly 1 breach in 100 = the budget
+        assert slo.snapshot()["nwc"]["burn_rate"] == pytest.approx(1.0)
+
+    def test_unknown_op_is_ignored(self):
+        reg = MetricsRegistry()
+        slo = SLORecorder(reg, {"nwc": 0.25})
+        slo.record("health", 10.0)
+        assert "health" not in slo.snapshot()
+        assert "slo_requests_total" in reg.to_dict()
+
+    def test_counters_ride_the_registry(self):
+        reg = MetricsRegistry()
+        slo = SLORecorder(reg, {"nwc": 0.25})
+        slo.record("nwc", 1.0)
+        values = reg.to_dict()
+        assert values["slo_requests_total"]["values"]['{op="nwc"}'] == 1.0
+        assert values["slo_breaches_total"]["values"]['{op="nwc"}'] == 1.0
+        assert values["slo_burn_rate"]["values"]['{op="nwc"}'] > 1.0
+
+
+class TestServeSeam:
+    def test_server_accounts_requests_against_slos(self):
+        """The serve layer's request-accounting seam feeds the SLO
+        recorder for every latency-tracked op."""
+        from tests.conftest import make_uniform_points
+
+        from repro.core import NWCEngine, Scheme
+        from repro.index import RStarTree
+        from repro.serve.client import ServeClient
+        from repro.serve.server import ServerThread
+
+        engine = NWCEngine(RStarTree.bulk_load(make_uniform_points(100,
+                                                                   seed=3)),
+                           scheme=Scheme.NWC_STAR)
+        thread = ServerThread(engine).start()
+        try:
+            with ServeClient(thread.host, thread.port) as client:
+                client.nwc(500, 500, 60, 60, 2)
+                client.nwc(500, 500, 60, 60, 2)  # cache hit, still counted
+                values = client.metrics()["metrics"]
+            assert values["slo_requests_total"]["values"]['{op="nwc"}'] == 2.0
+            assert values["slo_breaches_total"]["values"]['{op="nwc"}'] == 0.0
+        finally:
+            thread.stop()
