@@ -24,8 +24,13 @@ Subcommands:
 * ``loadgen`` — drive a running server with closed-loop workers and
   report throughput and latency percentiles; ``--verify`` replays every
   operation on a twin engine and counts answer mismatches
-  (``--verify-sharded`` uses the sharded coordinator's canon), and
-  ``--retries`` rides out server restarts with idempotent resends.
+  (``--verify-sharded`` uses the sharded coordinator's canon),
+  ``--retries`` rides out server restarts with idempotent resends, and
+  ``--subscriptions``/``--verify-subs`` register standing queries and
+  check every pushed notification against the twin.
+* ``subscribe`` — register a standing NWC/kNWC query on a running
+  server and stream its push notifications as JSON lines; ``--sub``
+  resumes a named subscription after a reconnect.
 * ``partition`` — cut a generated dataset into density-balanced shard
   page files plus a manifest (the input of sharded serving).
 * ``shard-serve`` — boot one worker process per shard over a partition
@@ -35,8 +40,9 @@ Subcommands:
 * ``shard-worker`` — one shard's server process (started by
   ``shard-serve``; rarely invoked by hand).
 * ``fleet-status`` — one-shot (or ``--watch``) table of per-shard
-  qps, p99, prune/refetch rates, WAL lag and SLO burn, computed from
-  two fleet-scope metric scrapes of a running shard coordinator.
+  qps, p99, prune/refetch rates, WAL lag, SLO burn, live
+  subscriptions, notification rate and re-evaluation p99, computed
+  from two fleet-scope metric scrapes of a running shard coordinator.
 """
 
 from __future__ import annotations
@@ -428,6 +434,10 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         twin = ShardedVerifyTwin(star, baseline)
     elif args.verify:
         twin = _make_engine(args, execution=args.execution)
+    if args.verify_subs and twin is None:
+        print("error: --verify-subs needs a twin; add --verify or "
+              "--verify-sharded", file=sys.stderr)
+        return 2
     mix = LoadMix(nwc=args.mix_nwc, knwc=args.mix_knwc,
                   insert=args.mix_insert, delete=args.mix_delete)
     retry = None
@@ -441,6 +451,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         mix=mix, query_pool=args.query_pool,
         length=args.length, width=args.width, n=args.n, k=args.k, m=args.m,
         seed=args.seed, retry=retry,
+        subscriptions=args.subscriptions, verify_subs=args.verify_subs,
     )
     report = run_loadgen(config, dataset, verify_engine=twin)
     print(report.format())
@@ -449,7 +460,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"report written to {args.json}", file=sys.stderr)
-    if report.mismatches or report.errors:
+    if report.mismatches or report.errors or report.sub_missed \
+            or report.sub_spurious:
         return 1
     return 0
 
@@ -608,6 +620,7 @@ def _cmd_shard_serve(args: argparse.Namespace) -> int:
 def _render_fleet_table(rows, wal_lag: dict) -> str:
     lines = [f"{'shard':<12} {'qps':>8} {'p99 ms':>9} {'err':>5} "
              f"{'prune/s':>9} {'refetch/s':>10} {'slo burn':>9} "
+             f"{'subs':>6} {'notify/s':>9} {'reeval p99':>11} "
              f"{'wal lag':>8}"]
     for row in rows:
         lag = wal_lag.get(row["shard"])
@@ -615,8 +628,64 @@ def _render_fleet_table(rows, wal_lag: dict) -> str:
             f"{row['shard']:<12} {row['qps']:>8.1f} {row['p99_ms']:>9.2f} "
             f"{row['errors']:>5} {row['prune_per_s']:>9.2f} "
             f"{row['refetch_per_s']:>10.2f} {row['slo_burn']:>9.2f} "
+            f"{row['live_subs']:>6.0f} {row['notify_per_s']:>9.2f} "
+            f"{row['reeval_p99_ms']:>11.2f} "
             f"{'-' if lag is None else lag:>8}")
     return "\n".join(lines)
+
+
+def _cmd_subscribe(args: argparse.Namespace) -> int:
+    import time
+
+    from .serve.client import ServeClient, ServeClientError
+
+    try:
+        client = ServeClient(args.host, args.port)
+    except OSError as exc:
+        print(f"error: cannot connect to {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+    deadline = (None if args.duration is None
+                else time.monotonic() + args.duration)
+    received = 0
+    sub_id = None
+    try:
+        with client:
+            stream = client.subscribe(
+                args.x, args.y, args.length, args.width, args.n,
+                k=args.k, m=args.m, sub=args.sub)
+            sub_id = stream.sub_id
+            print(f"subscribed {stream.sub_id}  version {stream.version}  "
+                  f"revision {stream.revision}", file=sys.stderr)
+            print(json.dumps({"sub": stream.sub_id,
+                              "revision": stream.revision,
+                              "result": stream.result}, sort_keys=True),
+                  flush=True)
+            while args.count is None or received < args.count:
+                remaining = (None if deadline is None
+                             else deadline - time.monotonic())
+                if remaining is not None and remaining <= 0:
+                    break
+                timeout = 0.5 if remaining is None else min(0.5, remaining)
+                frame = stream.poll(timeout_s=max(0.01, timeout))
+                if frame is None:
+                    continue
+                received += 1
+                print(json.dumps(frame, sort_keys=True), flush=True)
+    except KeyboardInterrupt:
+        pass
+    except ServeClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if sub_id is not None and not args.keep:
+        # One-shot ops race pushed frames on a streaming connection, so
+        # the unsubscribe goes over a fresh one.
+        try:
+            with ServeClient(args.host, args.port) as cleanup:
+                cleanup.unsubscribe(sub_id)
+        except (ServeClientError, OSError) as exc:
+            print(f"warning: unsubscribe failed: {exc}", file=sys.stderr)
+    return 0
 
 
 def _cmd_fleet_status(args: argparse.Namespace) -> int:
@@ -831,6 +900,13 @@ def build_parser() -> argparse.ArgumentParser:
                     help="like --verify but against the sharded "
                          "coordinator's canon: the pruned engine for NWC "
                          "and the unpruned baseline for kNWC")
+    lg.add_argument("--subscriptions", type=int, default=0,
+                    help="standing queries worker 0 registers over a "
+                         "streaming connection before driving load")
+    lg.add_argument("--verify-subs", action="store_true",
+                    help="check every pushed notification against the "
+                         "twin (needs --verify or --verify-sharded); "
+                         "exits 1 on any missed or spurious notification")
     lg.add_argument("--json", default=None,
                     help="also write the report to this JSON file")
     lg.set_defaults(func=_cmd_loadgen)
@@ -922,6 +998,37 @@ def build_parser() -> argparse.ArgumentParser:
                      help="give up after this many supervised restarts "
                           "(0 = unlimited)")
     shw.set_defaults(func=_cmd_shard_worker)
+
+    sb = sub.add_parser(
+        "subscribe",
+        help="register a standing NWC/kNWC query on a running server "
+             "and stream its notifications as JSON lines")
+    sb.add_argument("--host", default="127.0.0.1")
+    sb.add_argument("--port", type=int, default=7654)
+    sb.add_argument("-x", type=float, required=True,
+                    help="query point x")
+    sb.add_argument("-y", type=float, required=True,
+                    help="query point y")
+    sb.add_argument("--length", type=float, default=100.0)
+    sb.add_argument("--width", type=float, default=100.0)
+    sb.add_argument("-n", type=int, default=8)
+    sb.add_argument("-k", type=int, default=None,
+                    help="make it a kNWC subscription returning the "
+                         "k best clusters")
+    sb.add_argument("-m", type=int, default=0,
+                    help="minimum cluster separation rank (kNWC only)")
+    sb.add_argument("--sub", default=None,
+                    help="subscription id (re-using one resumes it "
+                         "after a reconnect); omitted, the server "
+                         "assigns one")
+    sb.add_argument("--count", type=int, default=None,
+                    help="exit after this many notifications")
+    sb.add_argument("--duration", type=float, default=None,
+                    help="exit after this many seconds")
+    sb.add_argument("--keep", action="store_true",
+                    help="leave the subscription registered on exit "
+                         "(resume later with --sub)")
+    sb.set_defaults(func=_cmd_subscribe)
 
     fls = sub.add_parser(
         "fleet-status",

@@ -21,8 +21,9 @@ whole system.  This module makes the fleet scrapeable as one registry:
 * :func:`rollup` — drop one label (usually ``shard``) and re-merge, so
   fleet totals appear once instead of per shard;
 * :func:`fleet_rows` — the ``repro fleet-status`` table: per-shard qps,
-  windowed p99, prune/refetch rates and SLO burn computed from two
-  state snapshots taken an interval apart.
+  windowed p99, prune/refetch rates, SLO burn, live subscriptions,
+  notification rate and re-evaluation p99, computed from two state
+  snapshots taken an interval apart.
 
 The wire form is versioned (``{"v": 1, "families": [...]}``) and rides
 the serve protocol's ``metrics`` op (``format: "state"``); the
@@ -205,18 +206,19 @@ def _shard_of(labels: Mapping[str, str], label: str) -> str | None:
 
 
 def _windowed_p99_ms(before: MetricsRegistry, after: MetricsRegistry,
-                     shard: str, label: str) -> float:
-    """p99 over observations made between the two snapshots, estimated
-    by bucket-count subtraction; falls back to the cumulative histogram
-    when the window saw no requests."""
+                     shard: str, label: str,
+                     family: str = "serve_request_seconds") -> float:
+    """p99 over ``family`` observations made between the two snapshots,
+    estimated by bucket-count subtraction; falls back to the cumulative
+    histogram when the window saw no observations."""
     window: Histogram | None = None
     cumulative: Histogram | None = None
     before_hists = {
         tuple(sorted(labels.items())): metric
-        for labels, metric in _children(before, "serve_request_seconds")
+        for labels, metric in _children(before, family)
         if _shard_of(labels, label) == shard
     }
-    for labels, metric in _children(after, "serve_request_seconds"):
+    for labels, metric in _children(after, family):
         if _shard_of(labels, label) != shard:
             continue
         if cumulative is None:
@@ -286,6 +288,10 @@ def fleet_rows(before: MetricsRegistry, after: MetricsRegistry,
         for labels, metric in _children(after, "slo_burn_rate"):
             if _shard_of(labels, label) == shard:
                 burn = max(burn, metric.value)
+        live_subs = 0.0
+        for labels, metric in _children(after, "sub_active"):
+            if _shard_of(labels, label) == shard:
+                live_subs += metric.value
         rows.append({
             "shard": shard,
             "requests": requests,
@@ -297,5 +303,11 @@ def fleet_rows(before: MetricsRegistry, after: MetricsRegistry,
             "refetch_per_s": _delta_sum(
                 before, after, "shard_refetches_total", shard, label) / interval_s,
             "slo_burn": burn if math.isfinite(burn) else 0.0,
+            "live_subs": live_subs,
+            "notify_per_s": _delta_sum(
+                before, after, "sub_notifications_total", shard,
+                label) / interval_s,
+            "reeval_p99_ms": _windowed_p99_ms(
+                before, after, shard, label, family="sub_reeval_seconds"),
         })
     return rows

@@ -24,6 +24,7 @@ from .client import (
     ServeClient,
     ServeClientError,
     ShardUnavailableError,
+    SubscriptionStream,
     wait_until_healthy,
 )
 from .durability import (
@@ -63,6 +64,7 @@ __all__ = [
     "ServingThread",
     "ShardUnavailableError",
     "ShardedVerifyTwin",
+    "SubscriptionStream",
     "ServerState",
     "ServerThread",
     "Supervisor",

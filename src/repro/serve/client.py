@@ -41,6 +41,7 @@ __all__ = [
     "ServeClient",
     "ServeClientError",
     "ShardUnavailableError",
+    "SubscriptionStream",
     "wait_until_healthy",
 ]
 
@@ -146,6 +147,7 @@ class ServeClient:
         self._rng = random.Random(seed)
         self._sock: socket.socket | None = None
         self._file = None
+        self._rbuf = bytearray()
         self._connect()
 
     def _connect(self) -> None:
@@ -158,6 +160,7 @@ class ServeClient:
             sock.close()
             raise
         self._sock = sock
+        self._rbuf = bytearray()
 
     def _disconnect(self) -> None:
         if self._file is not None:
@@ -172,6 +175,7 @@ class ServeClient:
             except OSError:
                 pass
             self._sock = None
+        self._rbuf = bytearray()
 
     def _request_id(self) -> str:
         # Drawn from the client's own rng so seeded tests get a
@@ -217,10 +221,48 @@ class ServeClient:
         raise ConnectionLostError(
             f"request failed after {attempts} attempt(s): {last_error}")
 
+    def _readline(self, timeout_s: float | None = None) -> bytes | None:
+        """One NDJSON line from the connection.
+
+        Reads raw socket chunks into a client-owned buffer rather than
+        through the buffered ``_file`` reader: a read timeout poisons a
+        buffered reader for good (CPython refuses further reads from a
+        timed-out object), whereas a timed-out ``recv`` loses nothing —
+        a partially received frame stays buffered and the next call
+        resumes it.  Returns ``b""`` on EOF; ``None`` when ``timeout_s``
+        elapses first (only possible when one was given — with
+        ``timeout_s=None`` the socket's default timeout propagates as
+        the usual :class:`TimeoutError`).
+        """
+        assert self._sock is not None
+        newline = self._rbuf.find(b"\n")
+        previous = self._sock.gettimeout()
+        if timeout_s is not None:
+            self._sock.settimeout(timeout_s)
+        try:
+            while newline < 0:
+                try:
+                    chunk = self._sock.recv(65536)
+                except TimeoutError:
+                    if timeout_s is not None:
+                        return None
+                    raise
+                if not chunk:
+                    return b""
+                self._rbuf += chunk
+                newline = self._rbuf.find(
+                    b"\n", len(self._rbuf) - len(chunk))
+        finally:
+            if timeout_s is not None and self._sock is not None:
+                self._sock.settimeout(previous)
+        line = bytes(self._rbuf[:newline + 1])
+        del self._rbuf[:newline + 1]
+        return line
+
     def _call_once(self, payload: dict[str, Any]) -> dict[str, Any]:
         self._file.write(protocol.encode_line(payload))
         self._file.flush()
-        line = self._file.readline()
+        line = self._readline()
         if not line:
             raise ConnectionLostError("connection closed by server")
         response = protocol.decode_line(line)
@@ -232,13 +274,21 @@ class ServeClient:
         raise _ERROR_TYPES.get(code, RemoteError)(message, code)
 
     def close(self) -> None:
+        """Close the connection.  Idempotent: safe to call any number
+        of times, including after the server already went away."""
         self._disconnect()
 
     def __enter__(self) -> "ServeClient":
         return self
 
     def __exit__(self, *exc_info) -> None:
-        self.close()
+        # A server draining while we exit can surface the flush of
+        # buffered bytes as a connection error — shutdown must not turn
+        # that race into a caller-visible failure.
+        try:
+            self.close()
+        except (ConnectionLostError, OSError):
+            pass
 
     # ------------------------------------------------------------------
     # Ops
@@ -314,6 +364,107 @@ class ServeClient:
         if scope is not None:
             payload["scope"] = scope
         return self.call(payload)
+
+    # ------------------------------------------------------------------
+    # Standing queries
+    # ------------------------------------------------------------------
+    def subscribe(self, x: float, y: float, length: float, width: float,
+                  n: int, k: int | None = None, m: int = 0,
+                  maintenance: str = "exact", measure: str | None = None,
+                  sub: str | None = None,
+                  deadline_ms: float | None = None) -> "SubscriptionStream":
+        """Register a standing query and return its notification stream.
+
+        Passing ``k`` makes it a kNWC subscription.  ``sub`` names the
+        subscription (re-subscribing with the same id after a reconnect
+        *resumes* it — the ack carries the current result and revision);
+        omitted, the server generates an id and returns it in the ack.
+
+        After this call the connection is in **streaming mode**: the
+        server pushes unsolicited ``notify`` frames at any time, so
+        issuing one-shot ops on the same client would race them.  Use a
+        dedicated client per subscription stream (ordinary calls — and
+        ``unsubscribe`` — belong on a different connection).
+        """
+        payload: dict[str, Any] = {"op": "subscribe", "x": x, "y": y,
+                                   "length": length, "width": width, "n": n}
+        if k is not None:
+            payload["k"] = k
+            payload["m"] = m
+            payload["maintenance"] = maintenance
+        if measure is not None:
+            payload["measure"] = measure
+        if sub is not None:
+            payload["sub"] = sub
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        if self.retry is not None:
+            payload["req"] = self._request_id()
+        ack = self.call(payload, idempotent=True)
+        return SubscriptionStream(self, ack)
+
+    def unsubscribe(self, sub_id: str) -> dict[str, Any]:
+        """Drop a standing query by id (from any connection)."""
+        return self._update({"op": "unsubscribe", "sub": sub_id})
+
+
+class SubscriptionStream:
+    """The notification side of one subscribed connection.
+
+    Iterating (or :meth:`poll`-ing) yields ``notify`` frames as the
+    server pushes them; frames for *any* subscription attached to the
+    underlying connection are returned, and the stream's own
+    ``revision``/``version``/``result`` mirror is advanced when a frame
+    matches its ``sub_id``.  Iteration ends (``StopIteration``) when
+    the connection closes.
+
+    ``poll`` with a timeout is loss-free: a timeout that fires mid-frame
+    leaves the partial frame in the client's receive buffer and the next
+    ``poll`` resumes it, so polling with short timeouts in a loop is the
+    intended idle-wait idiom.
+    """
+
+    def __init__(self, client: ServeClient, ack: dict[str, Any]) -> None:
+        self.client = client
+        self.ack = ack
+        self.sub_id: str = ack["sub"]
+        self.kind: str = ack["kind"]
+        self.revision: int = ack["revision"]
+        self.version: int = ack["version"]
+        self.result: dict[str, Any] = ack["result"]
+
+    def poll(self, timeout_s: float | None = None) -> dict[str, Any] | None:
+        """The next pushed frame, or ``None`` when ``timeout_s`` passes
+        without one (``None`` timeout blocks up to the client's socket
+        timeout)."""
+        if self.client._sock is None:
+            raise ConnectionLostError("subscription stream is closed")
+        line = self.client._readline(timeout_s)
+        if line is None:
+            return None
+        if not line:
+            raise ConnectionLostError("connection closed by server")
+        frame = protocol.decode_line(line)
+        if frame.get("op") != "notify":
+            raise RemoteError(
+                f"unexpected frame on subscription stream: {frame!r}")
+        if frame.get("sub") == self.sub_id:
+            self.revision = frame["revision"]
+            self.version = frame["version"]
+            self.result = frame["result"]
+        return frame
+
+    def __iter__(self) -> "SubscriptionStream":
+        return self
+
+    def __next__(self) -> dict[str, Any]:
+        try:
+            frame = self.poll()
+        except ConnectionLostError:
+            raise StopIteration from None
+        if frame is None:
+            raise StopIteration
+        return frame
 
 
 def wait_until_healthy(host: str, port: int, timeout_s: float = 15.0,

@@ -36,7 +36,7 @@ import json
 import os
 import time
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from ..core import NWCEngine
@@ -47,6 +47,8 @@ from ..storage.wal import (
     WriteAheadLog,
     replay_wal,
 )
+from ..sub import SubscriptionIndex, reconcile, subscription_from_record
+from ..sub.runtime import evaluate_subscription
 
 __all__ = [
     "DurabilityConfig",
@@ -98,6 +100,7 @@ class _Current:
     seq: int
     version: int
     dedupe: dict[str, dict[str, Any]]
+    subs: list[dict[str, Any]]
 
 
 class ServerState:
@@ -138,6 +141,7 @@ class ServerState:
                 checkpoint=str(raw["checkpoint"]), seq=int(raw["seq"]),
                 version=int(raw["version"]),
                 dedupe=dict(raw.get("dedupe", {})),
+                subs=list(raw.get("subs", [])),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise WalError(f"{self.current_path}: malformed checkpoint "
@@ -149,11 +153,18 @@ class ServerState:
         return current
 
     def write_current(self, checkpoint: str, seq: int, version: int,
-                      dedupe: "OrderedDict[str, dict[str, Any]]") -> None:
-        """Atomically repoint ``CURRENT`` (tmp + fsync + rename)."""
+                      dedupe: "OrderedDict[str, dict[str, Any]]",
+                      subs: list[dict[str, Any]] | None = None) -> None:
+        """Atomically repoint ``CURRENT`` (tmp + fsync + rename).
+
+        ``subs`` is the live-subscription state captured at ``seq``
+        (:meth:`repro.sub.SubscriptionIndex.to_state`) — recovery
+        restores it before replaying the WAL tail, so standing queries
+        and their revisions survive checkpoint compaction.
+        """
         tmp = f"{self.current_path}.tmp.{os.getpid()}"
         payload = {"checkpoint": checkpoint, "seq": seq, "version": version,
-                   "dedupe": dict(dedupe)}
+                   "dedupe": dict(dedupe), "subs": list(subs or ())}
         try:
             with open(tmp, "w", encoding="utf-8") as handle:
                 json.dump(payload, handle, separators=(",", ":"),
@@ -232,6 +243,7 @@ class DurableState:
     dedupe: "OrderedDict[str, dict[str, Any]]"
     recovery: RecoveryReport
     records_since_checkpoint: int = 0
+    subs: SubscriptionIndex = field(default_factory=SubscriptionIndex)
 
     def remember(self, request_id: str, response: dict[str, Any]) -> None:
         """LRU-record an acknowledged update for idempotent retries."""
@@ -244,31 +256,73 @@ class DurableState:
         self.wal.close()
 
 
-def apply_record(engine: NWCEngine, version: int,
-                 record: dict[str, Any]) -> tuple[int, dict[str, Any]]:
+def apply_record(engine: NWCEngine, version: int, record: dict[str, Any],
+                 subs: SubscriptionIndex | None = None
+                 ) -> tuple[int, dict[str, Any]]:
     """Apply one WAL record to ``engine`` at dataset ``version``.
 
     Returns ``(new_version, ack_response)`` where the response is byte-
     identical to the one the live server sent (or would have sent) when
     it appended the record — replay therefore reconstructs the dedupe
     map exactly.
+
+    With a :class:`~repro.sub.SubscriptionIndex`, subscription records
+    (``subscribe``/``unsubscribe``/``sub_track``/``sub_untrack``)
+    restore standing queries, and every replayed update runs the same
+    :func:`~repro.sub.reconcile` step the live server ran — the
+    re-evaluations are deterministic, so revisions *continue* across a
+    crash instead of forking, and worker acks regain their
+    affected-sentinel ``subs`` hints.
     """
     from ..geometry import PointObject
 
     op = record.get("op")
+    if op in ("subscribe", "sub_track"):
+        sub = subscription_from_record(record)
+        response: dict[str, Any] = {"ok": True, "op": op,
+                                    "sub": sub.sub_id, "version": version}
+        if subs is not None:
+            if op == "subscribe":
+                sub.result, sub.insert_radius, sub.delete_radius = \
+                    evaluate_subscription(engine, sub)
+                sub.revision = 1
+                sub.version = version
+                response["kind"] = sub.kind
+                response["revision"] = 1
+                response["result"] = sub.result
+            subs.add(sub)
+        return version, response
+    if op in ("unsubscribe", "sub_untrack"):
+        sub_id = str(record["sub"])
+        removed = subs.remove(sub_id) if subs is not None else None
+        response = {"ok": True, "op": op, "sub": sub_id,
+                    "removed": removed is not None, "version": version}
+        return version, response
     obj = PointObject(int(record["oid"]), float(record["x"]),
                       float(record["y"]))
     if op == "insert":
         engine.insert(obj)
         version += 1
-        return version, {"ok": True, "op": "insert", "version": version,
-                         "size": engine.tree.size}
+        response = {"ok": True, "op": "insert", "version": version,
+                    "size": engine.tree.size}
+        if subs is not None and len(subs):
+            _, hints, _ = reconcile(subs, engine, "insert", obj.x, obj.y,
+                                    engine.tree.size, version)
+            if hints:
+                response["subs"] = hints
+        return version, response
     if op == "delete":
         deleted = engine.delete(obj)
         if deleted:
             version += 1
-        return version, {"ok": True, "op": "delete", "version": version,
-                         "deleted": deleted, "size": engine.tree.size}
+        response = {"ok": True, "op": "delete", "version": version,
+                    "deleted": deleted, "size": engine.tree.size}
+        if deleted and subs is not None and len(subs):
+            _, hints, _ = reconcile(subs, engine, "delete", obj.x, obj.y,
+                                    engine.tree.size, version)
+            if hints:
+                response["subs"] = hints
+        return version, response
     raise WalError(f"WAL record with unknown op {record.get('op')!r}")
 
 
@@ -308,11 +362,13 @@ def recover(
         version = current.version
         base_seq = current.seq
         dedupe: OrderedDict[str, dict[str, Any]] = OrderedDict(current.dedupe)
+        subs = SubscriptionIndex.from_state(current.subs)
     else:
         engine = make_engine(None)
         version = 0
         base_seq = 0
         dedupe = OrderedDict()
+        subs = SubscriptionIndex()
 
     if os.path.exists(state.wal_path):
         replay = replay_wal(state.wal_path)
@@ -326,7 +382,7 @@ def recover(
             if seq <= base_seq:
                 report.skipped += 1
                 continue
-            version, response = apply_record(engine, version, record)
+            version, response = apply_record(engine, version, record, subs)
             request_id = record.get("req")
             if isinstance(request_id, str):
                 dedupe[request_id] = response
@@ -356,5 +412,6 @@ def recover(
                           round(report.wall_s, 6))
     durable = DurableState(config=config, state=state, wal=wal,
                            dedupe=dedupe, recovery=report,
-                           records_since_checkpoint=wal.record_count)
+                           records_since_checkpoint=wal.record_count,
+                           subs=subs)
     return engine, durable

@@ -16,6 +16,16 @@ byte for byte.  Any divergence (including on cache hits, which is where
 an unsound invalidation rule would show) is counted as a mismatch.
 Other workers stay read-only in this mode so the twin never drifts.
 
+**Subscriptions** (``subscriptions`` > 0): worker 0 registers that many
+standing queries over a dedicated streaming connection before driving
+load, and drains the server's pushed ``notify`` frames between its
+closed-loop requests.  With ``verify_subs`` (requires the twin), every
+acknowledged update re-derives each subscription's expected answer on
+the twin; an answer that changed *must* arrive as a notification
+carrying exactly that result at exactly the next revision — anything
+late is ``sub_missed``, anything unexpected (or with the wrong payload)
+is ``sub_spurious``, and both count as mismatches.
+
 The report carries client-side throughput and latency percentiles
 (exact, from the raw samples) split by cache hit/miss, and optionally
 feeds a :class:`~repro.obs.metrics.MetricsRegistry` for uniform export
@@ -115,10 +125,14 @@ class LoadgenConfig:
     deadline_ms: float | None = None
     connect_timeout_s: float = 15.0
     retry: RetryPolicy | None = None
+    subscriptions: int = 0
+    verify_subs: bool = False
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError("workers must be at least 1")
+        if self.subscriptions < 0:
+            raise ValueError("subscriptions must be non-negative")
         if self.requests_per_worker is None and self.duration_s <= 0:
             raise ValueError("duration_s must be positive")
         if self.query_pool < 1:
@@ -173,6 +187,16 @@ class LoadReport:
     #: ``shard_prune_skips_total`` are reported once, coherently,
     #: instead of per-process fragments.
     fleet: dict[str, Any] = field(default_factory=dict)
+    #: Standing queries registered by worker 0 (``config.subscriptions``).
+    subscriptions: int = 0
+    #: ``notify`` frames received over the streaming connection.
+    notifications: int = 0
+    #: Expected notifications (twin said the answer changed) that never
+    #: arrived; counted into ``mismatches`` too.
+    sub_missed: int = 0
+    #: Frames with no matching expectation, or the wrong result or
+    #: revision; counted into ``mismatches`` too.
+    sub_spurious: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -217,6 +241,11 @@ class LoadReport:
             lines.append(
                 f"fleet: {self.fleet.get('shards_scraped', 0)} shards "
                 f"scraped, unreachable: {self.fleet.get('unreachable', [])}")
+        if self.subscriptions:
+            lines.append(
+                f"subscriptions: {self.subscriptions} registered, "
+                f"{self.notifications} notifications, "
+                f"{self.sub_missed} missed, {self.sub_spurious} spurious")
         return "\n".join(lines)
 
 
@@ -281,6 +310,16 @@ class _Worker:
         self.failure: Exception | None = None
         self.retries = 0
         self.reconnects = 0
+        # Standing-query state (worker 0 only, see _setup_subscriptions)
+        self.subs_registered = 0
+        self.notifications = 0
+        self.sub_missed = 0
+        self.sub_spurious = 0
+        self._sub_client: ServeClient | None = None
+        self._sub_stream = None
+        self._sub_states: list[dict[str, Any]] = []
+        # sub id -> FIFO of (expected revision, expected result)
+        self._sub_pending: dict[str, list[tuple[int, dict[str, Any]]]] = {}
 
     # Only worker 0 may update, so a single verification twin can
     # replay the sequence of acknowledged updates deterministically.
@@ -304,6 +343,8 @@ class _Worker:
                              seed=self.config.seed * 104729 + self.index,
                              ) as client:
                 try:
+                    if self.may_update and self.config.subscriptions:
+                        self._setup_subscriptions()
                     count = 0
                     while True:
                         if self.config.requests_per_worker is not None:
@@ -313,9 +354,12 @@ class _Worker:
                             break
                         self._one_request(client)
                         count += 1
+                    self._teardown_subscriptions(client)
                 finally:
                     self.retries = client.retries
                     self.reconnects = client.reconnects
+                    if self._sub_client is not None:
+                        self._sub_client.close()
         except Exception as exc:  # surfaced by run_loadgen
             self.failure = exc
 
@@ -372,6 +416,7 @@ class _Worker:
         self.updates += 1
         if self.twin is not None:
             self.twin.insert(obj)
+        self._after_update_subs()
         return response
 
     def _op_delete(self, client: ServeClient) -> dict[str, Any]:
@@ -386,6 +431,7 @@ class _Worker:
                     {"op": "delete", "oid": obj.oid,
                      "detail": "server did not find an object the twin holds"}
                 )
+        self._after_update_subs()
         return response
 
     def _verify(self, response: dict[str, Any], expected: dict[str, Any],
@@ -400,6 +446,131 @@ class _Worker:
                     "expected": expected,
                 }
             )
+
+    # -- standing queries ----------------------------------------------
+    def _setup_subscriptions(self) -> None:
+        """Register the standing queries on a dedicated streaming
+        connection.  Runs before the first update (worker 0 is the only
+        updater and is registering, other workers are read-only), so no
+        notify frame can interleave with the subscribe acks."""
+        c = self.config
+        self._sub_client = ServeClient(c.host, c.port,
+                                       timeout_s=c.connect_timeout_s)
+        for i in range(c.subscriptions):
+            x, y = self.query_points[i % len(self.query_points)]
+            if i % 4 == 3:  # every fourth standing query is a kNWC
+                stream = self._sub_client.subscribe(
+                    x, y, c.length, c.width, c.n, k=c.k, m=c.m)
+                query: Any = KNWCQuery.make(x, y, c.length, c.width,
+                                            c.n, c.k, c.m)
+            else:
+                stream = self._sub_client.subscribe(
+                    x, y, c.length, c.width, c.n)
+                query = NWCQuery(x, y, c.length, c.width, c.n)
+            state = {"id": stream.sub_id, "kind": stream.kind,
+                     "query": query, "result": stream.result,
+                     "revision": stream.revision}
+            if c.verify_subs and self.twin is not None:
+                expected = self._expected_sub_answer(state)
+                if expected != stream.result and len(self.mismatches) < 10:
+                    self.mismatches.append(
+                        {"op": "subscribe", "sub": stream.sub_id,
+                         "served": stream.result, "expected": expected})
+                state["result"] = expected
+            if self._sub_stream is None:
+                self._sub_stream = stream
+            self._sub_states.append(state)
+        self.subs_registered = len(self._sub_states)
+
+    def _expected_sub_answer(self, state: dict[str, Any]) -> dict[str, Any]:
+        if state["kind"] == "nwc":
+            return protocol.serialize_nwc(self.twin.nwc(state["query"]))
+        return protocol.serialize_knwc(self.twin.knwc(state["query"]))
+
+    def _after_update_subs(self) -> None:
+        """Derive which standing queries this acknowledged update must
+        have changed (twin recomputation), then drain the stream until
+        every expected notification arrived."""
+        if self._sub_stream is None:
+            return
+        if self.config.verify_subs and self.twin is not None:
+            for state in self._sub_states:
+                expected = self._expected_sub_answer(state)
+                if expected != state["result"]:
+                    state["result"] = expected
+                    state["revision"] += 1
+                    self._sub_pending.setdefault(state["id"], []).append(
+                        (state["revision"], expected))
+        self._drain_notifications(grace_s=5.0)
+
+    def _pending_count(self) -> int:
+        return sum(len(queue) for queue in self._sub_pending.values())
+
+    def _drain_notifications(self, grace_s: float) -> None:
+        """Consume pushed frames; block up to ``grace_s`` only while
+        expectations are outstanding.  Expectations still unmet after
+        the grace window are recorded as missed immediately (rather
+        than re-stalling every subsequent update on them)."""
+        deadline = time.monotonic() + grace_s
+        while True:
+            pending = self._pending_count()
+            timeout = 0.01 if not pending else min(
+                0.25, max(0.01, deadline - time.monotonic()))
+            try:
+                frame = self._sub_stream.poll(timeout_s=timeout)
+            except ServeClientError:
+                return  # stream gone; teardown accounts for leftovers
+            if frame is None:
+                if not pending:
+                    return
+                if time.monotonic() >= deadline:
+                    self._record_missed()
+                    return
+                continue
+            self.notifications += 1
+            self._match_notification(frame)
+
+    def _match_notification(self, frame: dict[str, Any]) -> None:
+        if not self.config.verify_subs or self.twin is None:
+            return
+        queue = self._sub_pending.get(frame.get("sub"))
+        if not queue:
+            self.sub_spurious += 1
+            if len(self.mismatches) < 10:
+                self.mismatches.append(
+                    {"op": "notify", "sub": frame.get("sub"),
+                     "detail": "unexpected notification", "frame": frame})
+            return
+        revision, expected = queue.pop(0)
+        if frame.get("revision") != revision or frame.get("result") != expected:
+            self.sub_spurious += 1
+            if len(self.mismatches) < 10:
+                self.mismatches.append(
+                    {"op": "notify", "sub": frame.get("sub"),
+                     "served": frame.get("result"), "expected": expected,
+                     "revision": frame.get("revision"),
+                     "expected_revision": revision})
+
+    def _record_missed(self) -> None:
+        for sub_id, queue in self._sub_pending.items():
+            for revision, _expected in queue:
+                self.sub_missed += 1
+                if len(self.mismatches) < 10:
+                    self.mismatches.append(
+                        {"op": "notify", "sub": sub_id,
+                         "detail": f"missed notification rev {revision}"})
+            queue.clear()
+
+    def _teardown_subscriptions(self, client: ServeClient) -> None:
+        if self._sub_client is None:
+            return
+        self._drain_notifications(grace_s=5.0)
+        self._record_missed()
+        for state in self._sub_states:
+            try:
+                client.unsubscribe(state["id"])
+            except ServeClientError:
+                break  # server gone; nothing left to clean up
 
 
 def run_loadgen(
@@ -424,6 +595,8 @@ def run_loadgen(
     Returns:
         The aggregated :class:`LoadReport`.
     """
+    if config.verify_subs and verify_engine is None:
+        raise ValueError("verify_subs requires a verify_engine twin")
     wait_until_healthy(config.host, config.port,
                        timeout_s=config.connect_timeout_s)
     stop_at = None
@@ -514,4 +687,8 @@ def run_loadgen(
         mismatch_examples=mismatches[:10],
         shard_metrics=shard_metrics,
         fleet=fleet,
+        subscriptions=sum(w.subs_registered for w in workers),
+        notifications=sum(w.notifications for w in workers),
+        sub_missed=sum(w.sub_missed for w in workers),
+        sub_spurious=sum(w.sub_spurious for w in workers),
     )

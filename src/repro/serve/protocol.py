@@ -2,8 +2,14 @@
 
 Every request and response is one JSON object on one line (NDJSON).
 Requests carry an ``op`` (``nwc``, ``knwc``, ``insert``, ``delete``,
-``snapshot``, ``checkpoint``, ``health``, ``metrics``) plus op-specific
-fields and an optional opaque ``id`` the server echoes back.  Updates
+``snapshot``, ``checkpoint``, ``health``, ``metrics``, ``subscribe``,
+``unsubscribe``) plus op-specific fields and an optional opaque ``id``
+the server echoes back.  ``subscribe`` registers a *standing* query:
+after the ack, the server pushes unsolicited ``notify`` frames
+(:func:`notify_frame`) over the same connection whenever an update
+changed the answer — each carrying the fresh result, the dataset
+version it was evaluated at and a per-subscription monotone
+``revision``.  Updates
 may additionally carry a client-generated request id ``req``: the
 server remembers acknowledged ``req`` ids (and persists them through
 its write-ahead log) and answers a repeated id with the original
@@ -58,8 +64,12 @@ __all__ = [
     "parse_nwc",
     "parse_point",
     "parse_pool_limit",
+    "parse_radius",
     "parse_request_id",
+    "parse_subscription",
+    "parse_subscription_id",
     "parse_trace",
+    "notify_frame",
     "serialize_knwc",
     "serialize_nwc",
     "shield_radii_knwc",
@@ -220,6 +230,85 @@ def parse_trace(payload: dict[str, Any]) -> TraceContext | None:
         return TraceContext.from_wire(raw)
     except ValueError as exc:
         raise ProtocolError(f"malformed trace context: {exc}") from exc
+
+
+#: Longest accepted subscription id (``sub``) — persisted in WAL
+#: ``subscribe`` records and the checkpoint pointer, like ``req`` ids.
+MAX_SUBSCRIPTION_ID_CHARS = 128
+
+
+def parse_subscription_id(payload: dict[str, Any],
+                          required: bool = False) -> str | None:
+    """The subscription id (``sub``) of a subscription frame.
+
+    ``subscribe`` may omit it (the server then generates one and
+    returns it in the ack); ``unsubscribe``/``sub_track`` require it.
+    """
+    sub = payload.get("sub")
+    if sub is None:
+        if required:
+            raise ProtocolError("field 'sub' is required")
+        return None
+    if not isinstance(sub, str) or not sub:
+        raise ProtocolError("field 'sub' must be a non-empty string")
+    if len(sub) > MAX_SUBSCRIPTION_ID_CHARS:
+        raise ProtocolError(
+            f"field 'sub' exceeds {MAX_SUBSCRIPTION_ID_CHARS} characters")
+    return sub
+
+
+def parse_subscription(payload: dict[str, Any]
+                       ) -> tuple[str, dict[str, Any], Any, str]:
+    """The standing query of a ``subscribe`` request.
+
+    Returns ``(kind, spec, query, maintenance)`` where ``spec`` is the
+    *canonical* field dict (re-parses to the same query) that the WAL
+    record and the checkpoint pointer persist.  The kind is ``knwc``
+    when the request carries ``k``, ``nwc`` otherwise.
+    """
+    if "k" in payload:
+        query, maintenance = parse_knwc(payload)
+        base = query.base
+        spec = {"x": base.qx, "y": base.qy, "length": base.length,
+                "width": base.width, "n": base.n,
+                "measure": base.measure.value, "k": query.k, "m": query.m,
+                "maintenance": maintenance}
+        return "knwc", spec, query, maintenance
+    query = parse_nwc(payload)
+    spec = {"x": query.qx, "y": query.qy, "length": query.length,
+            "width": query.width, "n": query.n,
+            "measure": query.measure.value}
+    return "nwc", spec, query, "exact"
+
+
+def parse_radius(payload: dict[str, Any], key: str) -> float:
+    """A shield-radius field of a ``sub_track`` request: the literal
+    strings ``"always"`` (+inf — every update of that kind re-gathers)
+    and ``"never"`` (-inf), or a finite non-negative number."""
+    raw = payload.get(key)
+    if raw == "always":
+        return math.inf
+    if raw == "never":
+        return -math.inf
+    if isinstance(raw, (int, float)) and not isinstance(raw, bool) \
+            and math.isfinite(raw) and raw >= 0:
+        return float(raw)
+    raise ProtocolError(
+        f"field {key!r} must be 'always', 'never' or a finite "
+        f"non-negative number, got {raw!r}")
+
+
+def notify_frame(sub_id: str, kind: str, revision: int, version: int,
+                 result: dict[str, Any]) -> dict[str, Any]:
+    """One server-push ``notify`` frame: the fresh answer of a standing
+    query, stamped with the dataset version it was evaluated at and the
+    subscription's monotone revision.  Deliberately carries no ``ok``
+    field — a client mistakenly issuing one-shot calls on a streaming
+    connection fails loudly instead of consuming a notification as its
+    response.
+    """
+    return {"op": "notify", "sub": sub_id, "kind": kind,
+            "revision": revision, "version": version, "result": result}
 
 
 def parse_point(payload: dict[str, Any]) -> PointObject:

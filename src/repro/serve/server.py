@@ -48,11 +48,13 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import contextvars
 import dataclasses
 import os
 import signal
 import threading
 import time
+import uuid
 from collections import OrderedDict, deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -67,6 +69,8 @@ from ..obs.slo import SLORecorder, default_objectives
 from ..obs.trace import QueryTracer, span_to_dict
 from ..storage import StorageError
 from ..storage.wal import crash_point
+from ..sub import Subscription, SubscriptionIndex, reconcile
+from ..sub.runtime import evaluate_subscription
 from . import protocol
 from .cache import DEFAULT_CACHE_ENTRIES, ResultCache
 from .durability import DEFAULT_DEDUPE_ENTRIES, DurableState
@@ -78,6 +82,80 @@ __all__ = ["DeadlineExceeded", "LineProtocolServer", "ReadWriteScheduler",
 
 class DeadlineExceeded(Exception):
     """A request's deadline passed while it waited for the scheduler."""
+
+
+#: The connection a handler is serving, so ``subscribe`` can attach the
+#: push target without threading it through every handler signature.
+#: Task-local: each connection runs in its own asyncio task.
+_CURRENT_CONN: contextvars.ContextVar["_Connection | None"] = \
+    contextvars.ContextVar("repro_serve_conn", default=None)
+
+#: Outbound frames a connection may have queued before it counts as a
+#: slow consumer and is disconnected (subscriptions stay registered —
+#: the client resubscribes and resumes at the current revision).
+CONN_QUEUE_LIMIT = 1024
+
+
+class _Connection:
+    """One client connection's outbound side: a FIFO frame queue
+    drained by a dedicated sender task.
+
+    Request responses and push notifications share the queue, so their
+    relative order on the wire is exactly their enqueue order — and
+    because notifications are enqueued inside the exclusive write slot,
+    a subscriber can never observe a notification reordered against an
+    ack it raced with.  ``send`` never blocks the caller: a consumer
+    whose queue overflows (:data:`CONN_QUEUE_LIMIT`) is marked closed
+    and dropped instead of back-pressuring the write path.
+    """
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self._writer = writer
+        self._queue: asyncio.Queue[dict[str, Any] | None] = \
+            asyncio.Queue(maxsize=CONN_QUEUE_LIMIT)
+        self.closed = False
+        #: Ids of subscriptions attached to this connection.
+        self.subs: set[str] = set()
+        self._sender = asyncio.get_running_loop().create_task(self._drain())
+
+    def send(self, frame: dict[str, Any]) -> bool:
+        """Enqueue one outbound frame; ``False`` when the connection is
+        closed or too far behind (the frame is then dropped)."""
+        if self.closed:
+            return False
+        try:
+            self._queue.put_nowait(frame)
+        except asyncio.QueueFull:
+            self.closed = True
+            return False
+        return True
+
+    async def _drain(self) -> None:
+        while True:
+            frame = await self._queue.get()
+            if frame is None:
+                break
+            try:
+                self._writer.write(protocol.encode_line(frame))
+                await self._writer.drain()
+            except (ConnectionError, OSError):
+                self.closed = True
+                break
+
+    async def aclose(self) -> None:
+        """Flush queued frames (up to a close sentinel) and close."""
+        self.closed = True
+        if not self._sender.done():
+            try:
+                self._queue.put_nowait(None)
+            except asyncio.QueueFull:
+                self._sender.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await self._sender
+        with contextlib.suppress(ConnectionError, OSError):
+            self._writer.close()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._writer.wait_closed()
 
 
 @dataclass(frozen=True, slots=True)
@@ -236,7 +314,7 @@ class LineProtocolServer:
 
     _OPS: tuple[str, ...] = (
         "nwc", "knwc", "insert", "delete", "snapshot", "checkpoint",
-        "health", "metrics", "unknown",
+        "health", "metrics", "subscribe", "unsubscribe", "unknown",
     )
     _OUTCOMES: tuple[str, ...] = (
         "ok", "bad_request", "overloaded", "deadline_exceeded",
@@ -244,6 +322,7 @@ class LineProtocolServer:
     )
     _LATENCY_OPS: tuple[str, ...] = (
         "nwc", "knwc", "insert", "delete", "snapshot", "checkpoint",
+        "subscribe", "unsubscribe",
     )
     _HANDLERS: dict[str, Callable[["LineProtocolServer", dict], Awaitable[dict]]] = {}
 
@@ -300,6 +379,20 @@ class LineProtocolServer:
                                   "Monotone dataset version")
         self._g_cache_entries = m.gauge("serve_cache_entries",
                                         "Live result-cache entries")
+        self._g_sub_active = m.gauge("sub_active", "Live subscriptions")
+        self._m_sub_notify = m.counter(
+            "sub_notifications_total", "Subscription notifications pushed")
+        self._m_sub_dropped = m.counter(
+            "sub_dropped_total",
+            "Notifications not delivered (detached or slow subscriber)")
+        self._m_sub_reevals = m.counter(
+            "sub_reevals_total", "Standing queries re-evaluated by updates")
+        self._m_sub_hints = m.counter(
+            "sub_hints_total",
+            "Affected-subscription hints emitted to the coordinator")
+        self._h_sub_reeval = m.histogram(
+            "sub_reeval_seconds",
+            "Subscription re-evaluation time per affecting update")
         self.slo = SLORecorder(
             m, default_objectives(type(self)._LATENCY_OPS))
 
@@ -371,6 +464,8 @@ class LineProtocolServer:
         assert task is not None
         self._conn_tasks.add(task)
         task.add_done_callback(self._conn_tasks.discard)
+        conn = _Connection(writer)
+        token = _CURRENT_CONN.set(conn)
         self._g_connections.inc()
         try:
             while True:
@@ -379,25 +474,60 @@ class LineProtocolServer:
                 except ConnectionError:
                     break
                 except ValueError:  # line longer than the stream limit
-                    response = error_response("bad_request", "request too large")
-                    with contextlib.suppress(ConnectionError):
-                        writer.write(protocol.encode_line(response))
-                        await writer.drain()
+                    conn.send(error_response("bad_request",
+                                             "request too large"))
                     break
-                if not line:
+                if not line or conn.closed:
                     break
                 response = await self._handle_line(line)
-                try:
-                    writer.write(protocol.encode_line(response))
-                    await writer.drain()
-                except (ConnectionError, asyncio.CancelledError):
+                if not conn.send(response):
                     break
         finally:
+            _CURRENT_CONN.reset(token)
             self._g_connections.dec()
-            with contextlib.suppress(ConnectionError):
-                writer.close()
-                with contextlib.suppress(asyncio.CancelledError):
-                    await writer.wait_closed()
+            self._detach_connection(conn)
+            with contextlib.suppress(asyncio.CancelledError):
+                await conn.aclose()
+
+    def _detach_connection(self, conn: "_Connection") -> None:
+        """Unhook a closing connection from the subscriptions attached
+        to it (the subscriptions themselves stay registered — standing
+        queries outlive connections; overridden where a sub registry
+        exists)."""
+
+    def _push_notifications(self, changed: list[Subscription]) -> None:
+        """Enqueue one ``notify`` frame per changed subscription on its
+        subscriber's connection.  Called inside the exclusive write
+        slot, so frames land on each connection's queue in dataset-
+        version order.  Detached (or slow, see :class:`_Connection`)
+        subscribers only cost a counter — the subscription stays
+        current and the client resumes at the live revision when it
+        resubscribes."""
+        for sub in changed:
+            frame = protocol.notify_frame(sub.sub_id, sub.kind,
+                                          sub.revision, sub.version,
+                                          sub.result)
+            conn = sub.conn
+            if conn is not None and conn.send(frame):
+                self._m_sub_notify.inc()
+            else:
+                if conn is not None:  # overflowed: detach for good
+                    conn.subs.discard(sub.sub_id)
+                    sub.conn = None
+                self._m_sub_dropped.inc()
+
+    def _attach_subscription(self, sub: Subscription) -> None:
+        """Point a subscription's push target at the connection whose
+        request is being handled (re-attach steals from a previous
+        connection: last subscriber wins)."""
+        conn = _CURRENT_CONN.get()
+        if conn is None or conn.closed:
+            return
+        previous = sub.conn
+        if previous is not None and previous is not conn:
+            previous.subs.discard(sub.sub_id)
+        sub.conn = conn
+        conn.subs.add(sub.sub_id)
 
     async def _handle_line(self, line: bytes) -> dict[str, Any]:
         try:
@@ -609,6 +739,11 @@ class QueryServer(LineProtocolServer):
             self.version = durable.recovery.version
             self._dedupe = durable.dedupe
             self._dedupe_cap = durable.config.dedupe_entries
+        # Standing queries: recovered alongside the engine on durable
+        # servers (revision continuity across kill -9), fresh otherwise.
+        self.subs: SubscriptionIndex = (
+            durable.subs if durable is not None else SubscriptionIndex())
+        self._g_sub_active.set(len(self.subs))
         self._flags_key = (
             self.engine.flags.srr, self.engine.flags.dip,
             self.engine.flags.dep, self.engine.flags.iwp,
@@ -726,11 +861,16 @@ class QueryServer(LineProtocolServer):
                 await self._run(self._apply_insert, obj)
                 self.version += 1
                 self.cache.note_insert(obj.x, obj.y, self.version)
+                changed, hints = await self._reconcile_subs(
+                    "insert", obj.x, obj.y)
                 response = {"ok": True, "op": "insert",
                             "version": self.version,
                             "size": self.engine.tree.size}
+                if hints:
+                    response["subs"] = hints
                 self._remember(request_id, response)
                 self._note_durable_record()
+                self._push_notifications(changed)
             self._g_version.set(self.version)
             self._g_cache_entries.set(len(self.cache))
             self._m_latency[("insert", "engine")].observe(
@@ -761,16 +901,23 @@ class QueryServer(LineProtocolServer):
                 # remember *every* acknowledged request id.
                 await self._run(self._wal_append, record)
                 deleted = await self._run(self._apply_delete, obj)
+                changed: list[Subscription] = []
+                hints: list[str] = []
                 if deleted:
                     self.version += 1
                     self.cache.note_delete(
                         obj.x, obj.y, self.version, self.engine.tree.size
                     )
+                    changed, hints = await self._reconcile_subs(
+                        "delete", obj.x, obj.y)
                 response = {"ok": True, "op": "delete",
                             "version": self.version, "deleted": deleted,
                             "size": self.engine.tree.size}
+                if hints:
+                    response["subs"] = hints
                 self._remember(request_id, response)
                 self._note_durable_record()
+                self._push_notifications(changed)
             self._g_version.set(self.version)
             self._g_cache_entries.set(len(self.cache))
             self._m_latency[("delete", "engine")].observe(
@@ -815,6 +962,140 @@ class QueryServer(LineProtocolServer):
         if deleted:
             self.engine._refresh_structures()
         return deleted
+
+    # ------------------------------------------------------------------
+    # Subscriptions (standing queries)
+    # ------------------------------------------------------------------
+    async def _reconcile_subs(self, op: str, x: float,
+                              y: float) -> tuple[list[Subscription],
+                                                 list[str]]:
+        """Re-evaluate affected standing queries; called inside the
+        exclusive write slot with the update applied and the version
+        bumped, so every changed answer is bit-identical to a fresh
+        query at ``self.version``."""
+        if not len(self.subs):
+            return [], []
+        start = time.perf_counter()
+        changed, hints, reevals = await self._run(
+            reconcile, self.subs, self.engine, op, x, y,
+            self.engine.tree.size, self.version)
+        if reevals:
+            self._m_sub_reevals.inc(reevals)
+            self._h_sub_reeval.observe(time.perf_counter() - start)
+        if hints:
+            self._m_sub_hints.inc(len(hints))
+        return changed, hints
+
+    def _register_subscription(self, sub: Subscription) -> None:
+        """Index + attach one evaluated subscription (write slot)."""
+        self.subs.add(sub)
+        self._attach_subscription(sub)
+        self._g_sub_active.set(len(self.subs))
+
+    async def _op_subscribe(self, payload: dict[str, Any]) -> dict[str, Any]:
+        request_id = protocol.parse_request_id(payload)
+        sub_id = protocol.parse_subscription_id(payload)
+        kind, spec, query, maintenance = protocol.parse_subscription(payload)
+        refused = self._check_admission()
+        if refused is not None:
+            return refused
+        start = time.perf_counter()
+        with self._admitted():
+            deadline = self._deadline(payload)
+            async with self._scheduler.write(deadline):
+                self._refresh_pressure_gauges()
+                replayed = self._deduped(request_id)
+                if replayed is not None:
+                    # The retry of an acked subscribe: re-attach the
+                    # (new) connection before replaying the ack.
+                    existing = self.subs.get(replayed.get("sub"))
+                    if existing is not None and not existing.sentinel:
+                        self._attach_subscription(existing)
+                    return replayed
+                existing = self.subs.get(sub_id) if sub_id else None
+                if existing is not None and not existing.sentinel:
+                    # Resume: same standing query, new connection — the
+                    # client reads the current answer and revision and
+                    # keeps counting from there (continuity across both
+                    # client reconnects and server restarts).
+                    self._attach_subscription(existing)
+                    return {"ok": True, "op": "subscribe",
+                            "sub": existing.sub_id, "kind": existing.kind,
+                            "version": self.version,
+                            "revision": existing.revision,
+                            "result": existing.result, "resumed": True}
+                sub = Subscription(
+                    sub_id=sub_id or f"sub-{uuid.uuid4().hex[:16]}",
+                    kind=kind, spec=spec, query=query,
+                    maintenance=maintenance, qx=spec["x"], qy=spec["y"],
+                    n=spec["n"])
+                record = {"op": "subscribe", "sub": sub.sub_id,
+                          "kind": kind, **spec}
+                if request_id is not None:
+                    record["req"] = request_id
+                # Same durability contract as updates: the registration
+                # is on disk before the ack leaves, and recovery replays
+                # it (re-evaluating at the same point in the record
+                # stream, so revisions continue rather than fork).
+                await self._run(self._wal_append, record)
+                answer, sub.insert_radius, sub.delete_radius = \
+                    await self._run(evaluate_subscription, self.engine, sub)
+                sub.result = answer
+                sub.revision = 1
+                sub.version = self.version
+                self._register_subscription(sub)
+                response = {"ok": True, "op": "subscribe",
+                            "sub": sub.sub_id, "kind": kind,
+                            "version": self.version, "revision": 1,
+                            "result": answer}
+                self._remember(request_id, response)
+                self._note_durable_record()
+            self._m_latency[("subscribe", "engine")].observe(
+                time.perf_counter() - start)
+            crash_point("before_ack")
+            return response
+
+    async def _op_unsubscribe(self, payload: dict[str, Any]) -> dict[str, Any]:
+        request_id = protocol.parse_request_id(payload)
+        sub_id = protocol.parse_subscription_id(payload, required=True)
+        refused = self._check_admission()
+        if refused is not None:
+            return refused
+        start = time.perf_counter()
+        with self._admitted():
+            deadline = self._deadline(payload)
+            async with self._scheduler.write(deadline):
+                self._refresh_pressure_gauges()
+                replayed = self._deduped(request_id)
+                if replayed is not None:
+                    return replayed
+                record = {"op": "unsubscribe", "sub": sub_id}
+                if request_id is not None:
+                    record["req"] = request_id
+                # Logged even when the id is unknown: like no-op
+                # deletes, replay recomputes the same outcome and the
+                # dedupe map must remember every acknowledged id.
+                await self._run(self._wal_append, record)
+                removed = self.subs.remove(sub_id)
+                if removed is not None and removed.conn is not None:
+                    removed.conn.subs.discard(sub_id)
+                    removed.conn = None
+                self._g_sub_active.set(len(self.subs))
+                response = {"ok": True, "op": "unsubscribe", "sub": sub_id,
+                            "removed": removed is not None,
+                            "version": self.version}
+                self._remember(request_id, response)
+                self._note_durable_record()
+            self._m_latency[("unsubscribe", "engine")].observe(
+                time.perf_counter() - start)
+            return response
+
+    def _detach_connection(self, conn: "_Connection") -> None:
+        for sub_id in conn.subs:
+            sub = self.subs.get(sub_id)
+            if sub is not None and sub.conn is conn:
+                sub.conn = None
+        conn.subs.clear()
 
     # ------------------------------------------------------------------
     # Maintenance ops
@@ -866,6 +1147,11 @@ class QueryServer(LineProtocolServer):
                     self._refresh_pressure_gauges()
                     version = self.version
                     seq = durable.wal.last_seq
+                    # Captured under the same slot as (seq, version):
+                    # replaying records > seq over this state re-runs
+                    # exactly the re-evaluations the live server ran,
+                    # so revisions stay continuous.
+                    subs_state = self.subs.to_state()
                     path = durable.state.checkpoint_path(seq)
                     await self._run(save_tree, self.engine.tree, path)
                 crash_point("mid_checkpoint")
@@ -873,7 +1159,7 @@ class QueryServer(LineProtocolServer):
                 async with self._scheduler.write(deadline):
                     self._refresh_pressure_gauges()
                     await self._run(durable.state.write_current, name, seq,
-                                    version, self._dedupe)
+                                    version, self._dedupe, subs_state)
                     dropped = await self._run(durable.wal.compact, seq,
                                               version)
                     durable.records_since_checkpoint = \
@@ -901,6 +1187,7 @@ class QueryServer(LineProtocolServer):
             "max_queue": self.config.max_queue,
             "cache": dataclasses.asdict(self.cache.stats())
                      | {"hit_rate": self.cache.stats().hit_rate},
+            "subscriptions": len(self.subs),
         }
         durable = self.durable
         if durable is not None:
@@ -924,6 +1211,8 @@ class QueryServer(LineProtocolServer):
         "checkpoint": _op_checkpoint,
         "health": _op_health,
         "metrics": LineProtocolServer._op_metrics,
+        "subscribe": _op_subscribe,
+        "unsubscribe": _op_unsubscribe,
     }
 
 

@@ -35,6 +35,17 @@ exactness may send ``"partial": true`` on queries to accept merged
 results over the reachable shards (flagged ``"partial": true`` in the
 response and never cached).
 
+**Fleet subscriptions** (standing queries, see :mod:`repro.sub`) are
+coordinator-owned: ``subscribe`` evaluates through the scatter path,
+then registers a WAL-logged *shield sentinel* (geometry + shield radii,
+op ``sub_track``) on every worker.  Each update's fan-out acks carry
+the ids of the sentinels that update could affect — the workers'
+subscription indexes do the shield-radius pruning — and the coordinator
+re-gathers only that union under its write slot, pushing ``notify``
+frames that are bit-identical to re-querying at the new fleet version.
+A failed fan or failed sentinel re-sync degrades the next pass to
+re-evaluating every fleet subscription (delayed, never wrong).
+
 The coordinator is also the fleet's observability hub.  A sampled
 ``trace`` context on a query bypasses the cache, forwards a child
 context on every shard RPC, and stitches the workers' returned span
@@ -71,6 +82,8 @@ from ..serve.cache import ResultCache
 from ..serve.protocol import ProtocolError, error_response
 from ..serve.server import (DeadlineExceeded, LineProtocolServer,
                             ServeConfig, ServingThread)
+from ..sub import Subscription
+from ..sub.index import _encode_radius
 from . import merge
 from .partition import ShardManifest
 
@@ -340,6 +353,20 @@ class ShardCoordinator(LineProtocolServer):
         ]
         self.size = 0
         self._size_known = False
+        # Fleet subscriptions (standing queries), coordinator-owned.
+        # There is no coordinator WAL: fleet subscriptions do not
+        # survive a coordinator restart — clients resubscribe (their
+        # revision counters restart at 1).  Worker-side *sentinels* DO
+        # survive worker crashes (sub_track is WAL-logged); stale
+        # sentinels from a dead coordinator only cost spurious hints.
+        self.subs: dict[str, Subscription] = {}
+        # Set when an update's fan partially failed (shards may have
+        # applied while re-evaluation could not run) or a sentinel
+        # re-sync failed: the next reconcile pass degrades to
+        # re-evaluating EVERY fleet subscription instead of trusting
+        # the hint set, and clears the flag once a pass completes
+        # without failures.
+        self._subs_dirty = False
         # Cache keys must never collide with a single-engine server's
         # (different pruning trajectories, same answers — but reason
         # parity and stats differ); the sharded tag keeps them apart.
@@ -814,7 +841,7 @@ class ShardCoordinator(LineProtocolServer):
                 replayed = self._deduped(request_id)
                 if replayed is not None:
                     return replayed
-                targets, _acks, failed = await self._fan_update(
+                targets, acks, failed = await self._fan_update(
                     "insert", obj, request_id, deadline)
                 if failed:
                     # Some shards may already have applied: the dataset
@@ -822,8 +849,12 @@ class ShardCoordinator(LineProtocolServer):
                     # cached answer the torn write could affect) before
                     # failing the request.  A client retry with the same
                     # request id is absorbed by the shard WAL dedupe.
+                    # Standing queries could not be re-evaluated either:
+                    # the dirty flag forces a full pass next update.
                     self.version += 1
                     self.cache.note_insert(obj.x, obj.y, self.version)
+                    if self.subs:
+                        self._subs_dirty = True
                     return error_response(
                         "shard_unavailable",
                         f"insert reached {len(targets) - len(failed)}/"
@@ -831,10 +862,12 @@ class ShardCoordinator(LineProtocolServer):
                 self.version += 1
                 self.size += 1
                 self.cache.note_insert(obj.x, obj.y, self.version)
+                changed = await self._reconcile_fleet_subs(acks, deadline)
                 response = {"ok": True, "op": "insert",
                             "version": self.version, "size": self.size,
                             "shards": list(targets)}
                 self._remember(request_id, response)
+                self._push_notifications(changed)
             self._g_version.set(self.version)
             self._g_cache_entries.set(len(self.cache))
             self._m_latency[("insert", "engine")].observe(
@@ -861,26 +894,270 @@ class ShardCoordinator(LineProtocolServer):
                     self.version += 1
                     self.cache.note_delete(obj.x, obj.y, self.version,
                                            self.size)
+                    if self.subs:
+                        self._subs_dirty = True
                     return error_response(
                         "shard_unavailable",
                         f"delete reached {len(targets) - len(failed)}/"
                         f"{len(targets)} shard(s); {sorted(failed)} down")
                 owner = self.manifest.route(obj.x)
                 deleted = bool(acks[owner].get("deleted"))
+                changed: list[Subscription] = []
                 if deleted:
                     self.version += 1
                     self.size -= 1
                     self.cache.note_delete(obj.x, obj.y, self.version,
                                            self.size)
+                    changed = await self._reconcile_fleet_subs(acks, deadline)
                 response = {"ok": True, "op": "delete",
                             "version": self.version, "deleted": deleted,
                             "size": self.size, "shards": list(targets)}
                 self._remember(request_id, response)
+                self._push_notifications(changed)
             self._g_version.set(self.version)
             self._g_cache_entries.set(len(self.cache))
             self._m_latency[("delete", "engine")].observe(
                 time.perf_counter() - start)
             return response
+
+    # ------------------------------------------------------------------
+    # Fleet subscriptions (standing queries)
+    # ------------------------------------------------------------------
+    async def _evaluate_fleet_sub(self, sub: Subscription,
+                                  deadline: float | None
+                                  ) -> tuple[dict[str, Any], float, float]:
+        """One fresh scatter-gather evaluation of a fleet subscription:
+        ``(result payload, insert_radius, delete_radius)`` — the exact
+        ``result`` a one-shot query op would return.  Raises
+        :class:`ShardCallError` when any shard is unreachable (a
+        partial answer must never be pushed as a notification)."""
+        if sub.kind == "nwc":
+            query = sub.query
+            if query.n > self.size:
+                shim = SimpleNamespace(found=False, distance=math.inf)
+                return ({"found": False, "group": None,
+                         "reason": "n exceeds dataset size"},
+                        *protocol.shield_radii_nwc(query, shim))
+            best, _accesses, _meta, failed = await self._scatter_nwc(
+                query, deadline)
+            if failed:
+                raise ShardCallError(failed[0], "unavailable",
+                                     "subscription re-evaluation")
+            shim = SimpleNamespace(
+                found=best is not None,
+                distance=best.distance if best is not None else math.inf)
+            return ({"found": best is not None,
+                     "group": (protocol._serialize_group(best)
+                               if best is not None else None),
+                     "reason": None},
+                    *protocol.shield_radii_nwc(query, shim))
+        query = sub.query
+        base = query.base
+        if base.n > self.size:
+            shim = SimpleNamespace(groups=())
+            return ({"groups": [], "reason": "n exceeds dataset size"},
+                    *protocol.shield_radii_knwc(query, shim))
+        groups, _accesses, _meta, failed = await self._scatter_knwc(
+            query, deadline)
+        if failed:
+            raise ShardCallError(failed[0], "unavailable",
+                                 "subscription re-evaluation")
+        shim = SimpleNamespace(groups=tuple(groups))
+        return ({"groups": [protocol._serialize_group(g) for g in groups],
+                 "reason": None},
+                *protocol.shield_radii_knwc(query, shim))
+
+    async def _fan_sub_track(self, sub: Subscription,
+                             deadline: float | None) -> list[int]:
+        """Upsert ``sub``'s shield sentinel on every shard worker (the
+        shield disk is not band-local, so every worker tracks every
+        fleet subscription).  Returns the shards that stayed
+        unreachable; one shared request id makes link retries
+        idempotent against each worker's WAL dedupe."""
+        frame = {"op": "sub_track", "sub": sub.sub_id,
+                 "x": sub.qx, "y": sub.qy, "n": sub.n,
+                 "ins": _encode_radius(sub.insert_radius),
+                 "del": _encode_radius(sub.delete_radius),
+                 "req": f"coord-{uuid.uuid4().hex[:20]}"}
+        responses = await asyncio.gather(
+            *(link.call(dict(frame), deadline) for link in self.links),
+            return_exceptions=True,
+        )
+        failed = []
+        for i, response in enumerate(responses):
+            if isinstance(response, (ShardCallError, DeadlineExceeded)):
+                failed.append(i)
+            elif isinstance(response, BaseException):
+                raise response
+        return failed
+
+    async def _fan_sub_untrack(self, sub_id: str,
+                               deadline: float | None) -> None:
+        """Best-effort sentinel removal — a sentinel that survives on
+        an unreachable worker only produces hints the coordinator
+        ignores (the id is no longer in ``self.subs``)."""
+        frame = {"op": "sub_untrack", "sub": sub_id,
+                 "req": f"coord-{uuid.uuid4().hex[:20]}"}
+        await asyncio.gather(
+            *(link.call(dict(frame), deadline) for link in self.links),
+            return_exceptions=True,
+        )
+
+    async def _reconcile_fleet_subs(self, acks: dict[int, dict[str, Any]],
+                                    deadline: float | None
+                                    ) -> list[Subscription]:
+        """Bring fleet subscriptions up to date after an applied update
+        (inside the exclusive write slot, version already bumped).
+
+        Trusts the union of the workers' affected-sentinel ``subs``
+        hints — each worker's :class:`~repro.sub.SubscriptionIndex`
+        already did the shield-radius pruning — unless the dirty flag
+        forces a full pass.  Every re-evaluation failure (or failed
+        sentinel re-sync after a radii change) re-arms the dirty flag:
+        correctness degrades to *delayed*, never to *wrong*."""
+        if not self.subs:
+            return []
+        hinted: set[str] = set()
+        for ack in acks.values():
+            hinted.update(ack.get("subs", ()))
+        if self._subs_dirty:
+            todo = list(self.subs.values())
+        else:
+            todo = [self.subs[sub_id] for sub_id in sorted(hinted)
+                    if sub_id in self.subs]
+        if hinted:
+            self._m_sub_hints.inc(len(hinted))
+        if not todo:
+            return []
+        start = time.perf_counter()
+        changed: list[Subscription] = []
+        dirty = False
+        for sub in todo:
+            try:
+                payload, insert_radius, delete_radius = \
+                    await self._evaluate_fleet_sub(sub, deadline)
+            except (ShardCallError, DeadlineExceeded):
+                dirty = True
+                continue
+            self._m_sub_reevals.inc()
+            sub.version = self.version
+            if payload != sub.result:
+                radii_changed = (insert_radius != sub.insert_radius
+                                 or delete_radius != sub.delete_radius)
+                sub.result = payload
+                sub.revision += 1
+                sub.insert_radius = insert_radius
+                sub.delete_radius = delete_radius
+                changed.append(sub)
+                if radii_changed and await self._fan_sub_track(sub, deadline):
+                    dirty = True
+        self._subs_dirty = dirty
+        self._h_sub_reeval.observe(time.perf_counter() - start)
+        return changed
+
+    async def _op_subscribe(self, payload: dict[str, Any]) -> dict[str, Any]:
+        request_id = protocol.parse_request_id(payload)
+        sub_id = protocol.parse_subscription_id(payload)
+        kind, spec, query, maintenance = protocol.parse_subscription(payload)
+        if maintenance != "exact":
+            raise ProtocolError(
+                "sharded serving supports maintenance='exact' only (the "
+                "'paper' policy is offer-sequence dependent and has no "
+                "shard-exact replay)")
+        self._check_window(query if kind == "nwc" else query.base)
+        refused = self._check_admission()
+        if refused is not None:
+            return refused
+        start = time.perf_counter()
+        with self._admitted():
+            deadline = self._deadline(payload)
+            async with self._scheduler.write(deadline):
+                self._refresh_pressure_gauges()
+                replayed = self._deduped(request_id)
+                if replayed is not None:
+                    existing = self.subs.get(replayed.get("sub"))
+                    if existing is not None:
+                        self._attach_subscription(existing)
+                    return replayed
+                existing = self.subs.get(sub_id) if sub_id else None
+                if existing is not None:
+                    self._attach_subscription(existing)
+                    return {"ok": True, "op": "subscribe",
+                            "sub": existing.sub_id, "kind": existing.kind,
+                            "version": self.version,
+                            "revision": existing.revision,
+                            "result": existing.result, "resumed": True}
+                sub = Subscription(
+                    sub_id=sub_id or f"sub-{uuid.uuid4().hex[:16]}",
+                    kind=kind, spec=spec, query=query,
+                    maintenance=maintenance, qx=spec["x"], qy=spec["y"],
+                    n=spec["n"])
+                try:
+                    sub.result, sub.insert_radius, sub.delete_radius = \
+                        await self._evaluate_fleet_sub(sub, deadline)
+                except ShardCallError as exc:
+                    return error_response(
+                        "shard_unavailable",
+                        f"cannot evaluate subscription: {exc}")
+                sub.revision = 1
+                sub.version = self.version
+                failed = await self._fan_sub_track(sub, deadline)
+                if failed:
+                    # Registration is all-or-nothing: a worker without
+                    # the sentinel would silently stop hinting.  Roll
+                    # the sentinels back and refuse.
+                    await self._fan_sub_untrack(sub.sub_id, deadline)
+                    return error_response(
+                        "shard_unavailable",
+                        f"sentinel registration failed on shard(s) "
+                        f"{sorted(failed)}")
+                self.subs[sub.sub_id] = sub
+                self._attach_subscription(sub)
+                self._g_sub_active.set(len(self.subs))
+                response = {"ok": True, "op": "subscribe",
+                            "sub": sub.sub_id, "kind": kind,
+                            "version": self.version, "revision": 1,
+                            "result": sub.result}
+                self._remember(request_id, response)
+            self._m_latency[("subscribe", "engine")].observe(
+                time.perf_counter() - start)
+            return response
+
+    async def _op_unsubscribe(self, payload: dict[str, Any]) -> dict[str, Any]:
+        request_id = protocol.parse_request_id(payload)
+        sub_id = protocol.parse_subscription_id(payload, required=True)
+        refused = self._check_admission()
+        if refused is not None:
+            return refused
+        start = time.perf_counter()
+        with self._admitted():
+            deadline = self._deadline(payload)
+            async with self._scheduler.write(deadline):
+                self._refresh_pressure_gauges()
+                replayed = self._deduped(request_id)
+                if replayed is not None:
+                    return replayed
+                removed = self.subs.pop(sub_id, None)
+                if removed is not None:
+                    if removed.conn is not None:
+                        removed.conn.subs.discard(sub_id)
+                        removed.conn = None
+                    await self._fan_sub_untrack(sub_id, deadline)
+                self._g_sub_active.set(len(self.subs))
+                response = {"ok": True, "op": "unsubscribe", "sub": sub_id,
+                            "removed": removed is not None,
+                            "version": self.version}
+                self._remember(request_id, response)
+            self._m_latency[("unsubscribe", "engine")].observe(
+                time.perf_counter() - start)
+            return response
+
+    def _detach_connection(self, conn) -> None:
+        for sub_id in conn.subs:
+            sub = self.subs.get(sub_id)
+            if sub is not None and sub.conn is conn:
+                sub.conn = None
+        conn.subs.clear()
 
     # ------------------------------------------------------------------
     # Maintenance ops
@@ -985,6 +1262,7 @@ class ShardCoordinator(LineProtocolServer):
             "max_queue": self.config.max_queue,
             "cache": dataclasses.asdict(self.cache.stats())
                      | {"hit_rate": self.cache.stats().hit_rate},
+            "subscriptions": len(self.subs),
             "shards": shards,
         }
 
@@ -993,6 +1271,8 @@ class ShardCoordinator(LineProtocolServer):
         "knwc": _op_knwc,
         "insert": _op_insert,
         "delete": _op_delete,
+        "subscribe": _op_subscribe,
+        "unsubscribe": _op_unsubscribe,
         "checkpoint": _op_checkpoint,
         "health": _op_health,
         "metrics": _op_metrics,

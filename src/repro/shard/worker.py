@@ -39,6 +39,9 @@ from ..index import FlatRTree, load_tree
 from ..serve import protocol
 from ..serve.durability import DurabilityConfig, recover
 from ..serve.server import QueryServer, ServeConfig
+from ..storage.wal import crash_point
+from ..sub import subscription_from_record
+from ..sub.index import _encode_radius
 from .partition import ShardManifest
 
 __all__ = ["ShardServer", "build_shard_server", "make_shard_engine"]
@@ -84,8 +87,10 @@ def make_shard_engine(
 class ShardServer(QueryServer):
     """A query server bound to one shard of a :class:`ShardManifest`."""
 
-    _OPS = QueryServer._OPS + ("nwc_scatter", "knwc_pool")
-    _LATENCY_OPS = QueryServer._LATENCY_OPS + ("nwc_scatter", "knwc_pool")
+    _OPS = QueryServer._OPS + ("nwc_scatter", "knwc_pool",
+                               "sub_track", "sub_untrack")
+    _LATENCY_OPS = QueryServer._LATENCY_OPS + ("nwc_scatter", "knwc_pool",
+                                               "sub_track", "sub_untrack")
 
     def __init__(self, engine: NWCEngine, manifest: ShardManifest,
                  shard_index: int, config: ServeConfig | None = None,
@@ -214,6 +219,84 @@ class ShardServer(QueryServer):
             return response
 
     # ------------------------------------------------------------------
+    # Sentinel tracking (coordinator-owned fleet subscriptions)
+    # ------------------------------------------------------------------
+    async def _op_sub_track(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Upsert one *shield sentinel*: the geometry + shield radii of
+        a fleet subscription the coordinator owns.  Sentinels never
+        evaluate anything on the worker — they only make update acks
+        carry ``subs`` hints (see ``_reconcile_subs``), so the
+        coordinator re-gathers exactly the standing queries an update
+        could have changed.  WAL-logged like any update: a worker that
+        is ``kill -9``-ed mid-burst recovers its sentinels and keeps
+        hinting."""
+        request_id = protocol.parse_request_id(payload)
+        sub_id = protocol.parse_subscription_id(payload, required=True)
+        x = protocol._number(payload, "x")
+        y = protocol._number(payload, "y")
+        n = protocol._integer(payload, "n", 1)
+        ins = protocol.parse_radius(payload, "ins")
+        dele = protocol.parse_radius(payload, "del")
+        refused = self._check_admission()
+        if refused is not None:
+            return refused
+        start = time.perf_counter()
+        with self._admitted():
+            deadline = self._deadline(payload)
+            async with self._scheduler.write(deadline):
+                self._refresh_pressure_gauges()
+                replayed = self._deduped(request_id)
+                if replayed is not None:
+                    return replayed
+                record = {"op": "sub_track", "sub": sub_id,
+                          "x": x, "y": y, "n": n,
+                          "ins": _encode_radius(ins),
+                          "del": _encode_radius(dele)}
+                if request_id is not None:
+                    record["req"] = request_id
+                await self._run(self._wal_append, record)
+                sentinel = subscription_from_record(record)
+                self.subs.add(sentinel)
+                self._g_sub_active.set(len(self.subs))
+                response = {"ok": True, "op": "sub_track", "sub": sub_id,
+                            "version": self.version}
+                self._remember(request_id, response)
+                self._note_durable_record()
+            self._m_latency[("sub_track", "engine")].observe(
+                time.perf_counter() - start)
+            crash_point("before_ack")
+            return response
+
+    async def _op_sub_untrack(self, payload: dict[str, Any]) -> dict[str, Any]:
+        request_id = protocol.parse_request_id(payload)
+        sub_id = protocol.parse_subscription_id(payload, required=True)
+        refused = self._check_admission()
+        if refused is not None:
+            return refused
+        start = time.perf_counter()
+        with self._admitted():
+            deadline = self._deadline(payload)
+            async with self._scheduler.write(deadline):
+                self._refresh_pressure_gauges()
+                replayed = self._deduped(request_id)
+                if replayed is not None:
+                    return replayed
+                record = {"op": "sub_untrack", "sub": sub_id}
+                if request_id is not None:
+                    record["req"] = request_id
+                await self._run(self._wal_append, record)
+                removed = self.subs.remove(sub_id)
+                self._g_sub_active.set(len(self.subs))
+                response = {"ok": True, "op": "sub_untrack", "sub": sub_id,
+                            "removed": removed is not None,
+                            "version": self.version}
+                self._remember(request_id, response)
+                self._note_durable_record()
+            self._m_latency[("sub_untrack", "engine")].observe(
+                time.perf_counter() - start)
+            return response
+
+    # ------------------------------------------------------------------
     # Inherited ops, shard-aware
     # ------------------------------------------------------------------
     async def _op_health(self, payload: dict[str, Any]) -> dict[str, Any]:
@@ -243,6 +326,8 @@ class ShardServer(QueryServer):
         **QueryServer._HANDLERS,
         "nwc_scatter": _op_nwc_scatter,
         "knwc_pool": _op_knwc_pool,
+        "sub_track": _op_sub_track,
+        "sub_untrack": _op_sub_untrack,
         "health": _op_health,
     }
 

@@ -1,0 +1,147 @@
+"""Subscription evaluation and maintenance.
+
+:func:`reconcile` is the one maintenance step every code path shares:
+the live server calls it inside the exclusive write slot right after an
+update applies (so notifications are bit-identical to a fresh query at
+that dataset version), shard workers call the same function to produce
+affected-sentinel hints for the coordinator, and WAL replay calls it
+record-by-record during recovery — which is exactly why revisions
+continue across ``kill -9`` instead of forking: the replayed
+re-evaluations are the same deterministic computations the live server
+performed.
+
+The :mod:`repro.serve.protocol` imports are deliberately lazy: the
+serve package imports :mod:`repro.sub` (durability restores
+subscription state), so a module-level import here would be circular.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .index import Subscription, SubscriptionIndex, _parse_radius
+
+__all__ = [
+    "evaluate_subscription",
+    "parse_spec",
+    "reconcile",
+    "subscription_from_record",
+]
+
+
+def parse_spec(kind: str, spec: dict[str, Any],
+               maintenance: str) -> tuple[Any, float, float, int]:
+    """Parse a subscription ``spec`` into ``(query, qx, qy, n)``.
+
+    ``shield`` sentinels carry only geometry (no query object); real
+    subscriptions re-parse through the wire parsers, so a spec that
+    came off the WAL is validated exactly like a live request.
+    """
+    from ..serve import protocol
+
+    if kind == "shield":
+        return (None, protocol._number(spec, "x"),
+                protocol._number(spec, "y"),
+                protocol._integer(spec, "n", 1))
+    if kind == "nwc":
+        query = protocol.parse_nwc(spec)
+        return query, query.qx, query.qy, query.n
+    if kind == "knwc":
+        query, parsed_maintenance = protocol.parse_knwc(spec)
+        if parsed_maintenance != maintenance:
+            raise ValueError(
+                f"maintenance mismatch: spec says {parsed_maintenance!r}, "
+                f"state says {maintenance!r}")
+        base = query.base
+        return query, base.qx, base.qy, base.n
+    raise ValueError(f"unknown subscription kind {kind!r}")
+
+
+def evaluate_subscription(engine: Any,
+                          sub: Subscription) -> tuple[dict[str, Any],
+                                                      float, float]:
+    """One fresh evaluation: ``(serialized answer, insert_radius,
+    delete_radius)`` — the exact payload a one-shot query op would
+    return, so pushed notifications are bit-identical to querying."""
+    from ..serve import protocol
+
+    if sub.kind == "nwc":
+        result = engine.nwc(sub.query)
+        return (protocol.serialize_nwc(result),
+                *protocol.shield_radii_nwc(sub.query, result))
+    if sub.kind == "knwc":
+        result = engine.knwc(sub.query, maintenance=sub.maintenance)
+        return (protocol.serialize_knwc(result),
+                *protocol.shield_radii_knwc(sub.query, result))
+    raise ValueError(f"cannot evaluate subscription kind {sub.kind!r}")
+
+
+def subscription_from_record(record: dict[str, Any]) -> Subscription:
+    """Build the :class:`Subscription` a WAL ``subscribe`` /
+    ``sub_track`` record describes (revision 0 — the caller evaluates
+    or restores the answer state)."""
+    op = record.get("op")
+    sub_id = record.get("sub")
+    if not isinstance(sub_id, str) or not sub_id:
+        raise ValueError(f"{op} record without a subscription id")
+    if op == "sub_track":
+        kind = "shield"
+    elif op == "subscribe":
+        kind = str(record.get("kind", "nwc"))
+    else:
+        raise ValueError(f"not a subscription record: op {op!r}")
+    spec = {key: value for key, value in record.items()
+            if key not in ("op", "sub", "kind", "req", "ins", "del")}
+    maintenance = str(spec.get("maintenance", "exact"))
+    query, qx, qy, n = parse_spec(kind, spec, maintenance)
+    sub = Subscription(sub_id=sub_id, kind=kind, spec=spec, query=query,
+                       maintenance=maintenance, qx=qx, qy=qy, n=n)
+    if op == "sub_track":
+        sub.insert_radius = _parse_radius(record["ins"])
+        sub.delete_radius = _parse_radius(record["del"])
+    return sub
+
+
+def reconcile(index: SubscriptionIndex, engine: Any, op: str,
+              x: float, y: float, new_size: int,
+              version: int) -> tuple[list[Subscription], list[str], int]:
+    """Bring every subscription the update can affect up to date.
+
+    Called with the update already applied (dataset at ``version``) and
+    the caller holding whatever makes engine access exclusive — the
+    write slot on a live server, nothing during single-threaded replay.
+
+    Returns ``(changed, hints, reevals)``:
+
+    * ``changed`` — subscriptions whose answer changed: result, radii
+      and bucketing updated, ``revision`` bumped (the caller pushes the
+      ``notify`` frames);
+    * ``hints`` — sorted ids of affected *sentinels* (shard workers
+      return these to the coordinator, which re-gathers only them);
+    * ``reevals`` — evaluations actually run (the incrementality
+      metric).
+    """
+    if op == "insert":
+        affected = index.affected_insert(x, y)
+    else:
+        affected = index.affected_delete(x, y, new_size)
+    changed: list[Subscription] = []
+    hints: list[str] = []
+    reevals = 0
+    for sub in affected:
+        if sub.sentinel:
+            hints.append(sub.sub_id)
+            continue
+        payload, insert_radius, delete_radius = \
+            evaluate_subscription(engine, sub)
+        reevals += 1
+        sub.version = version
+        if payload != sub.result:
+            sub.result = payload
+            sub.revision += 1
+            sub.insert_radius = insert_radius
+            sub.delete_radius = delete_radius
+            index.rebucket(sub)
+            changed.append(sub)
+    hints.sort()
+    return changed, hints, reevals

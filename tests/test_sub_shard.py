@@ -1,0 +1,127 @@
+"""Fleet-wide standing queries: coordinator-owned subscriptions with
+per-shard shield sentinels, hint-driven re-gather and push
+notifications bit-identical to fresh scatter-gather queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.client import ServeClient
+from tests.test_shard_serve import SHARDS, Fleet
+
+
+@pytest.fixture(scope="module")
+def fleet(tmp_path_factory):
+    fleet = Fleet(tmp_path_factory.mktemp("subfleet"))
+    yield fleet
+    fleet.stop()
+
+
+def _worker_sub_counts(fleet) -> list[int]:
+    return [len(worker.server.subs) for worker in fleet.workers]
+
+
+def test_subscription_lifecycle_through_the_fleet(fleet):
+    host, port = fleet.coordinator.host, fleet.coordinator.port
+    upd = fleet.client
+    with ServeClient(host, port) as sub_client:
+        stream = sub_client.subscribe(300.0, 300.0, 40.0, 30.0, 4)
+
+        # Registration: the ack equals a one-shot query, the
+        # coordinator owns the subscription, every worker holds a
+        # shield sentinel for it.
+        assert stream.result == upd.nwc(300.0, 300.0, 40.0, 30.0, 4)["result"]
+        assert stream.revision == 1
+        assert upd.health()["subscriptions"] == 1
+        assert _worker_sub_counts(fleet) == [1] * SHARDS
+
+        # An insert that beats the current best: the pushed frame is
+        # bit-identical to a fresh scatter-gather at that version.
+        ack = upd.insert(9001, 301.0, 301.0)
+        frame = stream.poll(timeout_s=10.0)
+        assert frame is not None
+        assert frame["revision"] == 2
+        assert frame["version"] == ack["version"]
+        assert frame["result"] == \
+            upd.nwc(300.0, 300.0, 40.0, 30.0, 4)["result"]
+
+        # A far insert is inside no sentinel's shield: no re-gather
+        # pushes, no frame.
+        upd.insert(9002, 950.0, 950.0)
+        assert stream.poll(timeout_s=0.7) is None
+
+        # Deleting the cluster point flips the answer back.
+        original = stream.ack["result"]
+        upd.delete(9001, 301.0, 301.0)
+        frame = stream.poll(timeout_s=10.0)
+        assert frame is not None and frame["revision"] == 3
+        assert frame["result"] == original
+
+        # kNWC standing queries ride the same machinery and match the
+        # coordinator's exact-kNWC canon.
+        with ServeClient(host, port) as k_client:
+            k_stream = k_client.subscribe(500.0, 500.0, 40.0, 30.0, 3,
+                                          k=2, m=1)
+            assert k_stream.result == \
+                upd.knwc(500.0, 500.0, 40.0, 30.0, 3, 2, 1)["result"]
+            assert upd.health()["subscriptions"] == 2
+            assert _worker_sub_counts(fleet) == [2] * SHARDS
+            assert upd.unsubscribe(k_stream.sub_id)["removed"] is True
+
+        # Unsubscribe drops the coordinator entry AND the sentinels.
+        assert upd.unsubscribe(stream.sub_id)["removed"] is True
+        assert upd.unsubscribe(stream.sub_id)["removed"] is False
+        assert upd.health()["subscriptions"] == 0
+        assert _worker_sub_counts(fleet) == [0] * SHARDS
+        upd.insert(9003, 302.0, 302.0)
+        assert stream.poll(timeout_s=0.7) is None  # no longer registered
+
+
+def test_resume_on_coordinator(fleet):
+    host, port = fleet.coordinator.host, fleet.coordinator.port
+    upd = fleet.client
+    with ServeClient(host, port) as first:
+        stream = first.subscribe(600.0, 600.0, 40.0, 30.0, 3,
+                                 sub="fleet-standing")
+        baseline = stream.result
+        revision = stream.revision
+    # The streaming connection died; the subscription survives on the
+    # coordinator and the same id resumes it.
+    with ServeClient(host, port) as second:
+        resumed = second.subscribe(600.0, 600.0, 40.0, 30.0, 3,
+                                   sub="fleet-standing")
+        assert resumed.ack.get("resumed") is True
+        assert resumed.revision == revision
+        assert resumed.result == baseline
+        # The resumed connection is the push target again.
+        upd.insert(9004, 601.0, 601.0)
+        upd.insert(9005, 600.0, 599.0)
+        upd.insert(9006, 599.0, 600.0)
+        frame = resumed.poll(timeout_s=10.0)
+        assert frame is not None and frame["revision"] == revision + 1
+    assert upd.unsubscribe("fleet-standing")["removed"] is True
+
+
+def test_update_acks_carry_sentinel_hints(fleet):
+    host, port = fleet.coordinator.host, fleet.coordinator.port
+    upd = fleet.client
+    with ServeClient(host, port) as sub_client:
+        stream = sub_client.subscribe(300.0, 300.0, 40.0, 30.0, 4)
+        # Ask the worker owning x=301 directly: its update ack carries
+        # the affected-sentinel hint the coordinator keys re-gather on.
+        for worker in fleet.workers:
+            with ServeClient(worker.host, worker.port) as direct:
+                health = direct.health()
+                lo, hi = health["shard"]["owned"]
+                if (lo is None or lo <= 301.0) and (hi is None or 301.0 < hi):
+                    ack = direct.call({"op": "insert", "oid": 9100,
+                                       "x": 301.0, "y": 301.0})
+                    assert ack["subs"] == [stream.sub_id]
+                    # Undo directly (bypassing the coordinator keeps
+                    # the fleet's dataset unchanged for later tests).
+                    direct.call({"op": "delete", "oid": 9100,
+                                 "x": 301.0, "y": 301.0})
+                    break
+        else:
+            pytest.fail("no worker owns x=301")
+        assert upd.unsubscribe(stream.sub_id)["removed"] is True
